@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation (Sec. 7 / appendix).  Each benchmark uses the
+``pytest-benchmark`` fixture with a single round — the point is to reproduce
+the *rows/series* the paper reports (and assert their qualitative shape), not
+to micro-benchmark the code.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a list of row dicts as an aligned text table under a title."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the pytest-benchmark fixture."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

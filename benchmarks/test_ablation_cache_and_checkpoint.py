@@ -1,0 +1,57 @@
+"""Ablations — cache reuse, cache compression and the checkpoint space model.
+
+These quantify the design choices of Sec. 4.1.1 / 6 called out in DESIGN.md:
+(a) re-running an identical recipe with the cache enabled skips all operator
+work, (b) compressed cache files are substantially smaller than plain ones,
+and (c) checkpoint mode bounds peak space at 3 dataset copies versus the
+per-OP growth of cache mode (Appendix A.2).
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.cache import CacheManager, estimate_cache_space, estimate_checkpoint_space
+from repro.core.executor import Executor
+from repro.core.monitor import time_call
+from repro.recipes import get_recipe
+from repro.synth import c4_like
+
+
+def reproduce_cache_ablation(tmp_dir: str) -> dict:
+    corpus = c4_like(num_samples=150, seed=9)
+    process = get_recipe("pretrain-c4-refine-en")["process"]
+
+    cold_config = {"process": process, "use_cache": True, "cache_dir": f"{tmp_dir}/cache"}
+    cold_time, _ = time_call(Executor(cold_config).run, corpus)
+    warm_executor = Executor(cold_config)
+    warm_time, _ = time_call(warm_executor.run, corpus)
+
+    plain = CacheManager(f"{tmp_dir}/plain", compression="none")
+    compressed = CacheManager(f"{tmp_dir}/zlib", compression="zlib")
+    plain.save("k", corpus)
+    compressed.save("k", corpus)
+
+    num_mappers = sum(1 for entry in process if next(iter(entry)).endswith("mapper"))
+    num_filters = sum(1 for entry in process if next(iter(entry)).endswith("filter"))
+    num_dedups = sum(1 for entry in process if "deduplicator" in next(iter(entry)))
+    return {
+        "cold_time_s": cold_time,
+        "warm_time_s": warm_time,
+        "cache_hits_on_rerun": warm_executor.last_report["cache"]["hits"],
+        "plain_cache_bytes": plain.total_bytes(),
+        "compressed_cache_bytes": compressed.total_bytes(),
+        "cache_mode_space_units": estimate_cache_space(1, num_mappers, num_filters, num_dedups),
+        "checkpoint_mode_space_units": estimate_checkpoint_space(1),
+    }
+
+
+def test_ablation_cache_and_checkpoint(benchmark, tmp_path):
+    result = run_once(benchmark, reproduce_cache_ablation, str(tmp_path))
+    print_table("Ablation: caching, compression and checkpoint space", [result])
+
+    # a warm cache skips the operator work entirely
+    assert result["warm_time_s"] < result["cold_time_s"]
+    assert result["cache_hits_on_rerun"] > 0
+    # cache compression reduces on-disk size substantially (zstd/LZ4 stand-in)
+    assert result["compressed_cache_bytes"] < 0.7 * result["plain_cache_bytes"]
+    # checkpoint mode bounds peak space below cache mode for this recipe (Appendix A.2)
+    assert result["checkpoint_mode_space_units"] <= result["cache_mode_space_units"]

@@ -1,0 +1,67 @@
+"""Ablation — exact-hash vs MinHash-LSH vs SimHash deduplication.
+
+The paper's Deduplicators offer hash-based and vector-based comparisons; this
+ablation quantifies their trade-off on a corpus with injected exact and near
+duplicates: exact hashing only removes identical copies, while the two
+similarity sketches also remove near duplicates, at a higher cost.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.dataset import NestedDataset
+from repro.core.monitor import time_call
+from repro.ops.deduplicators.document_deduplicator import DocumentDeduplicator
+from repro.ops.deduplicators.document_minhash_deduplicator import DocumentMinhashDeduplicator
+from repro.ops.deduplicators.document_simhash_deduplicator import DocumentSimhashDeduplicator
+from repro.synth import DocumentGenerator
+
+
+def build_duplicated_corpus(num_docs: int = 120, seed: int = 3) -> NestedDataset:
+    generator = DocumentGenerator(seed)
+    rows = []
+    for index in range(num_docs):
+        text = generator.document(num_paragraphs=2)
+        rows.append({"text": text})
+        if index % 4 == 0:  # exact duplicate
+            rows.append({"text": text})
+        if index % 5 == 0:  # near duplicate (light edit)
+            rows.append({"text": text.replace("the", "a", 3) + " Extra closing sentence."})
+    return NestedDataset.from_list(rows)
+
+
+def reproduce_dedup_ablation() -> list[dict]:
+    corpus = build_duplicated_corpus()
+    methods = {
+        "exact (MD5)": DocumentDeduplicator(),
+        "MinHash-LSH": DocumentMinhashDeduplicator(jaccard_threshold=0.7),
+        "SimHash": DocumentSimhashDeduplicator(hamming_threshold=8),
+    }
+    rows = []
+    for name, dedup in methods.items():
+        elapsed, output = time_call(dedup.run, corpus)
+        rows.append(
+            {
+                "method": name,
+                "input_docs": len(corpus),
+                "kept_docs": len(output),
+                "removed": len(corpus) - len(output),
+                "time_s": elapsed,
+            }
+        )
+    return rows
+
+
+def test_ablation_dedup_methods(benchmark):
+    rows = run_once(benchmark, reproduce_dedup_ablation)
+    print_table("Ablation: deduplication methods", rows)
+    by_name = {row["method"]: row for row in rows}
+
+    # every method removes at least the exact duplicates
+    assert all(row["removed"] > 0 for row in rows)
+    # the similarity sketches remove near-duplicates that exact hashing keeps
+    assert by_name["MinHash-LSH"]["kept_docs"] < by_name["exact (MD5)"]["kept_docs"]
+    assert by_name["SimHash"]["kept_docs"] < by_name["exact (MD5)"]["kept_docs"]
+    # exact hashing is the cheapest method
+    assert by_name["exact (MD5)"]["time_s"] <= min(
+        by_name["MinHash-LSH"]["time_s"], by_name["SimHash"]["time_s"]
+    )

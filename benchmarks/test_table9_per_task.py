@@ -1,0 +1,58 @@
+"""Table 9 — per-task scores on the 16 HELM core tasks for the compared models.
+
+Paper result: the per-task breakdown behind Table 2; the Data-Juicer model
+wins or ties the raw-data baselines on most of the 16 tasks, and the IFT
+continuation improves several knowledge/QA tasks further.
+"""
+
+from conftest import print_table, run_once
+
+from repro.core.dataset import concatenate_datasets
+from repro.recipes import build_finetune_pool, build_pretrain_mixture, data_juicer_finetune_dataset
+from repro.tools.evaluator import Evaluator, ProxyTrainer, task_names
+
+
+def reproduce_table9() -> list[dict]:
+    trainer = ProxyTrainer()
+    evaluator = Evaluator()
+
+    raw = build_pretrain_mixture(samples_per_component=30, include_pile_like=True)
+    refined = build_pretrain_mixture(samples_per_component=30, include_pile_like=True, refined=True)
+    pool = build_finetune_pool(num_datasets=6, samples_per_dataset=50, seed=3)
+    ift = data_juicer_finetune_dataset(pool, num_samples=120, language="EN", usage="IFT", seed=3)
+
+    models = {
+        "Falcon-like (raw)": trainer.train(raw, name="Falcon-like (raw)", num_tokens=24_000),
+        "Pythia-like (raw)": trainer.train(raw.shuffle(seed=2), name="Pythia-like (raw)", num_tokens=24_000),
+        "Data-Juicer": trainer.train(refined, name="Data-Juicer", num_tokens=12_000),
+        "Data-Juicer IFT": trainer.train(
+            concatenate_datasets([refined, ift]), name="Data-Juicer IFT", num_tokens=14_000
+        ),
+    }
+    reports = {name: evaluator.evaluate(model) for name, model in models.items()}
+
+    rows = []
+    for task in task_names():
+        rows.append({"task": task, **{name: reports[name].task_scores[task] for name in models}})
+    rows.append({"task": "AVERAGE", **{name: reports[name].average_score for name in models}})
+    return rows
+
+
+def test_table9_per_task(benchmark):
+    rows = run_once(benchmark, reproduce_table9)
+    print_table("Table 9: per-task scores on the 16 HELM core tasks", rows)
+
+    assert len(rows) == 17  # 16 tasks + average row
+    average = rows[-1]
+    # the refined model beats both raw baselines on the average row
+    assert average["Data-Juicer"] > average["Falcon-like (raw)"]
+    assert average["Data-Juicer"] > average["Pythia-like (raw)"]
+    # and wins (or ties) both raw baselines on a substantial share of the
+    # individual tasks despite training on half the tokens (the paper's
+    # Table 9 shows the same mixed-but-favourable per-task picture)
+    wins = sum(
+        1 for row in rows[:-1] if row["Data-Juicer"] >= max(row["Falcon-like (raw)"], row["Pythia-like (raw)"])
+    )
+    assert wins >= 6
+    # the IFT continuation does not hurt the overall average
+    assert average["Data-Juicer IFT"] >= average["Data-Juicer"] - 1.0

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: clean a small noisy web corpus with a zero-code data recipe.
+
+This example mirrors the paper's "novice user" workflow: take a built-in data
+recipe, point it at a dataset, run the executor and look at the tracer /
+analyzer output — no custom code required.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Analyzer, Executor
+from repro.recipes import get_recipe
+from repro.synth import common_crawl_like
+
+
+def main() -> None:
+    # 1. a noisy CommonCrawl-like corpus (stands in for raw web data)
+    raw = common_crawl_like(num_samples=120, seed=7, quality=0.4)
+    print(f"loaded {len(raw)} raw documents")
+
+    # 2. a built-in refinement recipe, with tracing switched on
+    recipe = get_recipe("pretrain-common-crawl-refine-en")
+    recipe["open_tracer"] = True
+    executor = Executor(recipe)
+
+    # 3. run the pipeline
+    refined = executor.run(raw)
+    print(f"kept {len(refined)} documents after refinement")
+    print("\nper-operator effect (tracer):")
+    for step in executor.last_report["trace"]:
+        print(
+            f"  {step['op_name']:<55} {step['input_size']:>5} -> {step['output_size']:>5}"
+        )
+
+    # 4. probe the refined data with the analyzer
+    probe = Analyzer().analyze(refined)
+    print("\n" + probe.render())
+
+    # 5. render one histogram as a quick visual check
+    if "text_len" in probe.histograms:
+        print("\n" + probe.histograms["text_len"].render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a pure-Python reproduction of the Data-Juicer LLM data-processing system.
+
+The public API mirrors the original system's main entry points:
+
+* :class:`repro.NestedDataset` — the columnar dataset substrate;
+* :class:`repro.Executor` and :func:`repro.load_config` — run a *data recipe*
+  (a configurable operator pipeline) end to end;
+* :data:`repro.OPERATORS` — the registry of 50+ built-in operators
+  (Formatters, Mappers, Filters, Deduplicators, Selectors);
+* :class:`repro.Analyzer` — compute and summarise per-sample statistics;
+* the :mod:`repro.tools` sub-packages — quality classifiers, samplers,
+  hyper-parameter optimization and the proxy LLM training/evaluation harness;
+* :mod:`repro.synth` — synthetic corpora standing in for the paper's datasets.
+"""
+
+from repro import ops  # noqa: F401 - operator registration side effects
+from repro import formats  # noqa: F401 - formatter registration side effects
+from repro.analysis.analyzer import Analyzer
+from repro.core import (
+    CacheManager,
+    CheckpointManager,
+    Executor,
+    Exporter,
+    Fields,
+    HashKeys,
+    NestedDataset,
+    OPERATORS,
+    RecipeConfig,
+    ResourceMonitor,
+    StatsKeys,
+    Tracer,
+    concatenate_datasets,
+    dataset_token_count,
+    fuse_operators,
+    load_config,
+    save_config,
+)
+from repro.formats import load_dataset, mix_datasets
+from repro.ops import load_ops
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analyzer",
+    "CacheManager",
+    "CheckpointManager",
+    "Executor",
+    "Exporter",
+    "Fields",
+    "HashKeys",
+    "NestedDataset",
+    "OPERATORS",
+    "RecipeConfig",
+    "ResourceMonitor",
+    "StatsKeys",
+    "Tracer",
+    "__version__",
+    "concatenate_datasets",
+    "dataset_token_count",
+    "fuse_operators",
+    "load_config",
+    "load_dataset",
+    "load_ops",
+    "mix_datasets",
+    "save_config",
+]

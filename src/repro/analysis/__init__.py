@@ -1,0 +1,22 @@
+"""Analysis tools: overall stats, histograms, diversity analysis and the Analyzer."""
+
+from repro.analysis.analyzer import Analyzer, DataProbe, DEFAULT_ANALYSIS_PROCESS
+from repro.analysis.diversity_analysis import DiversityAnalysis, DiversityReport, extract_verb_noun
+from repro.analysis.histogram import BoxPlot, Histogram, build_box_plot, build_histogram
+from repro.analysis.overall_analysis import ColumnSummary, OverallAnalysis, collect_stats_values
+
+__all__ = [
+    "Analyzer",
+    "BoxPlot",
+    "ColumnSummary",
+    "DEFAULT_ANALYSIS_PROCESS",
+    "DataProbe",
+    "DiversityAnalysis",
+    "DiversityReport",
+    "Histogram",
+    "OverallAnalysis",
+    "build_box_plot",
+    "build_histogram",
+    "collect_stats_values",
+    "extract_verb_noun",
+]

@@ -1,0 +1,133 @@
+"""The Analyzer: run stats-producing filters in analysis mode and summarise results.
+
+This is the ``analyzer`` tool of Sec. 4.2: it applies a set of Filter operators
+in *compute-stats-only* mode (no sample is removed), then produces an overall
+summary, per-column histograms/box plots and a diversity report — the "data
+probe" that drives the feedback loop of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.diversity_analysis import DiversityAnalysis, DiversityReport
+from repro.analysis.histogram import BoxPlot, Histogram, build_box_plot, build_histogram
+from repro.analysis.overall_analysis import ColumnSummary, OverallAnalysis, collect_stats_values
+from repro.core.base_op import Filter
+from repro.core.dataset import NestedDataset
+from repro.ops import load_ops
+
+#: Filters whose statistics form the default 13-dimension data probe.
+DEFAULT_ANALYSIS_PROCESS: list = [
+    {"alphanumeric_filter": {}},
+    {"average_line_length_filter": {}},
+    {"character_repetition_filter": {}},
+    {"flagged_words_filter": {}},
+    {"language_id_score_filter": {}},
+    {"maximum_line_length_filter": {}},
+    {"perplexity_filter": {}},
+    {"special_characters_filter": {}},
+    {"stopwords_filter": {}},
+    {"text_length_filter": {}},
+    {"token_num_filter": {}},
+    {"words_num_filter": {}},
+    {"word_repetition_filter": {}},
+]
+
+
+@dataclass
+class DataProbe:
+    """The full output of one analysis pass over a dataset."""
+
+    num_samples: int
+    summaries: dict[str, ColumnSummary]
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    box_plots: dict[str, BoxPlot] = field(default_factory=dict)
+    diversity: DiversityReport | None = None
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering of the probe."""
+        lines = [f"Data probe over {self.num_samples} samples"]
+        for name in sorted(self.summaries):
+            summary = self.summaries[name]
+            if summary.kind == "numeric":
+                lines.append(
+                    f"  {name}: mean={summary.mean:.4f} std={summary.std:.4f} "
+                    f"min={summary.minimum:.4f} max={summary.maximum:.4f}"
+                )
+            else:
+                top = ", ".join(f"{k}={v}" for k, v in list(summary.value_counts.items())[:5])
+                lines.append(f"  {name}: {top}")
+        if self.diversity is not None:
+            lines.append(
+                f"  diversity: {self.diversity.distinct_verbs} verbs, "
+                f"{self.diversity.distinct_pairs} verb-noun pairs, "
+                f"score={self.diversity.diversity_score():.3f}"
+            )
+        return "\n".join(lines)
+
+
+class Analyzer:
+    """Apply stats-producing filters without dropping samples, then summarise.
+
+    Parameters
+    ----------
+    analysis_process:
+        Recipe-style process list of Filter operators; defaults to the
+        13-dimension probe used throughout the paper's examples.
+    with_diversity:
+        Whether to additionally compute the verb–noun diversity report.
+    """
+
+    def __init__(
+        self,
+        analysis_process: Sequence | None = None,
+        num_bins: int = 20,
+        with_diversity: bool = True,
+        text_key: str = "text",
+    ):
+        process = list(analysis_process) if analysis_process is not None else list(DEFAULT_ANALYSIS_PROCESS)
+        self.filters = [op for op in load_ops(process) if isinstance(op, Filter)]
+        self.num_bins = num_bins
+        self.with_diversity = with_diversity
+        self.text_key = text_key
+
+    def compute_stats(self, dataset: NestedDataset) -> NestedDataset:
+        """Return a copy of the dataset with every probe statistic filled in."""
+
+        def add_all_stats(sample: dict) -> dict:
+            sample = dict(sample)
+            for op in self.filters:
+                sample = op.compute_stats(sample)
+            return sample
+
+        return dataset.map(add_all_stats)
+
+    def analyze(self, dataset: NestedDataset) -> DataProbe:
+        """Compute stats and return the full :class:`DataProbe`."""
+        with_stats = self.compute_stats(dataset)
+        summaries = OverallAnalysis(num_bins=self.num_bins).analyze(with_stats)
+        histograms: dict[str, Histogram] = {}
+        box_plots: dict[str, BoxPlot] = {}
+        for key, values in collect_stats_values(with_stats).items():
+            numeric = [
+                float(value)
+                for value in values
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+            if numeric:
+                histograms[key] = build_histogram(key, numeric, num_bins=self.num_bins)
+                box_plots[key] = build_box_plot(key, numeric)
+        diversity = (
+            DiversityAnalysis(text_key=self.text_key).analyze(dataset)
+            if self.with_diversity
+            else None
+        )
+        return DataProbe(
+            num_samples=len(dataset),
+            summaries=summaries,
+            histograms=histograms,
+            box_plots=box_plots,
+            diversity=diversity,
+        )

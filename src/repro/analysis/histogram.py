@@ -1,0 +1,83 @@
+"""Text-based histograms and box plots for stats distributions.
+
+The original system renders interactive histograms/box plots; this module
+produces the same information as data structures plus a terminal-friendly
+ASCII rendering, which is what the examples and the feedback-loop demo print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Histogram:
+    """Binned distribution of one numeric statistic."""
+
+    name: str
+    edges: list[float]
+    counts: list[int]
+
+    @property
+    def total(self) -> int:
+        """Total number of observations."""
+        return int(sum(self.counts))
+
+    def render(self, width: int = 40) -> str:
+        """Return an ASCII rendering, one bar per bin."""
+        if not self.counts:
+            return f"{self.name}: (empty)"
+        peak = max(self.counts) or 1
+        lines = [f"Histogram of {self.name} (n={self.total})"]
+        for index, count in enumerate(self.counts):
+            bar = "#" * int(round(width * count / peak))
+            lines.append(
+                f"  [{self.edges[index]:>10.3f}, {self.edges[index + 1]:>10.3f}) "
+                f"{bar} {count}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class BoxPlot:
+    """Five-number summary of one numeric statistic."""
+
+    name: str
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    def render(self) -> str:
+        """Return a one-line textual box-plot summary."""
+        return (
+            f"{self.name}: min={self.minimum:.3f} q1={self.q1:.3f} "
+            f"median={self.median:.3f} q3={self.q3:.3f} max={self.maximum:.3f}"
+        )
+
+
+def build_histogram(name: str, values: list[float], num_bins: int = 20) -> Histogram:
+    """Bin a list of numeric values into a :class:`Histogram`."""
+    if not values:
+        return Histogram(name=name, edges=[0.0, 1.0], counts=[0])
+    array = np.asarray(values, dtype=float)
+    counts, edges = np.histogram(array, bins=num_bins)
+    return Histogram(name=name, edges=[float(edge) for edge in edges], counts=[int(c) for c in counts])
+
+
+def build_box_plot(name: str, values: list[float]) -> BoxPlot:
+    """Compute the five-number summary of a list of numeric values."""
+    if not values:
+        return BoxPlot(name, 0.0, 0.0, 0.0, 0.0, 0.0)
+    array = np.asarray(values, dtype=float)
+    return BoxPlot(
+        name=name,
+        minimum=float(array.min()),
+        q1=float(np.quantile(array, 0.25)),
+        median=float(np.quantile(array, 0.5)),
+        q3=float(np.quantile(array, 0.75)),
+        maximum=float(array.max()),
+    )

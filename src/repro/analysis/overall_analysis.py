@@ -1,0 +1,118 @@
+"""Overall (dataset-level) statistical summary of per-sample stats columns.
+
+Reproduces the ``analyzer``'s summary table (Sec. 4.2): for every numeric
+statistic produced by Filter operators, report count, mean, standard deviation,
+min/max, quantiles and entropy; categorical statistics get value counts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import NestedDataset
+from repro.core.sample import Fields
+
+
+@dataclass
+class ColumnSummary:
+    """Summary of one statistic across the dataset."""
+
+    name: str
+    kind: str  # "numeric" or "categorical"
+    count: int
+    mean: float | None = None
+    std: float | None = None
+    minimum: float | None = None
+    maximum: float | None = None
+    quantiles: dict[str, float] = field(default_factory=dict)
+    entropy: float | None = None
+    value_counts: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (rendered by the text visualizer and benchmarks)."""
+        payload = {"name": self.name, "kind": self.kind, "count": self.count}
+        if self.kind == "numeric":
+            payload.update(
+                {
+                    "mean": self.mean,
+                    "std": self.std,
+                    "min": self.minimum,
+                    "max": self.maximum,
+                    "quantiles": self.quantiles,
+                    "entropy": self.entropy,
+                }
+            )
+        else:
+            payload["value_counts"] = dict(self.value_counts)
+            payload["entropy"] = self.entropy
+        return payload
+
+
+def _entropy_from_counts(counts: Counter) -> float:
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def collect_stats_values(dataset: NestedDataset) -> dict[str, list]:
+    """Gather every stats key present in the dataset with its list of values."""
+    values: dict[str, list] = {}
+    for row in dataset:
+        stats = row.get(Fields.stats) or {}
+        for key, value in stats.items():
+            values.setdefault(key, []).append(value)
+    return values
+
+
+class OverallAnalysis:
+    """Compute :class:`ColumnSummary` objects for every stats key of a dataset."""
+
+    QUANTILES = (0.05, 0.25, 0.5, 0.75, 0.95)
+
+    def __init__(self, num_bins: int = 20):
+        self.num_bins = num_bins
+
+    def analyze(self, dataset: NestedDataset) -> dict[str, ColumnSummary]:
+        """Return a mapping of stats key -> summary."""
+        summaries: dict[str, ColumnSummary] = {}
+        for key, raw_values in collect_stats_values(dataset).items():
+            numeric = [
+                float(value)
+                for value in raw_values
+                if isinstance(value, (int, float)) and not isinstance(value, bool)
+            ]
+            if numeric and len(numeric) >= len(raw_values) / 2:
+                array = np.asarray(numeric, dtype=float)
+                histogram, _ = np.histogram(array, bins=self.num_bins)
+                summaries[key] = ColumnSummary(
+                    name=key,
+                    kind="numeric",
+                    count=len(numeric),
+                    mean=float(array.mean()),
+                    std=float(array.std()),
+                    minimum=float(array.min()),
+                    maximum=float(array.max()),
+                    quantiles={
+                        f"p{int(q * 100)}": float(np.quantile(array, q)) for q in self.QUANTILES
+                    },
+                    entropy=_entropy_from_counts(Counter(histogram.tolist())),
+                )
+            else:
+                counts = Counter(str(value) for value in raw_values)
+                summaries[key] = ColumnSummary(
+                    name=key,
+                    kind="categorical",
+                    count=len(raw_values),
+                    value_counts=dict(counts.most_common(20)),
+                    entropy=_entropy_from_counts(counts),
+                )
+        return summaries

@@ -1,0 +1,6 @@
+"""Baseline LLM data-processing pipelines compared against in the paper's evaluation."""
+
+from repro.baselines.dolma_like import DolmaLikePipeline
+from repro.baselines.redpajama_like import BaselineResult, RedPajamaLikePipeline
+
+__all__ = ["BaselineResult", "DolmaLikePipeline", "RedPajamaLikePipeline"]

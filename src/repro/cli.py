@@ -1,0 +1,141 @@
+"""Command-line interface: zero-code data processing from recipe files.
+
+This is the reproduction of the original system's ``process_data.py`` /
+``analyze_data.py`` entry points: novice users run a built-in or custom data
+recipe against a dataset without writing any Python.
+
+Usage examples::
+
+    python -m repro list-ops
+    python -m repro list-recipes
+    python -m repro process --recipe pretrain-c4-refine-en \
+        --dataset data.jsonl --export out.jsonl
+    python -m repro analyze --dataset data.jsonl
+    python -m repro synth --corpus common_crawl --num-samples 200 --output raw.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.analyzer import Analyzer
+from repro.core.config import load_config
+from repro.core.executor import Executor
+from repro.core.exporter import Exporter
+from repro.core.registry import OPERATORS
+from repro.formats.load import load_dataset
+from repro.recipes import get_recipe, list_recipes
+from repro.synth import CORPUS_BUILDERS, make_corpus
+
+
+def _resolve_recipe(recipe: str | None, recipe_file: str | None) -> dict:
+    """Return a recipe dict from either a built-in name or a recipe file."""
+    if recipe and recipe_file:
+        raise SystemExit("use either --recipe or --recipe-file, not both")
+    if recipe:
+        return get_recipe(recipe)
+    if recipe_file:
+        return load_config(recipe_file).as_dict()
+    raise SystemExit("one of --recipe or --recipe-file is required")
+
+
+def cmd_list_ops(_args: argparse.Namespace) -> int:
+    """Print every registered operator name."""
+    for name in OPERATORS.list():
+        print(name)
+    return 0
+
+
+def cmd_list_recipes(_args: argparse.Namespace) -> int:
+    """Print every built-in recipe name."""
+    for name in list_recipes():
+        print(name)
+    return 0
+
+
+def cmd_process(args: argparse.Namespace) -> int:
+    """Run a data recipe over a dataset file and export the result."""
+    recipe = _resolve_recipe(args.recipe, args.recipe_file)
+    recipe["dataset_path"] = args.dataset
+    if args.export:
+        recipe["export_path"] = args.export
+    if args.work_dir:
+        recipe["work_dir"] = args.work_dir
+    executor = Executor(recipe)
+    result = executor.run()
+    report = executor.last_report
+    print(f"processed {args.dataset}: kept {len(result)} samples")
+    if args.export:
+        print(f"exported to {args.export}")
+    print(json.dumps(report.get("resources", {}), indent=2))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Compute and print the data probe of a dataset file."""
+    dataset = load_dataset(args.dataset)
+    probe = Analyzer().analyze(dataset)
+    print(probe.render())
+    if args.output:
+        payload = {name: summary.as_dict() for name, summary in probe.summaries.items()}
+        Path(args.output).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"summary written to {args.output}")
+    return 0
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    """Generate a synthetic corpus and write it to a jsonl file."""
+    dataset = make_corpus(args.corpus, num_samples=args.num_samples, seed=args.seed)
+    path = Exporter(args.output, keep_stats=False).export(dataset)
+    print(f"wrote {len(dataset)} samples to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Data-Juicer reproduction: one-stop LLM data processing"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-ops", help="list all registered operators").set_defaults(
+        func=cmd_list_ops
+    )
+    subparsers.add_parser("list-recipes", help="list all built-in data recipes").set_defaults(
+        func=cmd_list_recipes
+    )
+
+    process = subparsers.add_parser("process", help="run a data recipe over a dataset file")
+    process.add_argument("--dataset", required=True, help="input dataset path (jsonl/json/csv/...)")
+    process.add_argument("--recipe", help="name of a built-in recipe")
+    process.add_argument("--recipe-file", help="path to a YAML/JSON recipe file")
+    process.add_argument("--export", help="output path (jsonl/json/txt)")
+    process.add_argument("--work-dir", help="working directory for cache/checkpoints/traces")
+    process.set_defaults(func=cmd_process)
+
+    analyze = subparsers.add_parser("analyze", help="compute the data probe of a dataset file")
+    analyze.add_argument("--dataset", required=True, help="input dataset path")
+    analyze.add_argument("--output", help="optional JSON file for the stats summary")
+    analyze.set_defaults(func=cmd_analyze)
+
+    synth = subparsers.add_parser("synth", help="generate a synthetic corpus")
+    synth.add_argument("--corpus", required=True, choices=sorted(CORPUS_BUILDERS))
+    synth.add_argument("--num-samples", type=int, default=100)
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--output", required=True, help="output jsonl path")
+    synth.set_defaults(func=cmd_synth)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Core building blocks: dataset substrate, OP base classes, executor and optimizations."""
+
+from repro.core.base_op import Deduplicator, Filter, Formatter, Mapper, Selector
+from repro.core.cache import CacheManager
+from repro.core.checkpoint import CheckpointManager
+from repro.core.config import RecipeConfig, load_config, save_config, validate_config
+from repro.core.dataset import NestedDataset, concatenate_datasets, dataset_token_count
+from repro.core.executor import Executor
+from repro.core.exporter import Exporter
+from repro.core.fusion import FusedFilter, fuse_operators
+from repro.core.monitor import ResourceMonitor
+from repro.core.registry import FORMATTERS, OPERATORS, Registry
+from repro.core.sample import Fields, HashKeys, StatsKeys
+from repro.core.tracer import Tracer
+
+__all__ = [
+    "CacheManager",
+    "CheckpointManager",
+    "Deduplicator",
+    "Executor",
+    "Exporter",
+    "FORMATTERS",
+    "Fields",
+    "Filter",
+    "Formatter",
+    "FusedFilter",
+    "HashKeys",
+    "Mapper",
+    "NestedDataset",
+    "OPERATORS",
+    "RecipeConfig",
+    "Registry",
+    "ResourceMonitor",
+    "Selector",
+    "StatsKeys",
+    "Tracer",
+    "concatenate_datasets",
+    "dataset_token_count",
+    "fuse_operators",
+    "load_config",
+    "save_config",
+    "validate_config",
+]

@@ -1,0 +1,204 @@
+"""Base classes of the standardized operator (OP) pool.
+
+The paper organises OPs into four primary categories (Table 1): Formatters,
+Mappers, Filters and Deduplicators; we additionally provide Selectors, which
+the original system uses for frequency / top-k subsetting tools.  The key
+design decision reproduced here is the decoupling of stats computation from
+the boolean keep/drop decision in Filters (``compute_stats`` vs ``process``),
+which lets the Analyzer consume statistics for the *whole* dataset and lets
+fused operators share per-sample contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.dataset import NestedDataset
+from repro.core.sample import Fields, ensure_stats, get_field, set_field
+
+
+class OP:
+    """Common behaviour of every operator: a name, a text key and parameters."""
+
+    _name = "op"
+
+    def __init__(self, text_key: str = Fields.text, **kwargs: Any):
+        self.text_key = text_key
+        self.extra_params = dict(kwargs)
+
+    @property
+    def name(self) -> str:
+        """Registered snake_case name of this operator."""
+        return self._name
+
+    def config(self) -> dict:
+        """Return the constructor parameters of this OP (for recipes / tracing)."""
+        params = {"text_key": self.text_key}
+        for key, value in vars(self).items():
+            if key.startswith("_") or key in ("text_key", "extra_params"):
+                continue
+            if isinstance(value, (bool, int, float, str, list, tuple, dict, type(None))):
+                params[key] = value
+        return params
+
+    def get_text(self, sample: dict) -> str:
+        """Return the text of a sample at this OP's text key (empty string if missing)."""
+        value = get_field(sample, self.text_key, "")
+        return value if isinstance(value, str) else ""
+
+    def set_text(self, sample: dict, text: str) -> dict:
+        """Write the text back to the sample at this OP's text key."""
+        return set_field(sample, self.text_key, text)
+
+    def run(self, dataset: NestedDataset, **kwargs: Any) -> NestedDataset:  # pragma: no cover
+        """Apply the OP to a dataset; implemented by category base classes."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Mapper(OP):
+    """In-place text editing on single samples (or batched multi-sample editing)."""
+
+    _batched = False
+
+    def process(self, sample: dict) -> dict:
+        """Transform one sample and return it."""
+        raise NotImplementedError
+
+    def process_batched(self, samples: list[dict]) -> list[dict]:
+        """Transform a batch of samples; default maps :meth:`process` over the batch."""
+        return [self.process(sample) for sample in samples]
+
+    def run(self, dataset: NestedDataset, tracer: Any = None, **kwargs: Any) -> NestedDataset:
+        """Apply the mapper to every sample of the dataset."""
+        if self._batched:
+            mapped = dataset.map(self.process_batched, batched=True)
+        else:
+            mapped = dataset.map(self.process)
+        if tracer is not None:
+            tracer.trace_mapper(self.name, dataset, mapped, self.text_key)
+        return mapped
+
+
+class Filter(OP):
+    """Conditional sample removal, with stats computation decoupled from the decision."""
+
+    def __init__(self, text_key: str = Fields.text, **kwargs: Any):
+        super().__init__(text_key=text_key, **kwargs)
+
+    #: names of context entries this filter can share with other fused filters
+    context_keys: tuple[str, ...] = ()
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        """Compute and store this filter's statistics on the sample."""
+        raise NotImplementedError
+
+    def process(self, sample: dict) -> bool:
+        """Return True to keep the sample, False to drop it."""
+        raise NotImplementedError
+
+    def run(self, dataset: NestedDataset, tracer: Any = None, **kwargs: Any) -> NestedDataset:
+        """Compute stats for every sample, then keep only the passing samples.
+
+        Stats computation and the keep/drop decision happen in one pass over
+        the rows (the decoupled ``compute_stats`` / ``process`` methods are
+        still exposed separately for the Analyzer and for fused execution).
+        """
+        stat_rows: list[dict] = []
+        keep_flags: list[bool] = []
+        for row in dataset:
+            row = self.compute_stats(dict(row))
+            stat_rows.append(row)
+            keep_flags.append(bool(self.process(row)))
+        kept_rows = [row for row, keep in zip(stat_rows, keep_flags) if keep]
+        filtered = NestedDataset.from_list(kept_rows)
+        if tracer is not None:
+            with_stats = NestedDataset.from_list(stat_rows)
+            tracer.trace_filter(self.name, with_stats, filtered)
+        return filtered
+
+
+class Deduplicator(OP):
+    """Duplicate removal operating at the dataset level via per-sample hashes."""
+
+    def compute_hash(self, sample: dict) -> dict:
+        """Compute and store this deduplicator's hash/signature on the sample."""
+        raise NotImplementedError
+
+    def process(self, dataset: NestedDataset, show_num: int = 0) -> tuple[NestedDataset, list]:
+        """Return the deduplicated dataset and up to ``show_num`` duplicate pairs."""
+        raise NotImplementedError
+
+    def run(self, dataset: NestedDataset, tracer: Any = None, **kwargs: Any) -> NestedDataset:
+        """Hash every sample and drop duplicates, tracing pairs when requested."""
+        hashed = dataset.map(lambda sample: self.compute_hash(dict(sample)))
+        show_num = 10 if tracer is not None else 0
+        deduped, duplicate_pairs = self.process(hashed, show_num=show_num)
+        if tracer is not None:
+            tracer.trace_deduplicator(self.name, len(hashed), len(deduped), duplicate_pairs)
+        return deduped
+
+
+class Selector(OP):
+    """Dataset-level sample selection (top-k, frequency buckets, random subsets)."""
+
+    def process(self, dataset: NestedDataset) -> NestedDataset:
+        """Return the selected subset of the dataset."""
+        raise NotImplementedError
+
+    def run(self, dataset: NestedDataset, tracer: Any = None, **kwargs: Any) -> NestedDataset:
+        """Apply the selector and trace the size change."""
+        selected = self.process(dataset)
+        if tracer is not None:
+            tracer.trace_filter(self.name, dataset, selected)
+        return selected
+
+
+class Formatter:
+    """Load raw files (or in-memory payloads) and unify them into a dataset."""
+
+    _name = "formatter"
+    SUFFIXES: tuple[str, ...] = ()
+
+    def __init__(self, dataset_path: str | None = None, text_keys: Sequence[str] = (Fields.text,), **kwargs: Any):
+        self.dataset_path = dataset_path
+        self.text_keys = list(text_keys)
+        self.extra_params = dict(kwargs)
+
+    @property
+    def name(self) -> str:
+        """Registered snake_case name of this formatter."""
+        return self._name
+
+    def load_dataset(self) -> NestedDataset:
+        """Load and unify the source into a :class:`NestedDataset`."""
+        raise NotImplementedError
+
+    @staticmethod
+    def unify_samples(samples: Iterable[dict], text_keys: Sequence[str]) -> list[dict]:
+        """Unify raw records: ensure a ``text`` field exists and stats start empty.
+
+        When the configured text keys are missing, any string field is
+        promoted to ``text``; non-text payloads are serialised.
+        """
+        unified: list[dict] = []
+        for record in samples:
+            sample = dict(record)
+            if Fields.text not in sample:
+                text_value = None
+                for key in text_keys:
+                    value = get_field(sample, key)
+                    if isinstance(value, str):
+                        text_value = value
+                        break
+                if text_value is None:
+                    for key, value in sample.items():
+                        if isinstance(value, str):
+                            text_value = value
+                            break
+                sample[Fields.text] = text_value if text_value is not None else ""
+            ensure_stats(sample)
+            unified.append(sample)
+        return unified

@@ -1,0 +1,147 @@
+"""On-disk cache of intermediate datasets, keyed by fingerprint, with compression.
+
+Reproduces the cache management described in Sec. 4.1.1 / 6 of the paper: every
+operator's output can be cached to disk keyed by (input fingerprint, operator
+configuration), so re-running a recipe after tweaking a late operator skips the
+unchanged prefix.  Cache files can be transparently compressed; zlib / lzma /
+gzip stand in for the zstd / LZ4 codecs used by the original system.
+"""
+
+from __future__ import annotations
+
+import bz2
+import gzip
+import hashlib
+import json
+import lzma
+import zlib
+from pathlib import Path
+from typing import Callable
+
+from repro.core.dataset import NestedDataset
+from repro.core.errors import ReproError
+
+_COMPRESSORS: dict[str, tuple[Callable[[bytes], bytes], Callable[[bytes], bytes], str]] = {
+    "none": (lambda data: data, lambda data: data, ".json"),
+    "zlib": (zlib.compress, zlib.decompress, ".json.zlib"),
+    "gzip": (gzip.compress, gzip.decompress, ".json.gz"),
+    "lzma": (lzma.compress, lzma.decompress, ".json.xz"),
+    "bz2": (bz2.compress, bz2.decompress, ".json.bz2"),
+}
+
+
+def available_codecs() -> list[str]:
+    """Names of the supported cache compression codecs."""
+    return sorted(_COMPRESSORS)
+
+
+class CacheManager:
+    """Fingerprint-keyed dataset cache with optional compression.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory where cache files are written (created on demand).
+    compression:
+        One of :func:`available_codecs`; ``"none"`` disables compression.
+    enabled:
+        When False, all operations are no-ops (useful for benchmarking the
+        uncached path).
+    """
+
+    def __init__(self, cache_dir: str | Path, compression: str = "none", enabled: bool = True):
+        if compression not in _COMPRESSORS:
+            raise ReproError(
+                f"unknown compression codec {compression!r}; choose from {available_codecs()}"
+            )
+        self.cache_dir = Path(cache_dir)
+        self.compression = compression
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path_for(self, key: str) -> Path:
+        digest = hashlib.sha1(key.encode("utf-8")).hexdigest()
+        suffix = _COMPRESSORS[self.compression][2]
+        return self.cache_dir / f"cache-{digest}{suffix}"
+
+    @staticmethod
+    def make_key(dataset_fingerprint: str, op_name: str, op_params: dict) -> str:
+        """Build the cache key of an operator applied to a dataset."""
+        return json.dumps(
+            {"fingerprint": dataset_fingerprint, "op": op_name, "params": op_params},
+            sort_keys=True,
+            default=repr,
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, key: str, dataset: NestedDataset) -> Path | None:
+        """Serialise a dataset into the cache; returns the written path (or None)."""
+        if not self.enabled:
+            return None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        compress, _, _ = _COMPRESSORS[self.compression]
+        payload = json.dumps(
+            {"fingerprint": dataset.fingerprint, "columns": dataset.to_dict()},
+            ensure_ascii=False,
+            default=repr,
+        ).encode("utf-8")
+        path = self._path_for(key)
+        path.write_bytes(compress(payload))
+        return path
+
+    def load(self, key: str) -> NestedDataset | None:
+        """Load a dataset from the cache; returns None on a miss."""
+        if not self.enabled:
+            return None
+        path = self._path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        _, decompress, _ = _COMPRESSORS[self.compression]
+        try:
+            payload = json.loads(decompress(path.read_bytes()).decode("utf-8"))
+        except (OSError, ValueError, zlib.error, lzma.LZMAError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        dataset = NestedDataset.from_dict(payload["columns"])
+        dataset._fingerprint = payload.get("fingerprint", dataset.fingerprint)
+        return dataset
+
+    def contains(self, key: str) -> bool:
+        """Return True when a cache entry exists for ``key``."""
+        return self.enabled and self._path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every cache file; returns the number of removed entries."""
+        if not self.cache_dir.exists():
+            return 0
+        removed = 0
+        for path in self.cache_dir.glob("cache-*"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of all cache files (bytes)."""
+        if not self.cache_dir.exists():
+            return 0
+        return sum(path.stat().st_size for path in self.cache_dir.glob("cache-*"))
+
+
+def estimate_cache_space(
+    dataset_size: int, num_mappers: int, num_filters: int, num_dedups: int
+) -> int:
+    """Peak cache space of *cache mode*, per the paper's Appendix A.2 analysis.
+
+    ``Space = (1 + M + F + I(F > 0) + D) * S`` where S is the dataset size.
+    """
+    extra_stats_copy = 1 if num_filters > 0 else 0
+    return (1 + num_mappers + num_filters + extra_stats_copy + num_dedups) * dataset_size
+
+
+def estimate_checkpoint_space(dataset_size: int) -> int:
+    """Peak cache space of *checkpoint mode*: at most 3 copies of the dataset."""
+    return 3 * dataset_size

@@ -1,0 +1,77 @@
+"""Checkpoint manager: persist the full processing state for crash recovery.
+
+The paper's checkpoint mechanism (Sec. 4.1.1) stores the whole dataset plus the
+index of the last completed operator so a failed or interrupted run can resume
+from the most recent state instead of re-executing the whole recipe.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.dataset import NestedDataset
+from repro.core.errors import CheckpointError
+
+
+class CheckpointManager:
+    """Save/load dataset + pipeline-position checkpoints under a directory."""
+
+    STATE_FILE = "checkpoint_state.json"
+    DATA_FILE = "checkpoint_data.jsonl"
+
+    def __init__(self, checkpoint_dir: str | Path, enabled: bool = True):
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.enabled = enabled
+
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        """Return True when a complete checkpoint is present on disk."""
+        return (
+            self.enabled
+            and (self.checkpoint_dir / self.STATE_FILE).exists()
+            and (self.checkpoint_dir / self.DATA_FILE).exists()
+        )
+
+    def save(self, dataset: NestedDataset, op_index: int, op_names: list[str]) -> None:
+        """Persist the dataset and the index of the last completed operator."""
+        if not self.enabled:
+            return
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        data_path = self.checkpoint_dir / self.DATA_FILE
+        with data_path.open("w", encoding="utf-8") as handle:
+            for row in dataset:
+                handle.write(json.dumps(row, ensure_ascii=False, default=repr) + "\n")
+        state = {
+            "op_index": op_index,
+            "op_names": op_names,
+            "num_rows": len(dataset),
+            "fingerprint": dataset.fingerprint,
+        }
+        (self.checkpoint_dir / self.STATE_FILE).write_text(
+            json.dumps(state, indent=2), encoding="utf-8"
+        )
+
+    def load(self) -> tuple[NestedDataset, int, list[str]]:
+        """Load the checkpointed dataset and pipeline position.
+
+        Raises :class:`CheckpointError` when no checkpoint is available.
+        """
+        if not self.exists():
+            raise CheckpointError(f"no checkpoint found under {self.checkpoint_dir}")
+        state = json.loads((self.checkpoint_dir / self.STATE_FILE).read_text(encoding="utf-8"))
+        rows = []
+        with (self.checkpoint_dir / self.DATA_FILE).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        dataset = NestedDataset.from_list(rows)
+        return dataset, int(state["op_index"]), list(state.get("op_names", []))
+
+    def clear(self) -> None:
+        """Remove any existing checkpoint files."""
+        for name in (self.STATE_FILE, self.DATA_FILE):
+            path = self.checkpoint_dir / name
+            if path.exists():
+                path.unlink()

@@ -1,0 +1,144 @@
+"""End-to-end configurable data recipes (Sec. 5.1 of the paper).
+
+A *data recipe* is the full configuration of a processing run: where the data
+comes from, which operators run with which hyper-parameters, where results and
+traces go, and which optimizations (cache, checkpoints, OP fusion) are active.
+Recipes can be defined as plain dictionaries, YAML files or JSON files, and are
+validated against the operator registry before execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import ConfigError
+from repro.core.registry import OPERATORS
+
+try:  # PyYAML is optional; JSON/dict recipes always work.
+    import yaml
+except ImportError:  # pragma: no cover - exercised only without PyYAML
+    yaml = None
+
+
+@dataclass
+class RecipeConfig:
+    """Validated configuration of one data-processing run."""
+
+    project_name: str = "repro-project"
+    dataset_path: str | None = None
+    export_path: str | None = None
+    text_keys: list[str] = field(default_factory=lambda: ["text"])
+    np: int = 1
+    process: list = field(default_factory=list)
+
+    # optimizations & tooling
+    use_cache: bool = False
+    cache_dir: str | None = None
+    cache_compression: str = "none"
+    use_checkpoint: bool = False
+    checkpoint_dir: str | None = None
+    op_fusion: bool = False
+    open_tracer: bool = False
+    trace_num: int = 10
+    work_dir: str = "./outputs"
+    keep_stats_in_export: bool = False
+    seed: int = 42
+
+    def op_names(self) -> list[str]:
+        """Names of the operators in the process list, in order."""
+        names = []
+        for entry in self.process:
+            if isinstance(entry, str):
+                names.append(entry)
+            elif isinstance(entry, dict) and len(entry) == 1:
+                names.append(next(iter(entry)))
+            else:
+                raise ConfigError(f"invalid process entry: {entry!r}")
+        return names
+
+    def as_dict(self) -> dict:
+        """Plain-dict view of the recipe (for saving refined recipes)."""
+        return {
+            "project_name": self.project_name,
+            "dataset_path": self.dataset_path,
+            "export_path": self.export_path,
+            "text_keys": list(self.text_keys),
+            "np": self.np,
+            "process": list(self.process),
+            "use_cache": self.use_cache,
+            "cache_dir": self.cache_dir,
+            "cache_compression": self.cache_compression,
+            "use_checkpoint": self.use_checkpoint,
+            "checkpoint_dir": self.checkpoint_dir,
+            "op_fusion": self.op_fusion,
+            "open_tracer": self.open_tracer,
+            "trace_num": self.trace_num,
+            "work_dir": self.work_dir,
+            "keep_stats_in_export": self.keep_stats_in_export,
+            "seed": self.seed,
+        }
+
+
+_KNOWN_KEYS = set(RecipeConfig().as_dict().keys())
+
+
+def validate_config(config: RecipeConfig) -> RecipeConfig:
+    """Check that all operators exist and their parameters look sane."""
+    for entry in config.process:
+        if isinstance(entry, str):
+            name, params = entry, {}
+        elif isinstance(entry, dict) and len(entry) == 1:
+            name, params = next(iter(entry.items()))
+            params = params or {}
+        else:
+            raise ConfigError(f"invalid process entry: {entry!r}")
+        if name not in OPERATORS:
+            raise ConfigError(f"unknown operator {name!r} in recipe {config.project_name!r}")
+        if not isinstance(params, dict):
+            raise ConfigError(f"parameters of operator {name!r} must be a mapping")
+    if config.np < 1:
+        raise ConfigError("np (number of processes) must be >= 1")
+    return config
+
+
+def load_config(source: str | Path | dict | RecipeConfig) -> RecipeConfig:
+    """Build and validate a :class:`RecipeConfig` from a dict, YAML or JSON file."""
+    if isinstance(source, RecipeConfig):
+        return validate_config(source)
+    if isinstance(source, dict):
+        payload = dict(source)
+    else:
+        path = Path(source)
+        if not path.exists():
+            raise ConfigError(f"recipe file not found: {path}")
+        text = path.read_text(encoding="utf-8")
+        if path.suffix in (".yaml", ".yml"):
+            if yaml is None:
+                raise ConfigError("PyYAML is required to load YAML recipes")
+            payload = yaml.safe_load(text) or {}
+        elif path.suffix == ".json":
+            payload = json.loads(text)
+        else:
+            raise ConfigError(f"unsupported recipe format {path.suffix!r}")
+    if not isinstance(payload, dict):
+        raise ConfigError("a recipe must be a mapping of configuration keys")
+    unknown = set(payload) - _KNOWN_KEYS
+    if unknown:
+        raise ConfigError(f"unknown recipe keys: {sorted(unknown)}")
+    config = RecipeConfig(**payload)
+    return validate_config(config)
+
+
+def save_config(config: RecipeConfig, path: str | Path) -> Path:
+    """Write a recipe to YAML (or JSON when PyYAML is unavailable / .json suffix)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, Any] = config.as_dict()
+    if path.suffix == ".json" or yaml is None:
+        path.write_text(json.dumps(payload, indent=2, ensure_ascii=False), encoding="utf-8")
+    else:
+        path.write_text(yaml.safe_dump(payload, sort_keys=False, allow_unicode=True), encoding="utf-8")
+    return path

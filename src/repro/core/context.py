@@ -1,0 +1,54 @@
+"""Per-sample context management shared between fused operators.
+
+The paper (Sec. 6, "Optimized Computation") describes a context manager that
+stores intermediate variables — segmented words, split lines, n-grams — so
+several Filters operating on the same sample can reuse them instead of
+recomputing.  Contexts live inside the sample under ``Fields.context`` and are
+cleared after each fused operator so they never leak into exported data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.sample import Fields, ensure_context
+
+
+class ContextKeys:
+    """Well-known keys of the shared per-sample context."""
+
+    words = "words"
+    refined_words = "refined_words"
+    lines = "lines"
+    sentences = "sentences"
+    lower_text = "lower_text"
+    char_ngrams = "char_ngrams"
+    word_ngrams = "word_ngrams"
+
+
+def get_or_compute(sample: dict, key: str, compute: Callable[[], Any]) -> Any:
+    """Return ``sample``'s cached context value for ``key``, computing it once.
+
+    When context tracking is enabled (the sample carries a context dict) the
+    computed value is stored for reuse by later operators in the same fused
+    group.
+    """
+    context = sample.get(Fields.context)
+    if isinstance(context, dict) and key in context:
+        return context[key]
+    value = compute()
+    if isinstance(context, dict):
+        context[key] = value
+    return value
+
+
+def enable_context(sample: dict) -> dict:
+    """Attach an (empty) context dict to the sample so values get cached."""
+    ensure_context(sample)
+    return sample
+
+
+def context_size(sample: dict) -> int:
+    """Number of cached context entries on the sample (0 when disabled)."""
+    context = sample.get(Fields.context)
+    return len(context) if isinstance(context, dict) else 0

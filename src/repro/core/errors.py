@@ -1,0 +1,33 @@
+"""Exception types used throughout the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """Raised when a data recipe or configuration file is invalid."""
+
+
+class RegistryError(ReproError):
+    """Raised when an operator or formatter lookup fails."""
+
+
+class DatasetError(ReproError):
+    """Raised for invalid dataset construction or access."""
+
+
+class FormatError(ReproError):
+    """Raised when a data file cannot be loaded or unified."""
+
+
+class CheckpointError(ReproError):
+    """Raised when checkpoint saving or loading fails."""
+
+
+class EvaluationError(ReproError):
+    """Raised when a proxy-model evaluation cannot be performed."""
+
+
+class HPOError(ReproError):
+    """Raised for invalid hyper-parameter search configurations."""

@@ -1,0 +1,106 @@
+"""The end-to-end pipeline executor tying together every core component.
+
+``Executor`` takes a validated :class:`~repro.core.config.RecipeConfig` and
+runs the full pipeline: load/unify the dataset via a Formatter, instantiate the
+operator list, optionally fuse and reorder operators, execute them with cache,
+checkpoint and tracing support, and export the processed dataset.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.core.cache import CacheManager
+from repro.core.checkpoint import CheckpointManager
+from repro.core.config import RecipeConfig, load_config
+from repro.core.dataset import NestedDataset
+from repro.core.exporter import Exporter
+from repro.core.fusion import describe_plan, fuse_operators
+from repro.core.monitor import ResourceMonitor
+from repro.core.tracer import Tracer
+
+
+class Executor:
+    """Run a data recipe end to end.
+
+    Parameters
+    ----------
+    config:
+        Anything :func:`repro.core.config.load_config` accepts (dict, path or
+        RecipeConfig instance).
+    """
+
+    def __init__(self, config: dict | str | Path | RecipeConfig):
+        # imported lazily to avoid a circular import at package-init time
+        from repro.ops import load_ops
+
+        self.cfg = load_config(config)
+        work_dir = Path(self.cfg.work_dir)
+        self.tracer = (
+            Tracer(show_num=self.cfg.trace_num, trace_dir=work_dir / "trace")
+            if self.cfg.open_tracer
+            else None
+        )
+        self.cache = CacheManager(
+            cache_dir=self.cfg.cache_dir or (work_dir / "cache"),
+            compression=self.cfg.cache_compression,
+            enabled=self.cfg.use_cache,
+        )
+        self.checkpoint = CheckpointManager(
+            checkpoint_dir=self.cfg.checkpoint_dir or (work_dir / "checkpoint"),
+            enabled=self.cfg.use_checkpoint,
+        )
+        self.ops = load_ops(self.cfg.process)
+        if self.cfg.op_fusion:
+            self.ops = fuse_operators(self.ops)
+        self.plan = describe_plan(self.ops)
+        self.last_report: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _load_input(self, dataset: NestedDataset | None) -> NestedDataset:
+        from repro.formats.load import load_dataset
+
+        if dataset is not None:
+            return dataset
+        if not self.cfg.dataset_path:
+            raise ValueError("no dataset given and no dataset_path configured")
+        return load_dataset(self.cfg.dataset_path, text_keys=tuple(self.cfg.text_keys))
+
+    def run(self, dataset: NestedDataset | None = None) -> NestedDataset:
+        """Execute the configured pipeline and return the processed dataset."""
+        monitor = ResourceMonitor()
+        with monitor:
+            current = self._load_input(dataset)
+            start_index = 0
+            op_names = [op.name for op in self.ops]
+
+            if self.checkpoint.enabled and self.checkpoint.exists():
+                restored, op_index, saved_names = self.checkpoint.load()
+                # Resume only when the recipe prefix matches the saved state.
+                if saved_names[:op_index] == op_names[:op_index]:
+                    current, start_index = restored, op_index
+
+            for index in range(start_index, len(self.ops)):
+                op = self.ops[index]
+                cache_key = CacheManager.make_key(current.fingerprint, op.name, op.config())
+                cached = self.cache.load(cache_key)
+                if cached is not None:
+                    current = cached
+                    continue
+                current = op.run(current, tracer=self.tracer)
+                self.cache.save(cache_key, current)
+                self.checkpoint.save(current, index + 1, op_names)
+
+            if self.cfg.export_path:
+                Exporter(
+                    self.cfg.export_path, keep_stats=self.cfg.keep_stats_in_export
+                ).export(current)
+        self.last_report = {
+            "plan": self.plan,
+            "num_output_samples": len(current),
+            "resources": monitor.report.as_dict() if monitor.report else {},
+            "cache": {"hits": self.cache.hits, "misses": self.cache.misses},
+            "trace": self.tracer.summary() if self.tracer else [],
+        }
+        return current

@@ -1,0 +1,56 @@
+"""Exporter: write processed datasets back to disk (jsonl / json / txt)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.dataset import NestedDataset
+from repro.core.errors import ReproError
+from repro.core.sample import Fields, strip_internal_fields
+
+
+class Exporter:
+    """Export a processed dataset to a target file.
+
+    ``export_format`` is inferred from the target suffix when not given;
+    ``keep_stats`` controls whether the per-sample stats column survives in
+    the exported records.
+    """
+
+    SUPPORTED = ("jsonl", "json", "txt")
+
+    def __init__(
+        self,
+        export_path: str | Path,
+        export_format: str | None = None,
+        keep_stats: bool = False,
+    ):
+        self.export_path = Path(export_path)
+        if export_format is None:
+            suffix = self.export_path.suffix.lstrip(".")
+            export_format = suffix if suffix in self.SUPPORTED else "jsonl"
+        if export_format not in self.SUPPORTED:
+            raise ReproError(
+                f"unsupported export format {export_format!r}; choose from {self.SUPPORTED}"
+            )
+        self.export_format = export_format
+        self.keep_stats = keep_stats
+
+    def export(self, dataset: NestedDataset) -> Path:
+        """Write the dataset and return the output path."""
+        self.export_path.parent.mkdir(parents=True, exist_ok=True)
+        rows = [strip_internal_fields(row, keep_stats=self.keep_stats) for row in dataset]
+        if self.export_format == "jsonl":
+            with self.export_path.open("w", encoding="utf-8") as handle:
+                for row in rows:
+                    handle.write(json.dumps(row, ensure_ascii=False, default=repr) + "\n")
+        elif self.export_format == "json":
+            self.export_path.write_text(
+                json.dumps(rows, ensure_ascii=False, indent=2, default=repr), encoding="utf-8"
+            )
+        else:  # txt
+            with self.export_path.open("w", encoding="utf-8") as handle:
+                for row in rows:
+                    handle.write(str(row.get(Fields.text, "")) + "\n")
+        return self.export_path

@@ -1,0 +1,137 @@
+"""Operator fusion and reordering (Sec. 6 of the paper, Figure 6).
+
+Successive Filters are commutative: applying them in any order yields the same
+surviving set.  Filters that share per-sample context (e.g. the tokenised word
+list) can therefore be *fused* into a single operator that computes the shared
+context once per sample, runs every member's stats computation against it, and
+drops the sample as soon as any member rejects it.  The fused (time-consuming)
+operator is additionally *reordered* to the end of its filter group so that the
+cheaper filters shrink the data first.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base_op import Deduplicator, Filter, Mapper, Selector
+from repro.core.context import enable_context
+from repro.core.dataset import NestedDataset
+from repro.core.sample import clear_context
+
+
+class FusedFilter(Filter):
+    """A filter combining several fusible filters behind one map/filter pass."""
+
+    _name = "fused_filter"
+
+    def __init__(self, fused_filters: Sequence[Filter]):
+        super().__init__()
+        if not fused_filters:
+            raise ValueError("FusedFilter needs at least one member filter")
+        self.fused_filters = list(fused_filters)
+        self._name = "fused_filter(" + ",".join(op.name for op in self.fused_filters) + ")"
+
+    def compute_stats(self, sample: dict, context: bool = True) -> dict:
+        """Compute every member's stats, sharing the per-sample context."""
+        enable_context(sample)
+        for member in self.fused_filters:
+            sample = member.compute_stats(sample, context=True)
+        clear_context(sample)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        """Keep the sample only when every member filter keeps it."""
+        return all(member.process(sample) for member in self.fused_filters)
+
+
+def _share_context(left: Filter, right: Filter) -> bool:
+    """Two filters are fusible together when they share at least one context key."""
+    return bool(set(left.context_keys) & set(right.context_keys))
+
+
+def _split_filter_group(group: list[Filter]) -> tuple[list[Filter], list[Filter]]:
+    """Split a group of consecutive filters into (non-fusible, fusible) members.
+
+    A filter is fusible when it declares context keys shared with at least one
+    other filter of the group.
+    """
+    fusible: list[Filter] = []
+    non_fusible: list[Filter] = []
+    for candidate in group:
+        if candidate.context_keys and any(
+            other is not candidate and _share_context(candidate, other) for other in group
+        ):
+            fusible.append(candidate)
+        else:
+            non_fusible.append(candidate)
+    return non_fusible, fusible
+
+
+def fuse_operators(ops: Sequence) -> list:
+    """Return a new operator list with fusible filter groups fused and reordered.
+
+    The procedure follows Figure 6 of the paper:
+
+    1. find maximal groups of consecutive Filters (other OP types break groups);
+    2. within each group, fuse the >1 fusible members into one
+       :class:`FusedFilter` and reorder it to the end of the group;
+    3. groups with 0 or 1 fusible member keep their membership, with the single
+       fusible member (if any) moved last.
+    """
+    fused_list: list = []
+    group: list[Filter] = []
+
+    def flush_group() -> None:
+        if not group:
+            return
+        non_fusible, fusible = _split_filter_group(group)
+        fused_list.extend(non_fusible)
+        if len(fusible) > 1:
+            fused_list.append(FusedFilter(fusible))
+        elif fusible:
+            fused_list.extend(fusible)
+        group.clear()
+
+    for op in ops:
+        if isinstance(op, Filter) and not isinstance(op, FusedFilter):
+            group.append(op)
+        else:
+            flush_group()
+            fused_list.append(op)
+    flush_group()
+    return fused_list
+
+
+def describe_plan(ops: Sequence) -> list[dict]:
+    """Summarise an operator list: name, category and fused membership.
+
+    Used by the executor's logging and by the OP-fusion benchmark to report
+    which operators ended up fused.
+    """
+    plan = []
+    for op in ops:
+        if isinstance(op, FusedFilter):
+            category = "fused_filter"
+            members = [member.name for member in op.fused_filters]
+        else:
+            members = []
+            if isinstance(op, Mapper):
+                category = "mapper"
+            elif isinstance(op, Filter):
+                category = "filter"
+            elif isinstance(op, Deduplicator):
+                category = "deduplicator"
+            elif isinstance(op, Selector):
+                category = "selector"
+            else:
+                category = "other"
+        plan.append({"name": op.name, "category": category, "members": members})
+    return plan
+
+
+def run_fused_pipeline(dataset: NestedDataset, ops: Sequence, tracer=None) -> NestedDataset:
+    """Run an (optionally fused) operator list over a dataset sequentially."""
+    current = dataset
+    for op in ops:
+        current = op.run(current, tracer=tracer)
+    return current

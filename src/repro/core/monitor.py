@@ -1,0 +1,88 @@
+"""Resource monitoring: wall-clock time and memory usage of processing runs.
+
+The end-to-end system comparison of the paper (Sec. 7.2.1, Figure 8) monitors
+processing time and average memory usage.  This module provides a lightweight
+equivalent based on ``tracemalloc`` (Python heap) plus ``resource`` peak RSS,
+good enough to compare the relative footprint of pipelines running in the same
+process.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+
+@dataclass
+class ResourceReport:
+    """Result of one monitored run."""
+
+    wall_time_s: float
+    peak_python_mb: float
+    current_python_mb: float
+    max_rss_mb: float
+
+    def as_dict(self) -> dict:
+        """Return the report as a plain dict (for benchmark tables)."""
+        return {
+            "wall_time_s": self.wall_time_s,
+            "peak_python_mb": self.peak_python_mb,
+            "current_python_mb": self.current_python_mb,
+            "max_rss_mb": self.max_rss_mb,
+        }
+
+
+class ResourceMonitor:
+    """Context manager measuring wall time and (optionally) Python heap usage.
+
+    ``trace_memory=True`` enables ``tracemalloc``, which gives precise Python
+    heap peaks but slows execution noticeably; the end-to-end benchmarks turn
+    it on for *both* compared systems so the overhead cancels out, while the
+    executor's routine bookkeeping keeps it off.
+
+    Example::
+
+        with ResourceMonitor(trace_memory=True) as monitor:
+            run_pipeline()
+        print(monitor.report.wall_time_s)
+    """
+
+    def __init__(self, trace_memory: bool = False):
+        self.trace_memory = trace_memory
+        self.report: ResourceReport | None = None
+        self._start_time = 0.0
+        self._started_tracing = False
+
+    def __enter__(self) -> "ResourceMonitor":
+        if self.trace_memory:
+            self._started_tracing = not tracemalloc.is_tracing()
+            if self._started_tracing:
+                tracemalloc.start()
+            tracemalloc.reset_peak()
+        self._start_time = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        wall_time = time.perf_counter() - self._start_time
+        if self.trace_memory:
+            current, peak = tracemalloc.get_traced_memory()
+            if self._started_tracing:
+                tracemalloc.stop()
+        else:
+            current, peak = 0, 0
+        max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        self.report = ResourceReport(
+            wall_time_s=wall_time,
+            peak_python_mb=peak / (1024 * 1024),
+            current_python_mb=current / (1024 * 1024),
+            max_rss_mb=max_rss_kb / 1024,
+        )
+
+
+def time_call(function, *args, **kwargs) -> tuple[float, object]:
+    """Return (elapsed_seconds, result) of calling ``function``."""
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return time.perf_counter() - start, result

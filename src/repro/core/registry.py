@@ -1,0 +1,92 @@
+"""Lightweight registries mapping operator/formatter names to classes.
+
+Data-Juicer registers every OP and tool under a snake_case name so that data
+recipes (configuration files) can refer to them by name.  This module provides
+the same mechanism: a :class:`Registry` plus the three global registries used
+by the rest of the package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.errors import RegistryError
+
+
+class Registry:
+    """A name -> class registry with decorator-based registration."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._modules: dict[str, type] = {}
+
+    @property
+    def name(self) -> str:
+        """Name of this registry (used in error messages)."""
+        return self._name
+
+    @property
+    def modules(self) -> dict[str, type]:
+        """Mapping of registered names to classes (read-only view by convention)."""
+        return self._modules
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._modules
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._modules)
+
+    def list(self) -> list[str]:
+        """Return all registered names, sorted."""
+        return sorted(self._modules)
+
+    def get(self, key: str) -> type:
+        """Return the class registered under ``key``.
+
+        Raises :class:`RegistryError` when the name is unknown.
+        """
+        if key not in self._modules:
+            raise RegistryError(
+                f"{key!r} is not registered in registry {self._name!r}; "
+                f"known entries: {', '.join(self.list()) or '(none)'}"
+            )
+        return self._modules[key]
+
+    def register_module(
+        self, name: str | None = None, force: bool = False
+    ) -> Callable[[type], type]:
+        """Return a class decorator registering the class under ``name``.
+
+        When ``name`` is omitted the class attribute ``_name`` or the
+        snake_case class name is used.
+        """
+
+        def _register(cls: type) -> type:
+            key = name or getattr(cls, "_name", None) or _snake_case(cls.__name__)
+            if key in self._modules and not force:
+                raise RegistryError(
+                    f"{key!r} already registered in registry {self._name!r}"
+                )
+            self._modules[key] = cls
+            cls._name = key
+            return cls
+
+        return _register
+
+
+def _snake_case(name: str) -> str:
+    """Convert CamelCase to snake_case."""
+    chars: list[str] = []
+    for index, char in enumerate(name):
+        if char.isupper() and index > 0 and not name[index - 1].isupper():
+            chars.append("_")
+        chars.append(char.lower())
+    return "".join(chars)
+
+
+OPERATORS = Registry("operators")
+FORMATTERS = Registry("formatters")
+TOOLS = Registry("tools")

@@ -1,0 +1,151 @@
+"""Sample conventions: well-known field names, stats keys and nested access.
+
+A *sample* is a plain ``dict`` with (at least) a text field, and optionally a
+``meta`` dict, a stats dict produced by Filter OPs, and a transient context
+dict shared between fused operators.  This module centralizes the names of
+those fields so that every operator and tool agrees on them, mirroring the
+"text" / "meta" / "stats" unified representation described in the paper
+(Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+class Fields:
+    """Well-known top-level field names of a unified sample."""
+
+    text = "text"
+    meta = "meta"
+    stats = "__stats__"
+    context = "__context__"
+    suffix = "__suffix__"
+    source = "__source__"
+
+
+class StatsKeys:
+    """Names of per-sample statistics produced by Filter operators."""
+
+    alnum_ratio = "alnum_ratio"
+    alpha_token_ratio = "alpha_token_ratio"
+    avg_line_length = "avg_line_length"
+    char_rep_ratio = "char_rep_ratio"
+    digit_ratio = "digit_ratio"
+    email_count = "email_count"
+    flagged_words_ratio = "flagged_words_ratio"
+    lang = "lang"
+    lang_score = "lang_score"
+    max_line_length = "max_line_length"
+    num_paragraphs = "num_paragraphs"
+    num_sentences = "num_sentences"
+    num_token = "num_token"
+    num_words = "num_words"
+    perplexity = "perplexity"
+    quality_score = "quality_score"
+    special_char_ratio = "special_char_ratio"
+    stopwords_ratio = "stopwords_ratio"
+    text_len = "text_len"
+    url_ratio = "url_ratio"
+    whitespace_ratio = "whitespace_ratio"
+    word_rep_ratio = "word_rep_ratio"
+
+
+class HashKeys:
+    """Names of per-sample hash fields produced by Deduplicator operators."""
+
+    hash = "__hash__"
+    minhash = "__minhash__"
+    simhash = "__simhash__"
+
+
+def get_field(sample: dict, field_path: str, default: Any = None) -> Any:
+    """Return the value at a (possibly dotted) field path of a sample.
+
+    ``get_field(sample, "meta.language")`` resolves nested dictionaries.
+    Missing intermediate keys yield ``default``.
+    """
+    current: Any = sample
+    for part in field_path.split("."):
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        else:
+            return default
+    return current
+
+
+def set_field(sample: dict, field_path: str, value: Any) -> dict:
+    """Set the value at a (possibly dotted) field path, creating dicts as needed.
+
+    Returns the same sample for chaining.
+    """
+    parts = field_path.split(".")
+    current = sample
+    for part in parts[:-1]:
+        nxt = current.get(part)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            current[part] = nxt
+        current = nxt
+    current[parts[-1]] = value
+    return sample
+
+
+def has_field(sample: dict, field_path: str) -> bool:
+    """Return True when the dotted field path exists in the sample."""
+    sentinel = object()
+    return get_field(sample, field_path, sentinel) is not sentinel
+
+
+def ensure_stats(sample: dict) -> dict:
+    """Ensure the sample has a stats dict and return that dict."""
+    stats = sample.get(Fields.stats)
+    if not isinstance(stats, dict):
+        stats = {}
+        sample[Fields.stats] = stats
+    return stats
+
+
+def ensure_context(sample: dict) -> dict:
+    """Ensure the sample has a context dict and return that dict."""
+    context = sample.get(Fields.context)
+    if not isinstance(context, dict):
+        context = {}
+        sample[Fields.context] = context
+    return context
+
+
+def clear_context(sample: dict) -> dict:
+    """Drop the transient context dict from a sample, if present."""
+    sample.pop(Fields.context, None)
+    return sample
+
+
+def strip_internal_fields(sample: dict, keep_stats: bool = False) -> dict:
+    """Return a copy of the sample without internal bookkeeping fields.
+
+    Hash columns, context and (optionally) stats are removed so that exported
+    data only contains user-facing content.
+    """
+    internal = {Fields.context, HashKeys.hash, HashKeys.minhash, HashKeys.simhash}
+    if not keep_stats:
+        internal.add(Fields.stats)
+    return {key: value for key, value in sample.items() if key not in internal}
+
+
+def merge_samples(samples: Iterable[dict]) -> dict:
+    """Merge a list of single-sample dicts into one batched (columnar) dict."""
+    batched: dict[str, list] = {}
+    for sample in samples:
+        for key, value in sample.items():
+            batched.setdefault(key, []).append(value)
+    return batched
+
+
+def split_batched(batched: dict) -> list[dict]:
+    """Split a batched (columnar) dict back into a list of sample dicts."""
+    if not batched:
+        return []
+    keys = list(batched.keys())
+    length = len(batched[keys[0]])
+    return [{key: batched[key][index] for key in keys} for index in range(length)]

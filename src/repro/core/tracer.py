@@ -1,0 +1,128 @@
+"""Tracer: record per-operator sample lineage for interactive inspection.
+
+The paper's ``tracer`` tool (Sec. 4.2) records, for every operator, how
+individual samples changed: edited text for Mappers, discarded samples for
+Filters/Selectors, and (near-)duplicate pairs for Deduplicators.  The records
+back the interactive visualization of the original system; here they are
+available programmatically and can be dumped to JSONL files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.dataset import NestedDataset
+from repro.core.sample import Fields, get_field
+
+
+@dataclass
+class TraceRecord:
+    """One operator's trace: what changed, and a bounded set of examples."""
+
+    op_name: str
+    op_type: str
+    input_size: int
+    output_size: int
+    examples: list = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        """Number of samples removed by this operator."""
+        return max(0, self.input_size - self.output_size)
+
+
+class Tracer:
+    """Collect :class:`TraceRecord` objects for each executed operator."""
+
+    def __init__(self, show_num: int = 10, trace_dir: str | Path | None = None):
+        self.show_num = show_num
+        self.trace_dir = Path(trace_dir) if trace_dir else None
+        self.records: list[TraceRecord] = []
+
+    # ------------------------------------------------------------------
+    def trace_mapper(
+        self,
+        op_name: str,
+        before: NestedDataset,
+        after: NestedDataset,
+        text_key: str = Fields.text,
+    ) -> TraceRecord:
+        """Record pre/post-edit text pairs for samples changed by a Mapper."""
+        examples = []
+        for index in range(min(len(before), len(after))):
+            original = get_field(before[index], text_key, "")
+            edited = get_field(after[index], text_key, "")
+            if original != edited:
+                examples.append({"index": index, "before": original, "after": edited})
+                if len(examples) >= self.show_num:
+                    break
+        record = TraceRecord(op_name, "mapper", len(before), len(after), examples)
+        self._store(record)
+        return record
+
+    def trace_filter(
+        self, op_name: str, before: NestedDataset, after: NestedDataset
+    ) -> TraceRecord:
+        """Record the samples discarded by a Filter or Selector."""
+        kept_texts = set()
+        for row in after:
+            kept_texts.add(id(row.get(Fields.text)) if row.get(Fields.text) is None else row.get(Fields.text))
+        examples = []
+        for index, row in enumerate(before):
+            text = row.get(Fields.text)
+            if text not in kept_texts:
+                examples.append({"index": index, "discarded": row.get(Fields.text, ""),
+                                 "stats": row.get(Fields.stats, {})})
+                if len(examples) >= self.show_num:
+                    break
+        record = TraceRecord(op_name, "filter", len(before), len(after), examples)
+        self._store(record)
+        return record
+
+    def trace_deduplicator(
+        self, op_name: str, input_size: int, output_size: int, duplicate_pairs: list
+    ) -> TraceRecord:
+        """Record (near-)duplicate pairs found by a Deduplicator."""
+        examples = []
+        for original, duplicate in duplicate_pairs[: self.show_num]:
+            examples.append(
+                {
+                    "original": original.get(Fields.text, ""),
+                    "duplicate": duplicate.get(Fields.text, ""),
+                }
+            )
+        record = TraceRecord(op_name, "deduplicator", input_size, output_size, examples)
+        self._store(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def _store(self, record: TraceRecord) -> None:
+        self.records.append(record)
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            path = self.trace_dir / f"trace-{len(self.records):03d}-{record.op_name}.jsonl"
+            with path.open("w", encoding="utf-8") as handle:
+                header = {
+                    "op_name": record.op_name,
+                    "op_type": record.op_type,
+                    "input_size": record.input_size,
+                    "output_size": record.output_size,
+                }
+                handle.write(json.dumps(header, ensure_ascii=False) + "\n")
+                for example in record.examples:
+                    handle.write(json.dumps(example, ensure_ascii=False, default=repr) + "\n")
+
+    def summary(self) -> list[dict]:
+        """Per-operator size changes, in execution order (drives Figure 4.(b))."""
+        return [
+            {
+                "op_name": record.op_name,
+                "op_type": record.op_type,
+                "input_size": record.input_size,
+                "output_size": record.output_size,
+                "removed": record.removed,
+            }
+            for record in self.records
+        ]

@@ -1,0 +1,17 @@
+"""Distributed processing substrate: partitioning, Ray-like and Beam-like runners."""
+
+from repro.distributed.cluster import ClusterSpec, ScalabilitySweep, SweepPoint
+from repro.distributed.partition import merge_partitions, partition_rows, split_dataset
+from repro.distributed.runners import BeamLikeRunner, RayLikeRunner, RunResult
+
+__all__ = [
+    "BeamLikeRunner",
+    "ClusterSpec",
+    "RayLikeRunner",
+    "RunResult",
+    "ScalabilitySweep",
+    "SweepPoint",
+    "merge_partitions",
+    "partition_rows",
+    "split_dataset",
+]

@@ -1,0 +1,67 @@
+"""Simulated multi-node cluster and the scalability sweep used for Figure 10."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dataset import NestedDataset
+from repro.distributed.runners import BeamLikeRunner, RayLikeRunner, RunResult
+
+
+@dataclass
+class ClusterSpec:
+    """Description of the simulated cluster (mirrors the paper's test platform)."""
+
+    num_nodes: int = 1
+    cores_per_node: int = 1
+    network_bandwidth_gbps: float = 20.0
+
+    @property
+    def total_workers(self) -> int:
+        """Number of worker processes the runners may use."""
+        return max(1, self.num_nodes * self.cores_per_node)
+
+
+@dataclass
+class SweepPoint:
+    """One point of the scalability sweep."""
+
+    backend: str
+    num_nodes: int
+    wall_time_s: float
+    load_time_s: float
+    num_output_samples: int
+
+
+@dataclass
+class ScalabilitySweep:
+    """Run the same recipe across several node counts and back-ends."""
+
+    process_list: list
+    node_counts: list[int] = field(default_factory=lambda: [1, 2, 4])
+    cores_per_node: int = 1
+
+    def run(self, dataset: NestedDataset, backends: tuple[str, ...] = ("ray", "beam")) -> list[SweepPoint]:
+        """Execute the sweep and return one :class:`SweepPoint` per (backend, nodes)."""
+        points: list[SweepPoint] = []
+        for backend in backends:
+            for num_nodes in self.node_counts:
+                spec = ClusterSpec(num_nodes=num_nodes, cores_per_node=self.cores_per_node)
+                runner: RayLikeRunner
+                if backend == "ray":
+                    runner = RayLikeRunner(num_nodes=spec.total_workers)
+                elif backend == "beam":
+                    runner = BeamLikeRunner(num_nodes=spec.total_workers)
+                else:
+                    raise ValueError(f"unknown backend {backend!r}")
+                result: RunResult = runner.run(dataset, self.process_list)
+                points.append(
+                    SweepPoint(
+                        backend=backend,
+                        num_nodes=num_nodes,
+                        wall_time_s=result.wall_time_s,
+                        load_time_s=result.load_time_s,
+                        num_output_samples=len(result.dataset),
+                    )
+                )
+        return points

@@ -1,0 +1,47 @@
+"""Dataset partitioning for distributed processing."""
+
+from __future__ import annotations
+
+from repro.core.dataset import NestedDataset
+
+
+def split_dataset(dataset: NestedDataset, num_partitions: int) -> list[NestedDataset]:
+    """Split a dataset into ``num_partitions`` contiguous, near-equal partitions.
+
+    Empty partitions are avoided when the dataset is smaller than the number
+    of partitions.
+    """
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    length = len(dataset)
+    num_partitions = min(num_partitions, max(1, length))
+    base = length // num_partitions
+    remainder = length % num_partitions
+    partitions = []
+    start = 0
+    for index in range(num_partitions):
+        size = base + (1 if index < remainder else 0)
+        partitions.append(dataset.select(range(start, start + size)))
+        start += size
+    return partitions
+
+
+def merge_partitions(partitions: list[NestedDataset]) -> NestedDataset:
+    """Concatenate processed partitions back into one dataset."""
+    return NestedDataset.concatenate(partitions)
+
+
+def partition_rows(rows: list[dict], num_partitions: int) -> list[list[dict]]:
+    """Partition raw row lists (used by the worker-process entry points)."""
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    num_partitions = min(num_partitions, max(1, len(rows)))
+    base = len(rows) // num_partitions
+    remainder = len(rows) % num_partitions
+    result = []
+    start = 0
+    for index in range(num_partitions):
+        size = base + (1 if index < remainder else 0)
+        result.append(rows[start:start + size])
+        start += size
+    return result

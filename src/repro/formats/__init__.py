@@ -1,0 +1,29 @@
+"""Formatters: load heterogeneous raw files and unify them into NestedDatasets."""
+
+from repro.core.registry import FORMATTERS
+from repro.formats.csv_formatter import CsvFormatter, TsvFormatter
+from repro.formats.jsonl_formatter import JsonFormatter, JsonlFormatter
+from repro.formats.load import load_dataset, load_formatter
+from repro.formats.mixture_formatter import MixtureFormatter, mix_datasets
+from repro.formats.text_formatter import (
+    CodeFormatter,
+    HtmlFormatter,
+    MarkdownFormatter,
+    TextFormatter,
+)
+
+__all__ = [
+    "FORMATTERS",
+    "CodeFormatter",
+    "CsvFormatter",
+    "HtmlFormatter",
+    "JsonFormatter",
+    "JsonlFormatter",
+    "MarkdownFormatter",
+    "MixtureFormatter",
+    "TextFormatter",
+    "TsvFormatter",
+    "load_dataset",
+    "load_formatter",
+    "mix_datasets",
+]

@@ -1,0 +1,49 @@
+"""Formatters for CSV and TSV files."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.base_op import Formatter
+from repro.core.dataset import NestedDataset
+from repro.core.errors import FormatError
+from repro.core.registry import FORMATTERS
+from repro.core.sample import Fields
+
+
+class _DelimitedFormatter(Formatter):
+    """Shared implementation for delimiter-separated files with a header row."""
+
+    delimiter = ","
+
+    def load_dataset(self) -> NestedDataset:
+        path = Path(self.dataset_path)
+        if not path.exists():
+            raise FormatError(f"file not found: {path}")
+        records = []
+        with path.open("r", encoding="utf-8", newline="") as handle:
+            reader = csv.DictReader(handle, delimiter=self.delimiter)
+            if reader.fieldnames is None:
+                raise FormatError(f"{path}: missing header row")
+            for row in reader:
+                record = {key: value for key, value in row.items() if key is not None}
+                record[Fields.suffix] = path.suffix
+                records.append(record)
+        return NestedDataset.from_list(self.unify_samples(records, self.text_keys))
+
+
+@FORMATTERS.register_module("csv_formatter")
+class CsvFormatter(_DelimitedFormatter):
+    """Load ``.csv`` files (header row required); the text column is unified to ``text``."""
+
+    SUFFIXES = (".csv",)
+    delimiter = ","
+
+
+@FORMATTERS.register_module("tsv_formatter")
+class TsvFormatter(_DelimitedFormatter):
+    """Load ``.tsv`` files (header row required); the text column is unified to ``text``."""
+
+    SUFFIXES = (".tsv",)
+    delimiter = "\t"

@@ -1,0 +1,66 @@
+"""Formatters for JSON-lines and JSON array files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.base_op import Formatter
+from repro.core.dataset import NestedDataset
+from repro.core.errors import FormatError
+from repro.core.registry import FORMATTERS
+from repro.core.sample import Fields
+
+
+@FORMATTERS.register_module("jsonl_formatter")
+class JsonlFormatter(Formatter):
+    """Load ``.jsonl`` files: one JSON object per line, unified to the text schema."""
+
+    SUFFIXES = (".jsonl", ".ndjson")
+
+    def load_dataset(self) -> NestedDataset:
+        path = Path(self.dataset_path)
+        if not path.exists():
+            raise FormatError(f"jsonl file not found: {path}")
+        records = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise FormatError(f"{path}:{line_number}: invalid JSON: {error}") from error
+                if not isinstance(record, dict):
+                    record = {Fields.text: str(record)}
+                record[Fields.suffix] = path.suffix
+                records.append(record)
+        return NestedDataset.from_list(self.unify_samples(records, self.text_keys))
+
+
+@FORMATTERS.register_module("json_formatter")
+class JsonFormatter(Formatter):
+    """Load ``.json`` files containing a list of records (or a single record)."""
+
+    SUFFIXES = (".json",)
+
+    def load_dataset(self) -> NestedDataset:
+        path = Path(self.dataset_path)
+        if not path.exists():
+            raise FormatError(f"json file not found: {path}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise FormatError(f"{path}: invalid JSON: {error}") from error
+        if isinstance(payload, dict):
+            payload = [payload]
+        if not isinstance(payload, list):
+            raise FormatError(f"{path}: expected a JSON list or object at top level")
+        records = []
+        for record in payload:
+            if not isinstance(record, dict):
+                record = {Fields.text: str(record)}
+            record[Fields.suffix] = path.suffix
+            records.append(record)
+        return NestedDataset.from_list(self.unify_samples(records, self.text_keys))

@@ -1,0 +1,39 @@
+"""Dispatch helper choosing the right formatter for a path or suffix."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.base_op import Formatter
+from repro.core.dataset import NestedDataset
+from repro.core.errors import FormatError
+from repro.core.registry import FORMATTERS
+
+
+def load_formatter(dataset_path: str, text_keys=("text",), **kwargs) -> Formatter:
+    """Return the formatter instance able to load ``dataset_path``.
+
+    Dispatch is by file suffix; directories are probed for their most common
+    loadable suffix.
+    """
+    path = Path(dataset_path)
+    suffix = path.suffix
+    if path.is_dir():
+        counts: dict[str, int] = {}
+        for child in path.rglob("*"):
+            if child.is_file():
+                counts[child.suffix] = counts.get(child.suffix, 0) + 1
+        if not counts:
+            raise FormatError(f"no files found under directory {path}")
+        suffix = max(counts, key=counts.get)
+
+    for name in FORMATTERS.list():
+        formatter_cls = FORMATTERS.get(name)
+        if suffix in getattr(formatter_cls, "SUFFIXES", ()):
+            return formatter_cls(dataset_path=dataset_path, text_keys=text_keys, **kwargs)
+    raise FormatError(f"no formatter registered for suffix {suffix!r} (path {dataset_path})")
+
+
+def load_dataset(dataset_path: str, text_keys=("text",), **kwargs) -> NestedDataset:
+    """Load and unify a dataset from a path in one call."""
+    return load_formatter(dataset_path, text_keys=text_keys, **kwargs).load_dataset()

@@ -1,0 +1,88 @@
+"""Formatter that mixes several datasets according to sampling weights."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.base_op import Formatter
+from repro.core.dataset import NestedDataset
+from repro.core.errors import FormatError
+from repro.core.registry import FORMATTERS
+from repro.core.sample import Fields
+
+
+@FORMATTERS.register_module("mixture_formatter")
+class MixtureFormatter(Formatter):
+    """Build a mixture dataset from several already-loaded datasets.
+
+    ``weights`` are per-source sampling proportions (they need not sum to 1;
+    they are normalised).  ``max_samples`` bounds the size of the mixture.
+    Each sample is tagged with its source name under ``__source__`` so recipes
+    and analyzers can report per-component statistics (Table 7 of the paper).
+    """
+
+    def __init__(
+        self,
+        datasets: dict[str, NestedDataset] | None = None,
+        weights: dict[str, float] | None = None,
+        max_samples: int | None = None,
+        seed: int = 42,
+        **kwargs,
+    ):
+        super().__init__(dataset_path=None, **kwargs)
+        self.datasets = dict(datasets or {})
+        self.weights = dict(weights or {})
+        self.max_samples = max_samples
+        self.seed = seed
+
+    def load_dataset(self) -> NestedDataset:
+        if not self.datasets:
+            raise FormatError("mixture_formatter requires at least one source dataset")
+        names = list(self.datasets)
+        raw_weights = [max(0.0, float(self.weights.get(name, 1.0))) for name in names]
+        total_weight = sum(raw_weights)
+        if total_weight <= 0:
+            raise FormatError("mixture weights must contain at least one positive value")
+        normalized = [weight / total_weight for weight in raw_weights]
+
+        total_available = sum(len(dataset) for dataset in self.datasets.values())
+        target_total = min(self.max_samples or total_available, total_available)
+
+        rng = random.Random(self.seed)
+        mixed_rows: list[dict] = []
+        for name, weight in zip(names, normalized):
+            dataset = self.datasets[name]
+            take = min(len(dataset), int(round(target_total * weight)))
+            indices = rng.sample(range(len(dataset)), take) if take < len(dataset) else list(range(len(dataset)))
+            for index in sorted(indices):
+                row = dict(dataset[index])
+                row[Fields.source] = name
+                mixed_rows.append(row)
+        rng.shuffle(mixed_rows)
+        return NestedDataset.from_list(self.unify_samples(mixed_rows, self.text_keys))
+
+    @staticmethod
+    def mix(
+        datasets: dict[str, NestedDataset],
+        weights: dict[str, float],
+        max_samples: int | None = None,
+        seed: int = 42,
+    ) -> NestedDataset:
+        """Convenience wrapper: build and load a mixture in one call."""
+        formatter = MixtureFormatter(
+            datasets=datasets, weights=weights, max_samples=max_samples, seed=seed
+        )
+        return formatter.load_dataset()
+
+
+def mix_datasets(
+    datasets: dict[str, NestedDataset],
+    weights: dict[str, float] | Sequence[float],
+    max_samples: int | None = None,
+    seed: int = 42,
+) -> NestedDataset:
+    """Module-level helper accepting either a weight dict or a weight sequence."""
+    if not isinstance(weights, dict):
+        weights = dict(zip(datasets.keys(), weights))
+    return MixtureFormatter.mix(datasets, weights, max_samples=max_samples, seed=seed)

@@ -1,0 +1,71 @@
+"""Formatters for plain-text, markdown, HTML and source-code files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.base_op import Formatter
+from repro.core.dataset import NestedDataset
+from repro.core.errors import FormatError
+from repro.core.registry import FORMATTERS
+from repro.core.sample import Fields
+
+
+class _FileFormatter(Formatter):
+    """Shared implementation: one sample per file (or per paragraph for txt)."""
+
+    split_paragraphs = False
+
+    def _paths(self) -> list[Path]:
+        root = Path(self.dataset_path)
+        if root.is_dir():
+            paths = sorted(
+                path for path in root.rglob("*") if path.is_file() and path.suffix in self.SUFFIXES
+            )
+        elif root.is_file():
+            paths = [root]
+        else:
+            raise FormatError(f"path not found: {root}")
+        if not paths:
+            raise FormatError(f"no files with suffixes {self.SUFFIXES} under {root}")
+        return paths
+
+    def load_dataset(self) -> NestedDataset:
+        records = []
+        for path in self._paths():
+            content = path.read_text(encoding="utf-8", errors="replace")
+            record = {
+                Fields.text: content,
+                Fields.meta: {"source_file": str(path)},
+                Fields.suffix: path.suffix,
+            }
+            records.append(record)
+        return NestedDataset.from_list(self.unify_samples(records, self.text_keys))
+
+
+@FORMATTERS.register_module("text_formatter")
+class TextFormatter(_FileFormatter):
+    """Load plain ``.txt`` files, one sample per file."""
+
+    SUFFIXES = (".txt",)
+
+
+@FORMATTERS.register_module("markdown_formatter")
+class MarkdownFormatter(_FileFormatter):
+    """Load ``.md`` / ``.markdown`` files, one sample per file."""
+
+    SUFFIXES = (".md", ".markdown")
+
+
+@FORMATTERS.register_module("html_formatter")
+class HtmlFormatter(_FileFormatter):
+    """Load raw ``.html`` files; markup removal is left to ``clean_html_mapper``."""
+
+    SUFFIXES = (".html", ".htm")
+
+
+@FORMATTERS.register_module("code_formatter")
+class CodeFormatter(_FileFormatter):
+    """Load source-code files (``.py``, ``.cpp``, ``.java``, ...), one sample per file."""
+
+    SUFFIXES = (".py", ".cpp", ".c", ".h", ".java", ".js", ".ts", ".go", ".rs", ".sh")

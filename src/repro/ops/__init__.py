@@ -1,0 +1,37 @@
+"""The standardized operator pool: Mappers, Filters, Deduplicators and Selectors.
+
+Importing this package registers every built-in operator in
+:data:`repro.core.registry.OPERATORS`, so data recipes can instantiate them by
+name via :func:`load_ops`.
+"""
+
+from repro.core.registry import OPERATORS
+from repro.ops import deduplicators, filters, mappers, selectors  # noqa: F401  (registration side effects)
+
+
+def load_ops(process_list: list[dict | str]) -> list:
+    """Instantiate operators from a recipe's ``process`` list.
+
+    Each entry is either an operator name (string) or a single-key dict
+    mapping the operator name to its keyword arguments, e.g.::
+
+        load_ops([
+            "whitespace_normalization_mapper",
+            {"text_length_filter": {"min_len": 50}},
+        ])
+    """
+    ops = []
+    for entry in process_list:
+        if isinstance(entry, str):
+            name, params = entry, {}
+        elif isinstance(entry, dict) and len(entry) == 1:
+            name, params = next(iter(entry.items()))
+            params = dict(params or {})
+        else:
+            raise ValueError(f"invalid process entry: {entry!r}")
+        op_cls = OPERATORS.get(name)
+        ops.append(op_cls(**params))
+    return ops
+
+
+__all__ = ["OPERATORS", "load_ops", "deduplicators", "filters", "mappers", "selectors"]

@@ -1,0 +1,37 @@
+"""Shared helpers for the operator pool."""
+
+from repro.ops.common.flagged_words import get_flagged_words
+from repro.ops.common.helper_funcs import (
+    cjk_ratio,
+    get_char_ngrams,
+    get_ngrams,
+    get_words_from_text,
+    ngram_repetition_ratio,
+    split_lines,
+    split_paragraphs,
+    split_sentences,
+    words_refinement,
+)
+from repro.ops.common.special_characters import (
+    SPECIAL_CHARACTERS,
+    is_special_character,
+    special_character_ratio,
+)
+from repro.ops.common.stopwords import get_stopwords
+
+__all__ = [
+    "SPECIAL_CHARACTERS",
+    "cjk_ratio",
+    "get_char_ngrams",
+    "get_flagged_words",
+    "get_ngrams",
+    "get_stopwords",
+    "get_words_from_text",
+    "is_special_character",
+    "ngram_repetition_ratio",
+    "special_character_ratio",
+    "split_lines",
+    "split_paragraphs",
+    "split_sentences",
+    "words_refinement",
+]

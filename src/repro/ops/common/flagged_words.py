@@ -1,0 +1,32 @@
+"""Embedded flagged-word (unsafe / low-quality marker) lists.
+
+The original system ships large per-language flagged-word vocabularies used by
+the flagged-words filter to estimate toxicity / adult-content density.  Here a
+compact synthetic marker list is embedded: the synthetic corpus generator
+(:mod:`repro.synth`) injects exactly these markers into its "toxic" documents,
+so the filter exercises the same code path against the same distributional
+signal without shipping an offensive vocabulary.
+"""
+
+from __future__ import annotations
+
+FLAGGED_WORDS_EN = {
+    "flaggedterm", "badword", "toxicword", "slurword", "obscenity",
+    "explicitterm", "nsfwterm", "profanity", "vulgarism", "hateterm",
+    "spamword", "scamword", "clickbaitword", "gambleword", "phishword",
+}
+
+FLAGGED_WORDS_ZH = {
+    "违禁词", "辱骂词", "色情词", "赌博词", "诈骗词",
+}
+
+FLAGGED_WORDS = {
+    "en": FLAGGED_WORDS_EN,
+    "zh": FLAGGED_WORDS_ZH,
+    "all": FLAGGED_WORDS_EN | FLAGGED_WORDS_ZH,
+}
+
+
+def get_flagged_words(lang: str = "en") -> set[str]:
+    """Return the flagged-word set for a language code ('en', 'zh' or 'all')."""
+    return FLAGGED_WORDS.get(lang, FLAGGED_WORDS_EN)

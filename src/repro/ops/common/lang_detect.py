@@ -1,0 +1,45 @@
+"""A compact heuristic language identifier (English / Chinese-like / other).
+
+The original system uses a fastText language-id model; this stand-in scores a
+text by combining script statistics (ASCII-alpha vs CJK character ratios) with
+stop-word hit rates.  It returns the most likely language code and a
+confidence score in [0, 1], which is what the ``language_id_score_filter``
+needs to reproduce the paper's filtering behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.ops.common.helper_funcs import cjk_ratio, get_words_from_text, words_refinement
+from repro.ops.common.stopwords import STOPWORDS_EN, STOPWORDS_ZH
+
+
+def detect_language(text: str) -> tuple[str, float]:
+    """Return ``(lang_code, score)`` for a text.
+
+    ``lang_code`` is ``'en'``, ``'zh'`` or ``'other'``; ``score`` is a
+    confidence in [0, 1] increasing with how strongly the evidence favours the
+    predicted language.
+    """
+    if not text or not text.strip():
+        return "other", 0.0
+
+    zh_char_ratio = cjk_ratio(text)
+    alpha_chars = sum(1 for char in text if char.isascii() and char.isalpha())
+    ascii_alpha_ratio = alpha_chars / len(text)
+
+    words = words_refinement(get_words_from_text(text, lowercase=True))
+    if words:
+        en_stopword_ratio = sum(1 for word in words if word in STOPWORDS_EN) / len(words)
+        zh_stopword_ratio = sum(1 for word in words if word in STOPWORDS_ZH) / len(words)
+    else:
+        en_stopword_ratio = 0.0
+        zh_stopword_ratio = 0.0
+
+    en_score = min(1.0, 0.6 * ascii_alpha_ratio + 1.4 * en_stopword_ratio)
+    zh_score = min(1.0, 0.9 * zh_char_ratio + 1.1 * zh_stopword_ratio)
+
+    if en_score < 0.1 and zh_score < 0.1:
+        return "other", max(en_score, zh_score)
+    if zh_score >= en_score:
+        return "zh", zh_score
+    return "en", en_score

@@ -1,0 +1,40 @@
+"""Character class tables used by filters: special characters, emoticons, whitespace."""
+
+from __future__ import annotations
+
+import string
+
+# Various whitespace characters beyond ASCII space that web text often contains.
+VARIOUS_WHITESPACES = {
+    " ", "\t", "\n", "\r", "\x0b", "\x0c",
+    " ", " ", " ", " ", " ", " ", " ",
+    " ", " ", " ", " ", " ", " ", "​",
+    " ", " ", " ", " ", "　", "﻿",
+}
+
+# A compact emoticon/emoji sample set (full tables are large; the ratio-based
+# filters only need representative membership testing).
+EMOTICONS = {
+    "🙂", "🙃", "😀", "😁", "😂", "🤣", "😊", "😍", "😎", "😢", "😭", "😡",
+    "👍", "👎", "🙏", "🔥", "✨", "💯", "❤", "💔", "🎉", "🤔", "😴", "🥰",
+}
+
+# Characters counted as "special" by the special-characters filter: everything
+# that is neither alphanumeric, CJK, nor plain whitespace/punctuation used in
+# normal prose.
+MAIN_SPECIAL_CHARACTERS = set(string.punctuation) | set(string.digits) | VARIOUS_WHITESPACES
+SPECIAL_CHARACTERS = MAIN_SPECIAL_CHARACTERS | EMOTICONS
+
+
+def is_special_character(char: str) -> bool:
+    """Return True when the character counts as 'special' for ratio filters."""
+    if char in SPECIAL_CHARACTERS:
+        return True
+    return not (char.isalnum() or char.isspace())
+
+
+def special_character_ratio(text: str) -> float:
+    """Fraction of characters that are special characters."""
+    if not text:
+        return 0.0
+    return sum(1 for char in text if is_special_character(char)) / len(text)

@@ -1,0 +1,43 @@
+"""Embedded stop-word lists for English and a Chinese-like token set.
+
+The original system downloads per-language stop-word assets; here compact
+lists are embedded so the stop-word filter works fully offline.  Lists are
+intentionally small but cover the high-frequency function words that dominate
+real prose, which is what the ratio-based filter needs.
+"""
+
+from __future__ import annotations
+
+STOPWORDS_EN = {
+    "a", "about", "above", "after", "again", "all", "also", "am", "an", "and",
+    "any", "are", "as", "at", "be", "because", "been", "before", "being",
+    "below", "between", "both", "but", "by", "can", "could", "did", "do",
+    "does", "doing", "down", "during", "each", "few", "for", "from", "further",
+    "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his",
+    "how", "i", "if", "in", "into", "is", "it", "its", "just", "me", "more",
+    "most", "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only",
+    "or", "other", "our", "out", "over", "own", "same", "she", "should", "so",
+    "some", "such", "than", "that", "the", "their", "them", "then", "there",
+    "these", "they", "this", "those", "through", "to", "too", "under", "until",
+    "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "would", "you", "your",
+    "yours",
+}
+
+STOPWORDS_ZH = {
+    "的", "了", "和", "是", "在", "我", "有", "他", "这", "中", "大", "来",
+    "上", "国", "个", "到", "说", "们", "为", "子", "和", "你", "地", "出",
+    "道", "也", "时", "年", "得", "就", "那", "要", "下", "以", "生", "会",
+    "自", "着", "去", "之", "过", "家", "学", "对", "可", "她", "里", "后",
+}
+
+STOPWORDS = {
+    "en": STOPWORDS_EN,
+    "zh": STOPWORDS_ZH,
+    "all": STOPWORDS_EN | STOPWORDS_ZH,
+}
+
+
+def get_stopwords(lang: str = "en") -> set[str]:
+    """Return the stop-word set for a language code ('en', 'zh' or 'all')."""
+    return STOPWORDS.get(lang, STOPWORDS_EN)

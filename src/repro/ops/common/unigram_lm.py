@@ -1,0 +1,78 @@
+"""A tiny embedded unigram language model used by the perplexity filter.
+
+The original system scores perplexity with pre-trained KenLM models.  This
+stand-in carries a compact table of common English word frequencies (plus an
+out-of-vocabulary mass) and computes per-word perplexity with add-one
+smoothing.  Natural prose built from common words receives low perplexity;
+gibberish, markup and symbol soup receive high perplexity — exactly the
+separation the perplexity filter relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.ops.common.helper_funcs import get_words_from_text, words_refinement
+from repro.ops.common.stopwords import STOPWORDS_EN
+
+# Relative frequencies (per million tokens) of common English content words.
+_COMMON_WORD_FREQ = {
+    "time": 1800, "people": 1300, "year": 1200, "way": 1100, "day": 1000,
+    "man": 900, "thing": 900, "woman": 800, "life": 800, "child": 700,
+    "world": 700, "school": 600, "state": 600, "family": 600, "student": 500,
+    "group": 500, "country": 500, "problem": 500, "hand": 500, "part": 500,
+    "place": 500, "case": 400, "week": 400, "company": 400, "system": 400,
+    "program": 400, "question": 400, "work": 400, "government": 400,
+    "number": 400, "night": 300, "point": 300, "home": 300, "water": 300,
+    "room": 300, "mother": 300, "area": 300, "money": 300, "story": 300,
+    "fact": 300, "month": 300, "lot": 300, "right": 300, "study": 300,
+    "book": 300, "eye": 300, "job": 300, "word": 300, "business": 300,
+    "issue": 200, "side": 200, "kind": 200, "head": 200, "house": 200,
+    "service": 200, "friend": 200, "father": 200, "power": 200, "hour": 200,
+    "game": 200, "line": 200, "end": 200, "member": 200, "law": 200,
+    "car": 200, "city": 200, "community": 200, "name": 200, "president": 200,
+    "team": 200, "minute": 200, "idea": 200, "kid": 200, "body": 200,
+    "information": 200, "back": 200, "parent": 200, "face": 200, "others": 200,
+    "level": 200, "office": 200, "door": 200, "health": 200, "person": 200,
+    "art": 200, "war": 200, "history": 200, "party": 200, "result": 200,
+    "change": 200, "morning": 200, "reason": 200, "research": 200, "girl": 200,
+    "guy": 200, "moment": 200, "air": 200, "teacher": 200, "force": 200,
+    "education": 200, "data": 200, "model": 200, "language": 200, "text": 200,
+    "learn": 150, "make": 900, "know": 800, "take": 700, "see": 700,
+    "come": 600, "think": 600, "look": 600, "want": 600, "give": 500,
+    "use": 500, "find": 500, "tell": 400, "ask": 400, "seem": 300,
+    "feel": 300, "try": 300, "leave": 300, "call": 300, "good": 800,
+    "new": 800, "first": 600, "last": 500, "long": 400, "great": 400,
+    "little": 400, "own": 400, "other": 700, "old": 400, "big": 300,
+    "high": 300, "different": 300, "small": 300, "large": 300, "next": 300,
+    "early": 200, "young": 200, "important": 200, "public": 200, "same": 400,
+}
+
+
+@lru_cache(maxsize=1)
+def _log_prob_table() -> tuple[dict[str, float], float]:
+    """Return (word -> log2 prob, default log2 prob for OOV words)."""
+    table: dict[str, int] = dict(_COMMON_WORD_FREQ)
+    for word in STOPWORDS_EN:
+        table[word] = max(table.get(word, 0), 5000)
+    total = sum(table.values())
+    vocab = len(table)
+    smoothing = 1.0
+    denom = total + smoothing * (vocab + 1)
+    log_probs = {
+        word: math.log2((count + smoothing) / denom) for word, count in table.items()
+    }
+    oov_log_prob = math.log2(smoothing / denom)
+    return log_probs, oov_log_prob
+
+
+def perplexity(text: str) -> float:
+    """Return the unigram perplexity of a text (empty text yields 0.0)."""
+    words = words_refinement(get_words_from_text(text, lowercase=True))
+    if not words:
+        return 0.0
+    log_probs, oov = _log_prob_table()
+    total_log_prob = sum(log_probs.get(word, oov) for word in words)
+    entropy = -total_log_prob / len(words)
+    return float(2 ** entropy)

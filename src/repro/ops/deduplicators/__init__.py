@@ -1,0 +1,11 @@
+"""Deduplicator operators: exact-hash, MinHash-LSH and SimHash based."""
+
+from repro.ops.deduplicators.document_deduplicator import DocumentDeduplicator
+from repro.ops.deduplicators.document_minhash_deduplicator import DocumentMinhashDeduplicator
+from repro.ops.deduplicators.document_simhash_deduplicator import DocumentSimhashDeduplicator
+
+__all__ = [
+    "DocumentDeduplicator",
+    "DocumentMinhashDeduplicator",
+    "DocumentSimhashDeduplicator",
+]

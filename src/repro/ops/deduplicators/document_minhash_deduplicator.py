@@ -1,0 +1,141 @@
+"""Near-duplicate detection with MinHash signatures and LSH banding."""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.core.base_op import Deduplicator
+from repro.core.dataset import NestedDataset
+from repro.core.registry import OPERATORS
+from repro.core.sample import HashKeys
+from repro.ops.common.helper_funcs import get_ngrams, get_words_from_text, words_refinement
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def _shingle_hash(shingle: tuple[str, ...]) -> int:
+    digest = hashlib.md5(" ".join(shingle).encode("utf-8")).digest()
+    return struct.unpack("<I", digest[:4])[0]
+
+
+class _UnionFind:
+    """Union-find over sample indices for clustering near-duplicates."""
+
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, item: int) -> int:
+        while self.parent[item] != item:
+            self.parent[item] = self.parent[self.parent[item]]
+            item = self.parent[item]
+        return item
+
+    def union(self, left: int, right: int) -> None:
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left != root_right:
+            self.parent[max(root_left, root_right)] = min(root_left, root_right)
+
+
+@OPERATORS.register_module("document_minhash_deduplicator")
+class DocumentMinhashDeduplicator(Deduplicator):
+    """Remove near-duplicate documents using MinHash + locality-sensitive hashing.
+
+    Documents are shingled into word ``ngram_size``-grams, hashed into a
+    ``num_permutations``-wide MinHash signature, and bucketed by LSH bands;
+    candidate pairs whose estimated Jaccard similarity exceeds
+    ``jaccard_threshold`` are clustered and only the first document of each
+    cluster is kept.
+    """
+
+    def __init__(
+        self,
+        ngram_size: int = 5,
+        num_permutations: int = 64,
+        jaccard_threshold: float = 0.7,
+        num_bands: int = 16,
+        lowercase: bool = True,
+        seed: int = 1,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if num_permutations % num_bands != 0:
+            raise ValueError("num_permutations must be divisible by num_bands")
+        self.ngram_size = ngram_size
+        self.num_permutations = num_permutations
+        self.jaccard_threshold = jaccard_threshold
+        self.num_bands = num_bands
+        self.rows_per_band = num_permutations // num_bands
+        self.lowercase = lowercase
+        self.seed = seed
+        self._permutations = self._generate_permutations()
+
+    def _generate_permutations(self) -> list[tuple[int, int]]:
+        import random
+
+        rng = random.Random(self.seed)
+        # coefficients are bounded by 2^32 so a*h + b never overflows uint64
+        # when the signatures are computed with vectorised numpy arithmetic
+        return [
+            (rng.randint(1, _MAX_HASH), rng.randint(0, _MAX_HASH))
+            for _ in range(self.num_permutations)
+        ]
+
+    def _signature(self, text: str) -> list[int]:
+        import numpy as np
+
+        words = words_refinement(
+            get_words_from_text(text, lowercase=self.lowercase), lower_case=self.lowercase
+        )
+        shingles = get_ngrams(words, self.ngram_size) or [tuple(words)] if words else []
+        if not shingles:
+            return [_MAX_HASH] * self.num_permutations
+        hashes = np.array([_shingle_hash(shingle) for shingle in shingles], dtype=np.uint64)
+        coeff_a = np.array([a for a, _ in self._permutations], dtype=np.uint64)
+        coeff_b = np.array([b for _, b in self._permutations], dtype=np.uint64)
+        # (P, S) matrix of permuted hashes, reduced to the row-wise minimum
+        with np.errstate(over="ignore"):
+            permuted = (coeff_a[:, None] * hashes[None, :] + coeff_b[:, None]) % _MERSENNE_PRIME
+        signature = (permuted.min(axis=1) & np.uint64(_MAX_HASH)).astype(np.uint64)
+        return [int(value) for value in signature]
+
+    def compute_hash(self, sample: dict) -> dict:
+        sample[HashKeys.minhash] = self._signature(self.get_text(sample))
+        return sample
+
+    @staticmethod
+    def _estimated_jaccard(sig_a: list[int], sig_b: list[int]) -> float:
+        matches = sum(1 for a, b in zip(sig_a, sig_b) if a == b)
+        return matches / len(sig_a) if sig_a else 0.0
+
+    def process(self, dataset: NestedDataset, show_num: int = 0) -> tuple[NestedDataset, list]:
+        signatures = [sample.get(HashKeys.minhash) or [] for sample in dataset]
+        union_find = _UnionFind(len(signatures))
+        buckets: dict[tuple[int, tuple[int, ...]], list[int]] = {}
+        for index, signature in enumerate(signatures):
+            if not signature:
+                continue
+            for band in range(self.num_bands):
+                start = band * self.rows_per_band
+                key = (band, tuple(signature[start:start + self.rows_per_band]))
+                buckets.setdefault(key, []).append(index)
+        duplicate_pairs: list[tuple[dict, dict]] = []
+        for indices in buckets.values():
+            if len(indices) < 2:
+                continue
+            anchor = indices[0]
+            for other in indices[1:]:
+                if union_find.find(anchor) == union_find.find(other):
+                    continue
+                similarity = self._estimated_jaccard(signatures[anchor], signatures[other])
+                if similarity >= self.jaccard_threshold:
+                    union_find.union(anchor, other)
+                    if len(duplicate_pairs) < show_num:
+                        duplicate_pairs.append((dataset[anchor], dataset[other]))
+        keep_indices = [
+            index for index in range(len(signatures)) if union_find.find(index) == index
+        ]
+        deduped = dataset.select(keep_indices).remove_columns(HashKeys.minhash)
+        return deduped, duplicate_pairs

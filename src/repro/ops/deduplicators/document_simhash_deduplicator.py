@@ -1,0 +1,112 @@
+"""Near-duplicate detection with SimHash fingerprints and Hamming distance."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.base_op import Deduplicator
+from repro.core.dataset import NestedDataset
+from repro.core.registry import OPERATORS
+from repro.core.sample import HashKeys
+from repro.ops.common.helper_funcs import get_ngrams, get_words_from_text, words_refinement
+
+_FINGERPRINT_BITS = 64
+
+
+def _token_hash(token: str) -> int:
+    digest = hashlib.md5(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def hamming_distance(left: int, right: int) -> int:
+    """Number of differing bits between two fingerprints."""
+    return bin(left ^ right).count("1")
+
+
+@OPERATORS.register_module("document_simhash_deduplicator")
+class DocumentSimhashDeduplicator(Deduplicator):
+    """Remove near-duplicates whose SimHash fingerprints are within ``hamming_threshold`` bits.
+
+    SimHash is a vector-based similarity sketch: each word n-gram votes on the
+    64 fingerprint bits; similar documents produce fingerprints with a small
+    Hamming distance.  Candidate pairs are found by bucketing on fingerprint
+    blocks (the standard block-permutation trick).
+    """
+
+    def __init__(
+        self,
+        ngram_size: int = 3,
+        hamming_threshold: int = 3,
+        num_blocks: int = 4,
+        lowercase: bool = True,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if num_blocks <= hamming_threshold:
+            # with <= threshold blocks, two near-duplicates may share no block
+            num_blocks = hamming_threshold + 1
+        self.ngram_size = ngram_size
+        self.hamming_threshold = hamming_threshold
+        self.num_blocks = num_blocks
+        self.lowercase = lowercase
+
+    def _fingerprint(self, text: str) -> int:
+        import numpy as np
+
+        words = words_refinement(
+            get_words_from_text(text, lowercase=self.lowercase), lower_case=self.lowercase
+        )
+        features = get_ngrams(words, self.ngram_size) or [(word,) for word in words]
+        if not features:
+            return 0
+        hashes = np.array(
+            [_token_hash(" ".join(feature)) for feature in features], dtype=np.uint64
+        )
+        # (F, 64) bit matrix; each feature votes +1/-1 on every fingerprint bit
+        bit_positions = np.arange(_FINGERPRINT_BITS, dtype=np.uint64)
+        bits = (hashes[:, None] >> bit_positions[None, :]) & np.uint64(1)
+        votes = 2 * bits.sum(axis=0).astype(np.int64) - len(features)
+        fingerprint = 0
+        for bit in range(_FINGERPRINT_BITS):
+            if votes[bit] > 0:
+                fingerprint |= 1 << bit
+        return fingerprint
+
+    def compute_hash(self, sample: dict) -> dict:
+        sample[HashKeys.simhash] = self._fingerprint(self.get_text(sample))
+        return sample
+
+    def _blocks(self, fingerprint: int) -> list[tuple[int, int]]:
+        bits_per_block = _FINGERPRINT_BITS // self.num_blocks
+        mask = (1 << bits_per_block) - 1
+        return [
+            (block, (fingerprint >> (block * bits_per_block)) & mask)
+            for block in range(self.num_blocks)
+        ]
+
+    def process(self, dataset: NestedDataset, show_num: int = 0) -> tuple[NestedDataset, list]:
+        fingerprints = [sample.get(HashKeys.simhash, 0) for sample in dataset]
+        keep_mask = [True] * len(fingerprints)
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for index, fingerprint in enumerate(fingerprints):
+            for key in self._blocks(fingerprint):
+                buckets.setdefault(key, []).append(index)
+        duplicate_pairs: list[tuple[dict, dict]] = []
+        for indices in buckets.values():
+            if len(indices) < 2:
+                continue
+            for position, anchor in enumerate(indices):
+                if not keep_mask[anchor]:
+                    continue
+                for other in indices[position + 1:]:
+                    if not keep_mask[other]:
+                        continue
+                    distance = hamming_distance(fingerprints[anchor], fingerprints[other])
+                    if distance <= self.hamming_threshold:
+                        keep_mask[other] = False
+                        if len(duplicate_pairs) < show_num:
+                            duplicate_pairs.append((dataset[anchor], dataset[other]))
+        keep_indices = [index for index, keep in enumerate(keep_mask) if keep]
+        deduped = dataset.select(keep_indices).remove_columns(HashKeys.simhash)
+        return deduped, duplicate_pairs

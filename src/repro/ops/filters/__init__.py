@@ -1,0 +1,53 @@
+"""Filter operators: conditional sample removal with decoupled stats computation."""
+
+from repro.ops.filters.alphanumeric_filter import AlphanumericFilter
+from repro.ops.filters.average_line_length_filter import AverageLineLengthFilter
+from repro.ops.filters.average_word_length_filter import AverageWordLengthFilter
+from repro.ops.filters.character_repetition_filter import CharacterRepetitionFilter
+from repro.ops.filters.digit_ratio_filter import DigitRatioFilter
+from repro.ops.filters.email_count_filter import EmailCountFilter
+from repro.ops.filters.flagged_words_filter import FlaggedWordsFilter
+from repro.ops.filters.language_id_score_filter import LanguageIdScoreFilter
+from repro.ops.filters.maximum_line_length_filter import MaximumLineLengthFilter
+from repro.ops.filters.paragraph_num_filter import ParagraphNumFilter
+from repro.ops.filters.perplexity_filter import PerplexityFilter
+from repro.ops.filters.sentence_num_filter import SentenceNumFilter
+from repro.ops.filters.special_characters_filter import SpecialCharactersFilter
+from repro.ops.filters.specified_field_filter import SpecifiedFieldFilter
+from repro.ops.filters.specified_numeric_field_filter import SpecifiedNumericFieldFilter
+from repro.ops.filters.stopwords_filter import StopwordsFilter
+from repro.ops.filters.suffix_filter import SuffixFilter
+from repro.ops.filters.text_action_filter import TextActionFilter
+from repro.ops.filters.text_length_filter import TextLengthFilter
+from repro.ops.filters.token_num_filter import TokenNumFilter
+from repro.ops.filters.url_ratio_filter import UrlRatioFilter
+from repro.ops.filters.whitespace_ratio_filter import WhitespaceRatioFilter
+from repro.ops.filters.word_repetition_filter import WordRepetitionFilter
+from repro.ops.filters.words_num_filter import WordsNumFilter
+
+__all__ = [
+    "AlphanumericFilter",
+    "AverageLineLengthFilter",
+    "AverageWordLengthFilter",
+    "CharacterRepetitionFilter",
+    "DigitRatioFilter",
+    "EmailCountFilter",
+    "FlaggedWordsFilter",
+    "LanguageIdScoreFilter",
+    "MaximumLineLengthFilter",
+    "ParagraphNumFilter",
+    "PerplexityFilter",
+    "SentenceNumFilter",
+    "SpecialCharactersFilter",
+    "SpecifiedFieldFilter",
+    "SpecifiedNumericFieldFilter",
+    "StopwordsFilter",
+    "SuffixFilter",
+    "TextActionFilter",
+    "TextLengthFilter",
+    "TokenNumFilter",
+    "UrlRatioFilter",
+    "WhitespaceRatioFilter",
+    "WordRepetitionFilter",
+    "WordsNumFilter",
+]

@@ -1,0 +1,44 @@
+"""Filter on the average line length of a sample."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.context import ContextKeys, get_or_compute
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.helper_funcs import split_lines
+
+
+@OPERATORS.register_module("average_line_length_filter")
+class AverageLineLengthFilter(Filter):
+    """Keep samples whose average line length (chars) is within ``[min_len, max_len]``."""
+
+    context_keys = (ContextKeys.lines,)
+
+    def __init__(
+        self,
+        min_len: int = 10,
+        max_len: int = sys.maxsize,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_len = min_len
+        self.max_len = max_len
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.avg_line_length in stats:
+            return sample
+        text = self.get_text(sample)
+        lines = get_or_compute(sample, ContextKeys.lines, lambda: split_lines(text))
+        stats[StatsKeys.avg_line_length] = (
+            sum(len(line) for line in lines) / len(lines) if lines else 0.0
+        )
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.avg_line_length, 0.0)
+        return self.min_len <= value <= self.max_len

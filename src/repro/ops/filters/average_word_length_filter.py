@@ -1,0 +1,51 @@
+"""Filter on the average word length of the text."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.context import ContextKeys, get_or_compute
+from repro.core.registry import OPERATORS
+from repro.core.sample import ensure_stats
+from repro.ops.common.helper_funcs import get_words_from_text, words_refinement
+
+
+@OPERATORS.register_module("average_word_length_filter")
+class AverageWordLengthFilter(Filter):
+    """Keep samples whose average word length is within ``[min_len, max_len]``.
+
+    Natural English averages 3-10 characters per word; lower values suggest
+    character soup and higher values suggest concatenated identifiers or URLs.
+    """
+
+    context_keys = (ContextKeys.words, ContextKeys.refined_words)
+
+    def __init__(
+        self,
+        min_len: float = 3.0,
+        max_len: float = float(sys.maxsize),
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_len = min_len
+        self.max_len = max_len
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if "avg_word_length" in stats:
+            return sample
+        text = self.get_text(sample)
+        words = get_or_compute(sample, ContextKeys.words, lambda: get_words_from_text(text))
+        refined = get_or_compute(
+            sample, ContextKeys.refined_words, lambda: words_refinement(words)
+        )
+        stats["avg_word_length"] = (
+            sum(len(word) for word in refined) / len(refined) if refined else 0.0
+        )
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get("avg_word_length", 0.0)
+        return self.min_len <= value <= self.max_len

@@ -1,0 +1,41 @@
+"""Filter on the ratio of digit characters (useful for financial / tabular data)."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+
+
+@OPERATORS.register_module("digit_ratio_filter")
+class DigitRatioFilter(Filter):
+    """Keep samples whose digit-character ratio is within ``[min_ratio, max_ratio]``.
+
+    Financial-domain recipes use a higher ``max_ratio`` because legitimate
+    documents carry many numbers, as discussed in the paper's real-world
+    deployment section.
+    """
+
+    def __init__(
+        self,
+        min_ratio: float = 0.0,
+        max_ratio: float = 0.3,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_ratio = min_ratio
+        self.max_ratio = max_ratio
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.digit_ratio in stats:
+            return sample
+        text = self.get_text(sample)
+        digits = sum(1 for char in text if char.isdigit())
+        stats[StatsKeys.digit_ratio] = digits / len(text) if text else 0.0
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.digit_ratio, 0.0)
+        return self.min_ratio <= value <= self.max_ratio

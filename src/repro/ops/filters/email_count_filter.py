@@ -1,0 +1,32 @@
+"""Filter on the number of e-mail addresses present in the text."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.mappers.clean_email_mapper import EMAIL_PATTERN
+
+
+@OPERATORS.register_module("email_count_filter")
+class EmailCountFilter(Filter):
+    """Keep samples containing at most ``max_count`` e-mail addresses.
+
+    Documents saturated with addresses are typically contact dumps or spam,
+    and also raise anonymization concerns.
+    """
+
+    def __init__(self, max_count: int = 3, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.max_count = max_count
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.email_count in stats:
+            return sample
+        stats[StatsKeys.email_count] = len(EMAIL_PATTERN.findall(self.get_text(sample)))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.email_count, 0)
+        return value <= self.max_count

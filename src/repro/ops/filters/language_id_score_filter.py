@@ -1,0 +1,48 @@
+"""Filter on the predicted language and its confidence score."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.lang_detect import detect_language
+
+
+@OPERATORS.register_module("language_id_score_filter")
+class LanguageIdScoreFilter(Filter):
+    """Keep samples predicted to be in ``lang`` with confidence >= ``min_score``.
+
+    When ``lang`` is empty any language is accepted and only the confidence
+    threshold applies.
+    """
+
+    def __init__(
+        self,
+        lang: str | list[str] = "en",
+        min_score: float = 0.3,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if isinstance(lang, str):
+            self.lang = [lang] if lang else []
+        else:
+            self.lang = list(lang)
+        self.min_score = min_score
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.lang in stats and StatsKeys.lang_score in stats:
+            return sample
+        lang, score = detect_language(self.get_text(sample))
+        stats[StatsKeys.lang] = lang
+        stats[StatsKeys.lang_score] = score
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        stats = sample.get("__stats__", {})
+        lang = stats.get(StatsKeys.lang, "other")
+        score = stats.get(StatsKeys.lang_score, 0.0)
+        if self.lang and lang not in self.lang:
+            return False
+        return score >= self.min_score

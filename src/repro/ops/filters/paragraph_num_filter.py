@@ -1,0 +1,37 @@
+"""Filter on the number of paragraphs in the text."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.helper_funcs import split_paragraphs
+
+
+@OPERATORS.register_module("paragraph_num_filter")
+class ParagraphNumFilter(Filter):
+    """Keep samples whose paragraph count is within ``[min_num, max_num]``."""
+
+    def __init__(
+        self,
+        min_num: int = 1,
+        max_num: int = sys.maxsize,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_num = min_num
+        self.max_num = max_num
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.num_paragraphs in stats:
+            return sample
+        stats[StatsKeys.num_paragraphs] = len(split_paragraphs(self.get_text(sample)))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.num_paragraphs, 0)
+        return self.min_num <= value <= self.max_num

@@ -1,0 +1,42 @@
+"""Filter on unigram language-model perplexity."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.unigram_lm import perplexity
+
+
+@OPERATORS.register_module("perplexity_filter")
+class PerplexityFilter(Filter):
+    """Keep samples whose perplexity is at most ``max_ppl``.
+
+    Natural prose built from common words scores low; gibberish, markup and
+    symbol soup score high.  The stand-in model is described in
+    :mod:`repro.ops.common.unigram_lm`.
+    """
+
+    def __init__(
+        self,
+        max_ppl: float = float(sys.maxsize),
+        min_ppl: float = 0.0,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.max_ppl = max_ppl
+        self.min_ppl = min_ppl
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.perplexity in stats:
+            return sample
+        stats[StatsKeys.perplexity] = perplexity(self.get_text(sample))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.perplexity, 0.0)
+        return self.min_ppl <= value <= self.max_ppl

@@ -1,0 +1,42 @@
+"""Filter on the number of sentences in the text."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.context import ContextKeys, get_or_compute
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.helper_funcs import split_sentences
+
+
+@OPERATORS.register_module("sentence_num_filter")
+class SentenceNumFilter(Filter):
+    """Keep samples whose sentence count is within ``[min_num, max_num]``."""
+
+    context_keys = (ContextKeys.sentences,)
+
+    def __init__(
+        self,
+        min_num: int = 1,
+        max_num: int = sys.maxsize,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_num = min_num
+        self.max_num = max_num
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.num_sentences in stats:
+            return sample
+        text = self.get_text(sample)
+        sentences = get_or_compute(sample, ContextKeys.sentences, lambda: split_sentences(text))
+        stats[StatsKeys.num_sentences] = len(sentences)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.num_sentences, 0)
+        return self.min_num <= value <= self.max_num

@@ -1,0 +1,35 @@
+"""Filter on the ratio of special (non-alphanumeric, non-space) characters."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.special_characters import special_character_ratio
+
+
+@OPERATORS.register_module("special_characters_filter")
+class SpecialCharactersFilter(Filter):
+    """Keep samples whose special-character ratio is within ``[min_ratio, max_ratio]``."""
+
+    def __init__(
+        self,
+        min_ratio: float = 0.0,
+        max_ratio: float = 0.25,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_ratio = min_ratio
+        self.max_ratio = max_ratio
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.special_char_ratio in stats:
+            return sample
+        stats[StatsKeys.special_char_ratio] = special_character_ratio(self.get_text(sample))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.special_char_ratio, 0.0)
+        return self.min_ratio <= value <= self.max_ratio

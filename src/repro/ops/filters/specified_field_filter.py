@@ -1,0 +1,42 @@
+"""Filter keeping samples whose (possibly nested) field matches target values."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import ensure_stats, get_field
+
+
+@OPERATORS.register_module("specified_field_filter")
+class SpecifiedFieldFilter(Filter):
+    """Keep samples whose ``field_key`` value is one of ``target_values``.
+
+    List-valued fields pass when all their elements are in the target set,
+    matching the behaviour of the original meta-tag filter (used e.g. to keep
+    only samples tagged ``language == "EN"``).
+    """
+
+    def __init__(
+        self,
+        field_key: str = "",
+        target_values: list | None = None,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.field_key = field_key
+        self.target_values = list(target_values) if target_values else []
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        ensure_stats(sample)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        if not self.field_key or not self.target_values:
+            return True
+        value = get_field(sample, self.field_key)
+        if value is None:
+            return False
+        if isinstance(value, (list, tuple)):
+            return all(item in self.target_values for item in value) and bool(value)
+        return value in self.target_values

@@ -1,0 +1,48 @@
+"""Filter keeping samples whose numeric field lies within a range."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import ensure_stats, get_field
+
+
+@OPERATORS.register_module("specified_numeric_field_filter")
+class SpecifiedNumericFieldFilter(Filter):
+    """Keep samples whose numeric ``field_key`` value is within ``[min_value, max_value]``.
+
+    Non-numeric or missing values fail the filter.  This reproduces use cases
+    such as "keep GitHub files with star count >= k".
+    """
+
+    def __init__(
+        self,
+        field_key: str = "",
+        min_value: float = -sys.float_info.max,
+        max_value: float = sys.float_info.max,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.field_key = field_key
+        self.min_value = min_value
+        self.max_value = max_value
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        ensure_stats(sample)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        if not self.field_key:
+            return True
+        value = get_field(sample, self.field_key)
+        if isinstance(value, str):
+            try:
+                value = float(value)
+            except ValueError:
+                return False
+        if not isinstance(value, (int, float)):
+            return False
+        return self.min_value <= value <= self.max_value

@@ -1,0 +1,33 @@
+"""Filter keeping only samples whose source file suffix is in an allow-list."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import Fields, ensure_stats
+
+
+@OPERATORS.register_module("suffix_filter")
+class SuffixFilter(Filter):
+    """Keep samples whose ``__suffix__`` field is one of the allowed suffixes.
+
+    An empty allow-list keeps everything.  Formatters populate the suffix
+    field when loading files from disk.
+    """
+
+    def __init__(self, suffixes: list[str] | str | None = None, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        if suffixes is None:
+            suffixes = []
+        if isinstance(suffixes, str):
+            suffixes = [suffixes]
+        self.suffixes = [suffix if suffix.startswith(".") else "." + suffix for suffix in suffixes]
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        ensure_stats(sample)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        if not self.suffixes:
+            return True
+        return sample.get(Fields.suffix) in self.suffixes

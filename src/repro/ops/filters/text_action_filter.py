@@ -1,0 +1,59 @@
+"""Filter keeping samples that contain a minimum number of action verbs."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Filter
+from repro.core.context import ContextKeys, get_or_compute
+from repro.core.registry import OPERATORS
+from repro.core.sample import ensure_stats
+from repro.ops.common.helper_funcs import get_words_from_text, words_refinement
+
+# Common English verbs (base forms); suffix heuristics extend coverage.
+COMMON_VERBS = {
+    "be", "have", "do", "say", "get", "make", "go", "know", "take", "see",
+    "come", "think", "look", "want", "give", "use", "find", "tell", "ask",
+    "work", "seem", "feel", "try", "leave", "call", "write", "read", "run",
+    "move", "play", "turn", "start", "show", "hear", "talk", "provide",
+    "create", "explain", "describe", "summarize", "translate", "generate",
+    "list", "answer", "compare", "analyze", "identify", "classify", "extract",
+}
+
+VERB_SUFFIXES = ("ing", "ed", "ize", "ise", "ify", "ate")
+
+
+def looks_like_verb(word: str) -> bool:
+    """Heuristic check whether a token is (likely) a verb form."""
+    if word in COMMON_VERBS:
+        return True
+    return len(word) > 4 and word.endswith(VERB_SUFFIXES)
+
+
+@OPERATORS.register_module("text_action_filter")
+class TextActionFilter(Filter):
+    """Keep samples containing at least ``min_action_num`` verb-like tokens.
+
+    Instruction-tuning samples without any action verb are usually fragments
+    or labels rather than usable prompts.
+    """
+
+    context_keys = (ContextKeys.words, ContextKeys.refined_words)
+
+    def __init__(self, min_action_num: int = 1, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_action_num = min_action_num
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if "num_action" in stats:
+            return sample
+        text = self.get_text(sample)
+        words = get_or_compute(sample, ContextKeys.words, lambda: get_words_from_text(text))
+        refined = get_or_compute(
+            sample, ContextKeys.refined_words, lambda: words_refinement(words)
+        )
+        stats["num_action"] = sum(1 for word in refined if looks_like_verb(word))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get("num_action", 0)
+        return value >= self.min_action_num

@@ -1,0 +1,36 @@
+"""Filter on the character length of the text."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+
+
+@OPERATORS.register_module("text_length_filter")
+class TextLengthFilter(Filter):
+    """Keep samples whose text length (characters) is within ``[min_len, max_len]``."""
+
+    def __init__(
+        self,
+        min_len: int = 10,
+        max_len: int = sys.maxsize,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_len = min_len
+        self.max_len = max_len
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.text_len in stats:
+            return sample
+        stats[StatsKeys.text_len] = len(self.get_text(sample))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.text_len, 0)
+        return self.min_len <= value <= self.max_len

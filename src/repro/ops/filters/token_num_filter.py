@@ -1,0 +1,55 @@
+"""Filter on the number of tokens produced by a simple subword-ish tokenizer."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.context import ContextKeys, get_or_compute
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.helper_funcs import get_words_from_text
+
+
+@OPERATORS.register_module("token_num_filter")
+class TokenNumFilter(Filter):
+    """Keep samples whose token count is within ``[min_num, max_num]``.
+
+    Tokens are approximated by splitting words longer than ``max_token_chars``
+    characters into chunks, emulating the sub-word expansion of BPE-style
+    tokenizers on long words.
+    """
+
+    context_keys = (ContextKeys.words,)
+
+    def __init__(
+        self,
+        min_num: int = 10,
+        max_num: int = sys.maxsize,
+        max_token_chars: int = 8,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_num = min_num
+        self.max_num = max_num
+        self.max_token_chars = max(1, max_token_chars)
+
+    def _count_tokens(self, words: list[str]) -> int:
+        total = 0
+        for word in words:
+            total += max(1, -(-len(word) // self.max_token_chars))
+        return total
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.num_token in stats:
+            return sample
+        text = self.get_text(sample)
+        words = get_or_compute(sample, ContextKeys.words, lambda: get_words_from_text(text))
+        stats[StatsKeys.num_token] = self._count_tokens(words)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.num_token, 0)
+        return self.min_num <= value <= self.max_num

@@ -1,0 +1,36 @@
+"""Filter on the fraction of words that are URLs."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+
+URL_WORD_PATTERN = re.compile(r"^(?:https?://|www\.)", re.IGNORECASE)
+
+
+@OPERATORS.register_module("url_ratio_filter")
+class UrlRatioFilter(Filter):
+    """Keep samples whose URL-word ratio is at most ``max_ratio``.
+
+    Link farms and navigation boilerplate have a high density of URL tokens.
+    """
+
+    def __init__(self, max_ratio: float = 0.2, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.max_ratio = max_ratio
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.url_ratio in stats:
+            return sample
+        words = self.get_text(sample).split()
+        urls = sum(1 for word in words if URL_WORD_PATTERN.match(word))
+        stats[StatsKeys.url_ratio] = urls / len(words) if words else 0.0
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.url_ratio, 0.0)
+        return value <= self.max_ratio

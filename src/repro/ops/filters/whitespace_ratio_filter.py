@@ -1,0 +1,40 @@
+"""Filter on the ratio of whitespace characters."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+
+
+@OPERATORS.register_module("whitespace_ratio_filter")
+class WhitespaceRatioFilter(Filter):
+    """Keep samples whose whitespace ratio is within ``[min_ratio, max_ratio]``.
+
+    Extremely low ratios indicate missing word boundaries (broken extraction);
+    extremely high ratios indicate ASCII art, tables or formatting debris.
+    """
+
+    def __init__(
+        self,
+        min_ratio: float = 0.05,
+        max_ratio: float = 0.5,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_ratio = min_ratio
+        self.max_ratio = max_ratio
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.whitespace_ratio in stats:
+            return sample
+        text = self.get_text(sample)
+        spaces = sum(1 for char in text if char.isspace())
+        stats[StatsKeys.whitespace_ratio] = spaces / len(text) if text else 0.0
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.whitespace_ratio, 0.0)
+        return self.min_ratio <= value <= self.max_ratio

@@ -1,0 +1,45 @@
+"""Filter on the number of words in the text."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Filter
+from repro.core.context import ContextKeys, get_or_compute
+from repro.core.registry import OPERATORS
+from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.helper_funcs import get_words_from_text, words_refinement
+
+
+@OPERATORS.register_module("words_num_filter")
+class WordsNumFilter(Filter):
+    """Keep samples whose word count is within ``[min_num, max_num]``."""
+
+    context_keys = (ContextKeys.words, ContextKeys.refined_words)
+
+    def __init__(
+        self,
+        min_num: int = 10,
+        max_num: int = sys.maxsize,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_num = min_num
+        self.max_num = max_num
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        if StatsKeys.num_words in stats:
+            return sample
+        text = self.get_text(sample)
+        words = get_or_compute(sample, ContextKeys.words, lambda: get_words_from_text(text))
+        refined = get_or_compute(
+            sample, ContextKeys.refined_words, lambda: words_refinement(words)
+        )
+        stats[StatsKeys.num_words] = len(refined)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        value = sample.get("__stats__", {}).get(StatsKeys.num_words, 0)
+        return self.min_num <= value <= self.max_num

@@ -1,0 +1,57 @@
+"""Mapper operators: in-place text editing on single samples."""
+
+from repro.ops.mappers.clean_copyright_mapper import CleanCopyrightMapper
+from repro.ops.mappers.clean_email_mapper import CleanEmailMapper
+from repro.ops.mappers.clean_html_mapper import CleanHtmlMapper
+from repro.ops.mappers.clean_ip_mapper import CleanIpMapper
+from repro.ops.mappers.clean_links_mapper import CleanLinksMapper
+from repro.ops.mappers.expand_macro_mapper import ExpandMacroMapper
+from repro.ops.mappers.fix_unicode_mapper import FixUnicodeMapper
+from repro.ops.mappers.lowercase_mapper import LowercaseMapper
+from repro.ops.mappers.nfkc_normalization_mapper import NfkcNormalizationMapper
+from repro.ops.mappers.punctuation_normalization_mapper import PunctuationNormalizationMapper
+from repro.ops.mappers.remove_bibliography_mapper import RemoveBibliographyMapper
+from repro.ops.mappers.remove_comments_mapper import RemoveCommentsMapper
+from repro.ops.mappers.remove_duplicate_lines_mapper import RemoveDuplicateLinesMapper
+from repro.ops.mappers.remove_header_mapper import RemoveHeaderMapper
+from repro.ops.mappers.remove_long_words_mapper import RemoveLongWordsMapper
+from repro.ops.mappers.remove_non_printable_mapper import RemoveNonPrintableMapper
+from repro.ops.mappers.remove_repeat_sentences_mapper import RemoveRepeatSentencesMapper
+from repro.ops.mappers.remove_specific_chars_mapper import RemoveSpecificCharsMapper
+from repro.ops.mappers.remove_table_text_mapper import RemoveTableTextMapper
+from repro.ops.mappers.remove_words_with_incorrect_substrings_mapper import (
+    RemoveWordsWithIncorrectSubstringsMapper,
+)
+from repro.ops.mappers.replace_content_mapper import ReplaceContentMapper
+from repro.ops.mappers.sentence_split_mapper import SentenceSplitMapper
+from repro.ops.mappers.text_augmentation_mapper import TextAugmentationMapper
+from repro.ops.mappers.truncate_text_mapper import TruncateTextMapper
+from repro.ops.mappers.whitespace_normalization_mapper import WhitespaceNormalizationMapper
+
+__all__ = [
+    "CleanCopyrightMapper",
+    "CleanEmailMapper",
+    "CleanHtmlMapper",
+    "CleanIpMapper",
+    "CleanLinksMapper",
+    "ExpandMacroMapper",
+    "FixUnicodeMapper",
+    "LowercaseMapper",
+    "NfkcNormalizationMapper",
+    "PunctuationNormalizationMapper",
+    "RemoveBibliographyMapper",
+    "RemoveCommentsMapper",
+    "RemoveDuplicateLinesMapper",
+    "RemoveHeaderMapper",
+    "RemoveLongWordsMapper",
+    "RemoveNonPrintableMapper",
+    "RemoveRepeatSentencesMapper",
+    "RemoveSpecificCharsMapper",
+    "RemoveTableTextMapper",
+    "RemoveWordsWithIncorrectSubstringsMapper",
+    "ReplaceContentMapper",
+    "SentenceSplitMapper",
+    "TextAugmentationMapper",
+    "TruncateTextMapper",
+    "WhitespaceNormalizationMapper",
+]

@@ -1,0 +1,44 @@
+"""Mapper that removes copyright / license headers from code-like documents."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+BLOCK_COMMENT_PATTERN = re.compile(r"/\*.*?\*/", re.DOTALL)
+COPYRIGHT_WORDS = ("copyright", "license", "licence", "all rights reserved", "(c)")
+
+
+@OPERATORS.register_module("clean_copyright_mapper")
+class CleanCopyrightMapper(Mapper):
+    """Remove leading copyright banners found in source-code files.
+
+    Both C-style block comments containing copyright notices and runs of
+    leading ``#`` / ``//`` comment lines mentioning a license are stripped,
+    mirroring the code-cleaning OP of the original system.
+    """
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        match = BLOCK_COMMENT_PATTERN.search(text)
+        if match and any(word in match.group(0).lower() for word in COPYRIGHT_WORDS):
+            text = text[:match.start()] + text[match.end():]
+        lines = text.split("\n")
+        skip = 0
+        for line in lines:
+            stripped = line.strip()
+            is_comment = stripped.startswith("#") or stripped.startswith("//")
+            if is_comment and any(word in stripped.lower() for word in COPYRIGHT_WORDS):
+                skip += 1
+            elif is_comment and skip > 0:
+                skip += 1
+            else:
+                break
+        if skip:
+            lines = lines[skip:]
+        return self.set_text(sample, "\n".join(lines).lstrip("\n"))

@@ -1,0 +1,23 @@
+"""Mapper that removes (or replaces) e-mail addresses for anonymization."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+EMAIL_PATTERN = re.compile(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}")
+
+
+@OPERATORS.register_module("clean_email_mapper")
+class CleanEmailMapper(Mapper):
+    """Remove e-mail addresses from the text, optionally replacing them with a token."""
+
+    def __init__(self, repl: str = "", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.repl = repl
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        return self.set_text(sample, EMAIL_PATTERN.sub(self.repl, text))

@@ -1,0 +1,35 @@
+"""Mapper that strips HTML markup and decodes common entities."""
+
+from __future__ import annotations
+
+import html
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+SCRIPT_STYLE_PATTERN = re.compile(r"<(script|style)\b[^>]*>.*?</\1>", re.IGNORECASE | re.DOTALL)
+TAG_PATTERN = re.compile(r"<[^>]+>")
+BLOCK_TAG_PATTERN = re.compile(r"</?(p|div|br|li|tr|h[1-6])\b[^>]*>", re.IGNORECASE)
+
+
+@OPERATORS.register_module("clean_html_mapper")
+class CleanHtmlMapper(Mapper):
+    """Strip HTML tags, drop script/style blocks and unescape HTML entities.
+
+    Block-level tags are replaced by newlines so paragraph structure survives
+    the markup removal.
+    """
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        text = SCRIPT_STYLE_PATTERN.sub(" ", text)
+        text = BLOCK_TAG_PATTERN.sub("\n", text)
+        text = TAG_PATTERN.sub(" ", text)
+        text = html.unescape(text)
+        text = re.sub(r"[ \t]{2,}", " ", text)
+        text = re.sub(r"\n{3,}", "\n\n", text)
+        return self.set_text(sample, text.strip())

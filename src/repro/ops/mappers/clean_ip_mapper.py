@@ -1,0 +1,26 @@
+"""Mapper that removes IPv4/IPv6 addresses for anonymization."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+IPV4_PATTERN = re.compile(r"\b(?:(?:25[0-5]|2[0-4]\d|[01]?\d?\d)\.){3}(?:25[0-5]|2[0-4]\d|[01]?\d?\d)\b")
+IPV6_PATTERN = re.compile(r"\b(?:[A-Fa-f0-9]{1,4}:){2,7}[A-Fa-f0-9]{1,4}\b")
+
+
+@OPERATORS.register_module("clean_ip_mapper")
+class CleanIpMapper(Mapper):
+    """Remove IPv4 and IPv6 addresses from the text, optionally replacing them."""
+
+    def __init__(self, repl: str = "", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.repl = repl
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        text = IPV4_PATTERN.sub(self.repl, text)
+        text = IPV6_PATTERN.sub(self.repl, text)
+        return self.set_text(sample, text)

@@ -1,0 +1,26 @@
+"""Mapper that removes URLs and other hyperlink artefacts."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+LINK_PATTERN = re.compile(
+    r"(?:https?|ftp)://[^\s<>\"')\]]+|www\.[^\s<>\"')\]]+",
+    re.IGNORECASE,
+)
+
+
+@OPERATORS.register_module("clean_links_mapper")
+class CleanLinksMapper(Mapper):
+    """Remove http(s)/ftp/www links from the text, optionally replacing them."""
+
+    def __init__(self, repl: str = "", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.repl = repl
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        return self.set_text(sample, LINK_PATTERN.sub(self.repl, text))

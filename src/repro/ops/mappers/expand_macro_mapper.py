@@ -1,0 +1,44 @@
+"""Mapper that expands user-defined LaTeX macros (\\newcommand / \\def) in-place."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+NEWCOMMAND_PATTERN = re.compile(
+    r"\\(?:re)?newcommand\*?\{\\(\w+)\}(?:\[\d+\])?\{(.+?)\}", re.DOTALL
+)
+DEF_PATTERN = re.compile(r"\\def\s*\\(\w+)\s*\{(.+?)\}", re.DOTALL)
+
+
+@OPERATORS.register_module("expand_macro_mapper")
+class ExpandMacroMapper(Mapper):
+    """Expand simple argument-free LaTeX macros defined in the document itself.
+
+    Only zero-argument macros are expanded (as in the original OP); macro
+    definitions themselves are removed after expansion.
+    """
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def _collect_macros(self, text: str) -> dict[str, str]:
+        macros: dict[str, str] = {}
+        for pattern in (NEWCOMMAND_PATTERN, DEF_PATTERN):
+            for name, body in pattern.findall(text):
+                if "#" not in body:  # skip macros with arguments
+                    macros[name] = body
+        return macros
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        macros = self._collect_macros(text)
+        if not macros:
+            return sample
+        text = NEWCOMMAND_PATTERN.sub("", text)
+        text = DEF_PATTERN.sub("", text)
+        for name, body in macros.items():
+            text = re.sub(r"\\" + re.escape(name) + r"(?![A-Za-z])", body.replace("\\", "\\\\"), text)
+        return self.set_text(sample, text)

@@ -1,0 +1,40 @@
+"""Mapper that repairs common unicode mojibake and normalization issues."""
+
+from __future__ import annotations
+
+import unicodedata
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+# Common mojibake sequences produced by decoding UTF-8 bytes as latin-1.
+MOJIBAKE_MAP = {
+    "â€™": "'", "â€œ": '"', "â€\x9d": '"', "â€“": "-", "â€”": "-",
+    "â€¦": "...", "Ã©": "é", "Ã¨": "è", "Ã¼": "ü", "Ã¶": "ö", "Ã¤": "ä",
+    "Ã±": "ñ", "Ã§": "ç", "Â ": " ", "Â·": "·", "â€˜": "'",
+}
+
+
+@OPERATORS.register_module("fix_unicode_mapper")
+class FixUnicodeMapper(Mapper):
+    """Fix messy codes: repair mojibake sequences and apply a normalization form.
+
+    ``normalization`` chooses the unicode normalization form applied after the
+    mojibake substitutions (NFC by default, NFKC collapses compatibility
+    characters as well).
+    """
+
+    def __init__(self, normalization: str = "NFC", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        normalization = normalization.upper()
+        if normalization not in ("NFC", "NFKC", "NFD", "NFKD"):
+            raise ValueError(f"unsupported normalization form {normalization!r}")
+        self.normalization = normalization
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        for broken, fixed in MOJIBAKE_MAP.items():
+            if broken in text:
+                text = text.replace(broken, fixed)
+        text = unicodedata.normalize(self.normalization, text)
+        return self.set_text(sample, text)

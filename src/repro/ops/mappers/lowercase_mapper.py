@@ -1,0 +1,17 @@
+"""Mapper that lowercases the whole text field."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("lowercase_mapper")
+class LowercaseMapper(Mapper):
+    """Convert the text to lowercase (useful before hash-based deduplication)."""
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        return self.set_text(sample, self.get_text(sample).lower())

@@ -1,0 +1,24 @@
+"""Mapper that applies NFKC unicode normalization (full-width → half-width etc.)."""
+
+from __future__ import annotations
+
+import unicodedata
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("nfkc_normalization_mapper")
+class NfkcNormalizationMapper(Mapper):
+    """Normalize text to NFKC, collapsing compatibility characters.
+
+    This plays the role of the Chinese/Japanese full-width conversion mappers
+    of the original system: full-width Latin letters and digits become their
+    ASCII counterparts.
+    """
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        return self.set_text(sample, unicodedata.normalize("NFKC", self.get_text(sample)))

@@ -1,0 +1,28 @@
+"""Mapper that normalizes unicode punctuation to ASCII equivalents."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+PUNCTUATION_MAP = {
+    "，": ",", "。": ".", "、": ",", "„": '"', "”": '"', "“": '"', "«": '"',
+    "»": '"', "１": '"', "」": '"', "「": '"', "《": '"', "》": '"', "´": "'",
+    "∶": ":", "：": ":", "？": "?", "！": "!", "（": "(", "）": ")", "；": ";",
+    "–": "-", "—": "-", "．": ". ", "～": "~", "’": "'", "‘": "'", "′": "'",
+    "…": "...", "━": "-", "〈": "<", "〉": ">", "【": "[", "】": "]", "％": "%",
+    "►": "-",
+}
+
+
+@OPERATORS.register_module("punctuation_normalization_mapper")
+class PunctuationNormalizationMapper(Mapper):
+    """Map full-width / typographic punctuation marks to plain ASCII forms."""
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        normalized = "".join(PUNCTUATION_MAP.get(char, char) for char in text)
+        return self.set_text(sample, normalized)

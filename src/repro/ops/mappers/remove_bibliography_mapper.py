@@ -1,0 +1,27 @@
+"""Mapper that removes the bibliography section from LaTeX-like documents."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+BIBLIOGRAPHY_PATTERN = re.compile(
+    r"(\\appendix|\\begin\{references\}|\\begin\{thebibliography\}|\\bibliography\{.*?\})",
+)
+
+
+@OPERATORS.register_module("remove_bibliography_mapper")
+class RemoveBibliographyMapper(Mapper):
+    """Truncate a LaTeX document at its bibliography / appendix marker."""
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        match = BIBLIOGRAPHY_PATTERN.search(text)
+        if match:
+            text = text[:match.start()]
+        return self.set_text(sample, text)

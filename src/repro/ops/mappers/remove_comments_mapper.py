@@ -1,0 +1,33 @@
+"""Mapper that removes comments from LaTeX documents (inline and whole-line)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+INLINE_COMMENT_PATTERN = re.compile(r"(?<!\\)%.*$", re.MULTILINE)
+
+
+@OPERATORS.register_module("remove_comments_mapper")
+class RemoveCommentsMapper(Mapper):
+    """Remove LaTeX ``%`` comments.
+
+    ``inline`` removes the trailing part of lines after an unescaped ``%``;
+    ``whole_line`` additionally drops lines that consist only of a comment.
+    """
+
+    def __init__(self, inline: bool = True, whole_line: bool = True, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.inline = inline
+        self.whole_line = whole_line
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        if self.whole_line:
+            lines = [line for line in text.split("\n") if not line.lstrip().startswith("%")]
+            text = "\n".join(lines)
+        if self.inline:
+            text = INLINE_COMMENT_PATTERN.sub("", text)
+        return self.set_text(sample, text)

@@ -1,0 +1,36 @@
+"""Mapper that removes duplicated lines inside a single document."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("remove_duplicate_lines_mapper")
+class RemoveDuplicateLinesMapper(Mapper):
+    """Keep only the first occurrence of each non-trivial line.
+
+    Lines shorter than ``min_line_length`` characters (after stripping) are
+    always kept — short lines such as list bullets repeat legitimately.
+    """
+
+    def __init__(self, min_line_length: int = 10, lowercase: bool = False, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_line_length = min_line_length
+        self.lowercase = lowercase
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        seen: set[str] = set()
+        kept: list[str] = []
+        for line in text.split("\n"):
+            stripped = line.strip()
+            if len(stripped) < self.min_line_length:
+                kept.append(line)
+                continue
+            key = stripped.lower() if self.lowercase else stripped
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(line)
+        return self.set_text(sample, "\n".join(kept))

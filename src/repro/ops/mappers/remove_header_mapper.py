@@ -1,0 +1,34 @@
+"""Mapper that removes the preamble/header of LaTeX documents before the first section."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+SECTION_PATTERN = re.compile(
+    r"\\(chapter|section|subsection|subsubsection|paragraph|begin\{document\})[\*]?\{?"
+)
+
+
+@OPERATORS.register_module("remove_header_mapper")
+class RemoveHeaderMapper(Mapper):
+    """Drop everything before the first sectioning command of a LaTeX document.
+
+    When no sectioning command exists, ``drop_no_head`` decides whether the
+    whole text is dropped (the original behaviour) or kept untouched.
+    """
+
+    def __init__(self, drop_no_head: bool = True, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.drop_no_head = drop_no_head
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        match = SECTION_PATTERN.search(text)
+        if match:
+            return self.set_text(sample, text[match.start():])
+        if self.drop_no_head and "\\documentclass" in text:
+            return self.set_text(sample, "")
+        return sample

@@ -1,0 +1,40 @@
+"""Mapper that removes words outside a configured length range."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("remove_long_words_mapper")
+class RemoveLongWordsMapper(Mapper):
+    """Remove words whose character length is outside ``[min_len, max_len]``.
+
+    Extremely long 'words' are usually URLs, base64 blobs or broken markup;
+    removing them improves tokenizer behaviour downstream.
+    """
+
+    def __init__(
+        self,
+        min_len: int = 1,
+        max_len: int = sys.maxsize,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_len = min_len
+        self.max_len = max_len
+
+    def _keep(self, word: str) -> bool:
+        stripped = word.strip()
+        return self.min_len <= len(stripped) <= self.max_len
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        lines = []
+        for line in text.split("\n"):
+            kept = [word for word in line.split(" ") if not word or self._keep(word)]
+            lines.append(" ".join(kept))
+        return self.set_text(sample, "\n".join(lines))

@@ -1,0 +1,27 @@
+"""Mapper that removes non-printable control characters."""
+
+from __future__ import annotations
+
+import unicodedata
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("remove_non_printable_mapper")
+class RemoveNonPrintableMapper(Mapper):
+    """Delete control and format characters (category C*) except newlines/tabs."""
+
+    KEEP = {"\n", "\t", "\r"}
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        cleaned = "".join(
+            char
+            for char in text
+            if char in self.KEEP or not unicodedata.category(char).startswith("C")
+        )
+        return self.set_text(sample, cleaned)

@@ -1,0 +1,45 @@
+"""Mapper that removes consecutive (or global) repeated sentences."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+from repro.ops.common.helper_funcs import split_sentences
+
+
+@OPERATORS.register_module("remove_repeat_sentences_mapper")
+class RemoveRepeatSentencesMapper(Mapper):
+    """Keep only the first occurrence of each repeated sentence.
+
+    ``lowercase`` controls whether comparison is case-insensitive and
+    ``min_repeat_sentence_length`` skips short sentences (headings, list
+    items) that legitimately repeat.
+    """
+
+    def __init__(
+        self,
+        lowercase: bool = True,
+        min_repeat_sentence_length: int = 2,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        self.lowercase = lowercase
+        self.min_repeat_sentence_length = min_repeat_sentence_length
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        sentences = split_sentences(text)
+        seen: set[str] = set()
+        kept: list[str] = []
+        for sentence in sentences:
+            key = sentence.lower() if self.lowercase else sentence
+            words = sentence.split()
+            if len(words) < self.min_repeat_sentence_length:
+                kept.append(sentence)
+                continue
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(sentence)
+        return self.set_text(sample, " ".join(kept))

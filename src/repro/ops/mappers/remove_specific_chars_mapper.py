@@ -1,0 +1,26 @@
+"""Mapper that removes a user-specified set of unwanted characters."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+DEFAULT_CHARS = "◆●■►▼▲▴∆▻▷❖♡□"
+
+
+@OPERATORS.register_module("remove_specific_chars_mapper")
+class RemoveSpecificCharsMapper(Mapper):
+    """Delete every occurrence of the configured characters (bullets, dingbats...)."""
+
+    def __init__(self, chars_to_remove: str = DEFAULT_CHARS, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.chars_to_remove = chars_to_remove
+        self._pattern = re.compile("[" + re.escape(chars_to_remove) + "]") if chars_to_remove else None
+
+    def process(self, sample: dict) -> dict:
+        if self._pattern is None:
+            return sample
+        text = self.get_text(sample)
+        return self.set_text(sample, self._pattern.sub("", text))

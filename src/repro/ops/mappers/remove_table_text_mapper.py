@@ -1,0 +1,48 @@
+"""Mapper that removes table-like text blocks (many-column whitespace-aligned rows)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("remove_table_text_mapper")
+class RemoveTableTextMapper(Mapper):
+    """Remove runs of lines that look like tables.
+
+    A line is 'table-like' when it contains at least ``min_col`` cell
+    separators (two or more consecutive spaces, tabs, or pipe characters).
+    Runs of at least two consecutive table-like lines are removed.
+    """
+
+    def __init__(self, min_col: int = 2, max_col: int = 20, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_col = min_col
+        self.max_col = max_col
+        self._separator = re.compile(r"\t|\|| {2,}")
+
+    def _is_table_line(self, line: str) -> bool:
+        if not line.strip():
+            return False
+        columns = [cell for cell in self._separator.split(line.strip()) if cell.strip()]
+        return self.min_col <= len(columns) <= self.max_col and len(columns) >= 2
+
+    def process(self, sample: dict) -> dict:
+        lines = self.get_text(sample).split("\n")
+        flags = [self._is_table_line(line) for line in lines]
+        kept: list[str] = []
+        index = 0
+        while index < len(lines):
+            if flags[index]:
+                run_end = index
+                while run_end < len(lines) and flags[run_end]:
+                    run_end += 1
+                if run_end - index < 2:  # single aligned line is kept
+                    kept.extend(lines[index:run_end])
+                index = run_end
+            else:
+                kept.append(lines[index])
+                index += 1
+        return self.set_text(sample, "\n".join(kept))

@@ -1,0 +1,29 @@
+"""Mapper that removes words containing unwanted substrings (http, .com, tracking ids...)."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+DEFAULT_SUBSTRINGS = ["http", "www", ".com", "href", "//"]
+
+
+@OPERATORS.register_module("remove_words_with_incorrect_substrings_mapper")
+class RemoveWordsWithIncorrectSubstringsMapper(Mapper):
+    """Drop whitespace-delimited words that contain any of the given substrings."""
+
+    def __init__(self, substrings: list[str] | None = None, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.substrings = list(substrings) if substrings is not None else list(DEFAULT_SUBSTRINGS)
+
+    def _keep(self, word: str) -> bool:
+        lowered = word.lower()
+        return not any(substring in lowered for substring in self.substrings)
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        lines = []
+        for line in text.split("\n"):
+            kept = [word for word in line.split(" ") if not word or self._keep(word)]
+            lines.append(" ".join(kept))
+        return self.set_text(sample, "\n".join(lines))

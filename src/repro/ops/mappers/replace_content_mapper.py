@@ -1,0 +1,30 @@
+"""Mapper that replaces regex-matched content with a configured string."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("replace_content_mapper")
+class ReplaceContentMapper(Mapper):
+    """Replace every match of one or more regex patterns with ``repl``.
+
+    This is the generic "transform specified textual elements" escape hatch
+    of the mapper pool: users supply arbitrary patterns in their recipes.
+    """
+
+    def __init__(self, pattern: str | list[str] = "", repl: str = "", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        patterns = [pattern] if isinstance(pattern, str) else list(pattern)
+        self.pattern = patterns
+        self.repl = repl
+        self._compiled = [re.compile(expression) for expression in patterns if expression]
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        for compiled in self._compiled:
+            text = compiled.sub(self.repl, text)
+        return self.set_text(sample, text)

@@ -1,0 +1,20 @@
+"""Mapper that re-joins text with one sentence per line (sentence splitting)."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+from repro.ops.common.helper_funcs import split_sentences
+
+
+@OPERATORS.register_module("sentence_split_mapper")
+class SentenceSplitMapper(Mapper):
+    """Split text into sentences and put each sentence on its own line."""
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        sentences = split_sentences(text)
+        return self.set_text(sample, "\n".join(sentences))

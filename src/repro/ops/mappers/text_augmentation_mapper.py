@@ -1,0 +1,65 @@
+"""Mapper that applies light, seeded text augmentation (for fine-tuning diversity)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("text_augmentation_mapper")
+class TextAugmentationMapper(Mapper):
+    """Enhance text diversity via seeded word-level perturbations.
+
+    Supported ``aug_method`` values:
+
+    * ``swap``   — swap adjacent word pairs with probability ``aug_ratio``;
+    * ``delete`` — delete words with probability ``aug_ratio``;
+    * ``duplicate`` — duplicate words with probability ``aug_ratio``.
+
+    The augmentation is deterministic given (seed, text), so pipelines remain
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        aug_method: str = "swap",
+        aug_ratio: float = 0.1,
+        seed: int = 0,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if aug_method not in ("swap", "delete", "duplicate"):
+            raise ValueError(f"unknown aug_method {aug_method!r}")
+        if not 0.0 <= aug_ratio <= 1.0:
+            raise ValueError("aug_ratio must be in [0, 1]")
+        self.aug_method = aug_method
+        self.aug_ratio = aug_ratio
+        self.seed = seed
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        words = text.split()
+        if len(words) < 2:
+            return sample
+        rng = random.Random(f"{self.seed}:{text}")
+        if self.aug_method == "swap":
+            index = 0
+            while index < len(words) - 1:
+                if rng.random() < self.aug_ratio:
+                    words[index], words[index + 1] = words[index + 1], words[index]
+                    index += 2
+                else:
+                    index += 1
+        elif self.aug_method == "delete":
+            words = [word for word in words if rng.random() >= self.aug_ratio] or words[:1]
+        else:  # duplicate
+            duplicated: list[str] = []
+            for word in words:
+                duplicated.append(word)
+                if rng.random() < self.aug_ratio:
+                    duplicated.append(word)
+            words = duplicated
+        return self.set_text(sample, " ".join(words))

@@ -1,0 +1,38 @@
+"""Mapper that truncates text to a maximum number of words or characters."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("truncate_text_mapper")
+class TruncateTextMapper(Mapper):
+    """Truncate text to ``max_words`` words and/or ``max_chars`` characters.
+
+    Useful to bound per-sample length before tokenizer-budgeted training.
+    ``None`` disables the corresponding limit.
+    """
+
+    def __init__(
+        self,
+        max_words: int | None = None,
+        max_chars: int | None = None,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if max_words is None and max_chars is None:
+            raise ValueError("at least one of max_words / max_chars must be set")
+        self.max_words = max_words
+        self.max_chars = max_chars
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        if self.max_words is not None:
+            words = text.split()
+            if len(words) > self.max_words:
+                text = " ".join(words[:self.max_words])
+        if self.max_chars is not None and len(text) > self.max_chars:
+            text = text[:self.max_chars]
+        return self.set_text(sample, text)

@@ -1,0 +1,27 @@
+"""Mapper that normalizes exotic whitespace characters to plain spaces."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+from repro.ops.common.special_characters import VARIOUS_WHITESPACES
+
+
+@OPERATORS.register_module("whitespace_normalization_mapper")
+class WhitespaceNormalizationMapper(Mapper):
+    """Replace all non-standard whitespace characters with an ASCII space.
+
+    Web-crawled text frequently contains non-breaking spaces, zero-width
+    spaces and ideographic spaces that confuse tokenizers; this mapper maps
+    all of them to ``' '`` and trims the sample edges.
+    """
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        normalized = "".join(
+            " " if char in VARIOUS_WHITESPACES and char != "\n" else char for char in text
+        )
+        return self.set_text(sample, normalized.strip())

@@ -1,0 +1,13 @@
+"""Selector operators: dataset-level subset selection."""
+
+from repro.ops.selectors.frequency_specified_field_selector import FrequencySpecifiedFieldSelector
+from repro.ops.selectors.random_selector import RandomSelector
+from repro.ops.selectors.range_specified_field_selector import RangeSpecifiedFieldSelector
+from repro.ops.selectors.topk_specified_field_selector import TopkSpecifiedFieldSelector
+
+__all__ = [
+    "FrequencySpecifiedFieldSelector",
+    "RandomSelector",
+    "RangeSpecifiedFieldSelector",
+    "TopkSpecifiedFieldSelector",
+]

@@ -1,0 +1,59 @@
+"""Selector balancing samples across the value groups of a field."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.base_op import Selector
+from repro.core.dataset import NestedDataset
+from repro.core.registry import OPERATORS
+from repro.core.sample import get_field
+
+
+@OPERATORS.register_module("frequency_specified_field_selector")
+class FrequencySpecifiedFieldSelector(Selector):
+    """Keep the most frequent value groups of ``field_key`` (optionally capped per group).
+
+    ``top_ratio``/``topk`` bound how many distinct groups survive (ranked by
+    frequency), and ``max_per_group`` optionally caps how many samples each
+    surviving group contributes, producing a more balanced subset.
+    """
+
+    def __init__(
+        self,
+        field_key: str = "",
+        top_ratio: float | None = None,
+        topk: int | None = None,
+        max_per_group: int | None = None,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if not field_key:
+            raise ValueError("field_key must be provided")
+        self.field_key = field_key
+        self.top_ratio = top_ratio
+        self.topk = topk
+        self.max_per_group = max_per_group
+
+    def process(self, dataset: NestedDataset) -> NestedDataset:
+        if len(dataset) == 0:
+            return dataset
+        groups: dict = defaultdict(list)
+        for index, sample in enumerate(dataset):
+            value = get_field(sample, self.field_key)
+            if isinstance(value, list):
+                value = tuple(value)
+            groups[value].append(index)
+        ranked = sorted(groups.items(), key=lambda item: len(item[1]), reverse=True)
+        keep_groups = len(ranked)
+        if self.topk is not None:
+            keep_groups = min(keep_groups, self.topk)
+        elif self.top_ratio is not None:
+            keep_groups = max(1, int(round(len(ranked) * self.top_ratio)))
+        keep_indices: list[int] = []
+        for _, indices in ranked[:keep_groups]:
+            if self.max_per_group is not None:
+                indices = indices[: self.max_per_group]
+            keep_indices.extend(indices)
+        return dataset.select(sorted(keep_indices))

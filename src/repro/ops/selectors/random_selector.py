@@ -1,0 +1,41 @@
+"""Selector keeping a random (seeded) subset of the dataset."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.base_op import Selector
+from repro.core.dataset import NestedDataset
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("random_selector")
+class RandomSelector(Selector):
+    """Keep a uniformly random subset of ``select_num`` samples (or ``select_ratio``)."""
+
+    def __init__(
+        self,
+        select_ratio: float | None = None,
+        select_num: int | None = None,
+        seed: int = 42,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if select_ratio is None and select_num is None:
+            raise ValueError("one of select_ratio / select_num must be provided")
+        self.select_ratio = select_ratio
+        self.select_num = select_num
+        self.seed = seed
+
+    def process(self, dataset: NestedDataset) -> NestedDataset:
+        length = len(dataset)
+        if length == 0:
+            return dataset
+        if self.select_num is not None:
+            count = min(self.select_num, length)
+        else:
+            count = int(round(length * self.select_ratio))
+        count = max(0, min(count, length))
+        indices = random.Random(self.seed).sample(range(length), count)
+        return dataset.select(sorted(indices))

@@ -1,0 +1,50 @@
+"""Selector keeping samples whose field value falls between two quantiles."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Selector
+from repro.core.dataset import NestedDataset
+from repro.core.registry import OPERATORS
+from repro.core.sample import get_field
+
+
+@OPERATORS.register_module("range_specified_field_selector")
+class RangeSpecifiedFieldSelector(Selector):
+    """Keep samples whose numeric ``field_key`` value lies within a quantile band.
+
+    ``lower_percentile`` / ``upper_percentile`` are in [0, 1]; the band is
+    computed over the samples that actually carry a numeric value.
+    """
+
+    def __init__(
+        self,
+        field_key: str = "",
+        lower_percentile: float = 0.0,
+        upper_percentile: float = 1.0,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if not field_key:
+            raise ValueError("field_key must be provided")
+        if not 0.0 <= lower_percentile <= upper_percentile <= 1.0:
+            raise ValueError("percentiles must satisfy 0 <= lower <= upper <= 1")
+        self.field_key = field_key
+        self.lower_percentile = lower_percentile
+        self.upper_percentile = upper_percentile
+
+    def process(self, dataset: NestedDataset) -> NestedDataset:
+        values: list[tuple[int, float]] = []
+        for index, sample in enumerate(dataset):
+            value = get_field(sample, self.field_key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values.append((index, float(value)))
+        if not values:
+            return dataset.select([])
+        sorted_values = sorted(value for _, value in values)
+        lower_index = int(self.lower_percentile * (len(sorted_values) - 1))
+        upper_index = int(self.upper_percentile * (len(sorted_values) - 1))
+        lower_bound = sorted_values[lower_index]
+        upper_bound = sorted_values[upper_index]
+        keep = [index for index, value in values if lower_bound <= value <= upper_bound]
+        return dataset.select(sorted(keep))

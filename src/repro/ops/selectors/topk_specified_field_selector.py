@@ -1,0 +1,53 @@
+"""Selector keeping the top-k samples ranked by a (numeric) field."""
+
+from __future__ import annotations
+
+from repro.core.base_op import Selector
+from repro.core.dataset import NestedDataset
+from repro.core.registry import OPERATORS
+from repro.core.sample import get_field
+
+
+@OPERATORS.register_module("topk_specified_field_selector")
+class TopkSpecifiedFieldSelector(Selector):
+    """Keep the samples with the largest (or smallest) values of ``field_key``.
+
+    Either ``top_ratio`` (fraction of the dataset) or ``topk`` (absolute
+    count) must be provided; samples whose field is missing or non-numeric
+    sort last.
+    """
+
+    def __init__(
+        self,
+        field_key: str = "",
+        top_ratio: float | None = None,
+        topk: int | None = None,
+        reverse: bool = True,
+        text_key: str = "text",
+        **kwargs,
+    ):
+        super().__init__(text_key=text_key, **kwargs)
+        if not field_key:
+            raise ValueError("field_key must be provided")
+        if top_ratio is None and topk is None:
+            raise ValueError("one of top_ratio / topk must be provided")
+        self.field_key = field_key
+        self.top_ratio = top_ratio
+        self.topk = topk
+        self.reverse = reverse
+
+    def process(self, dataset: NestedDataset) -> NestedDataset:
+        length = len(dataset)
+        if length == 0:
+            return dataset
+        count = self.topk if self.topk is not None else int(round(length * self.top_ratio))
+        count = max(0, min(count, length))
+
+        def sort_key(index: int) -> float:
+            value = get_field(dataset[index], self.field_key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                return float("-inf") if self.reverse else float("inf")
+            return float(value)
+
+        order = sorted(range(length), key=sort_key, reverse=self.reverse)
+        return dataset.select(sorted(order[:count]))

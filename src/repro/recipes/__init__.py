@@ -1,0 +1,35 @@
+"""Built-in data recipes: the recipe catalogue plus pre-training / fine-tuning builders."""
+
+from repro.recipes.finetune import (
+    FINETUNE_CATEGORY_COUNTS,
+    build_finetune_pool,
+    data_juicer_finetune_dataset,
+    paper_table8_rows,
+    random_finetune_dataset,
+)
+from repro.recipes.pretrain import (
+    PRETRAIN_COMPONENTS,
+    MixtureStats,
+    build_component_datasets,
+    build_pretrain_mixture,
+    mixture_stats,
+    paper_table7_rows,
+)
+from repro.recipes.registry import BUILT_IN_RECIPES, get_recipe, list_recipes
+
+__all__ = [
+    "BUILT_IN_RECIPES",
+    "FINETUNE_CATEGORY_COUNTS",
+    "MixtureStats",
+    "PRETRAIN_COMPONENTS",
+    "build_component_datasets",
+    "build_finetune_pool",
+    "build_pretrain_mixture",
+    "data_juicer_finetune_dataset",
+    "get_recipe",
+    "list_recipes",
+    "mixture_stats",
+    "paper_table7_rows",
+    "paper_table8_rows",
+    "random_finetune_dataset",
+]

@@ -1,0 +1,32 @@
+"""Synthetic corpora and text generators (substitutes for the paper's datasets)."""
+
+from repro.synth.corpora import (
+    CORPUS_BUILDERS,
+    arxiv_like,
+    books_like,
+    c4_like,
+    chinese_web_like,
+    code_like,
+    common_crawl_like,
+    instruction_dataset,
+    make_corpus,
+    stackexchange_like,
+    wikipedia_like,
+)
+from repro.synth.generators import DocumentGenerator, NoiseInjector
+
+__all__ = [
+    "CORPUS_BUILDERS",
+    "DocumentGenerator",
+    "NoiseInjector",
+    "arxiv_like",
+    "books_like",
+    "c4_like",
+    "chinese_web_like",
+    "code_like",
+    "common_crawl_like",
+    "instruction_dataset",
+    "make_corpus",
+    "stackexchange_like",
+    "wikipedia_like",
+]

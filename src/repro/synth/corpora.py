@@ -1,0 +1,284 @@
+"""Synthetic corpora standing in for the paper's source datasets.
+
+Each builder returns a :class:`~repro.core.dataset.NestedDataset` whose samples
+carry a ``meta`` dict (source, language, tags) so recipes, selectors and the
+fine-tuning experiments can operate on the same metadata the paper uses.  The
+``quality`` knob controls what fraction of documents are clean versus degraded
+by :class:`~repro.synth.generators.NoiseInjector`, and ``duplicate_ratio``
+injects exact/near duplicates for the deduplicators to find.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.dataset import NestedDataset
+from repro.core.sample import Fields
+from repro.synth.generators import DocumentGenerator, NoiseInjector
+
+
+def _make_samples(
+    num_samples: int,
+    seed: int,
+    source: str,
+    quality: float,
+    duplicate_ratio: float,
+    build_clean,
+    build_dirty=None,
+    language: str = "en",
+    extra_meta: dict | None = None,
+) -> NestedDataset:
+    """Shared corpus assembly: clean/dirty mix plus injected duplicates."""
+    rng = random.Random(seed)
+    samples: list[dict] = []
+    for index in range(num_samples):
+        is_clean = rng.random() < quality
+        if is_clean or build_dirty is None:
+            text = build_clean(index)
+        else:
+            text = build_dirty(index)
+        meta = {"source": source, "language": language, "clean": is_clean}
+        if extra_meta:
+            meta.update(extra_meta)
+        samples.append({Fields.text: text, Fields.meta: meta, Fields.source: source})
+    # inject duplicates of existing samples
+    num_duplicates = int(num_samples * duplicate_ratio)
+    for _ in range(num_duplicates):
+        victim = rng.randrange(len(samples))
+        duplicate = dict(samples[victim])
+        duplicate[Fields.meta] = dict(duplicate[Fields.meta], duplicate=True)
+        samples.append(duplicate)
+    rng.shuffle(samples)
+    return NestedDataset.from_list(samples)
+
+
+def common_crawl_like(
+    num_samples: int = 200,
+    seed: int = 0,
+    quality: float = 0.35,
+    duplicate_ratio: float = 0.1,
+) -> NestedDataset:
+    """A CommonCrawl-like web corpus: mostly noisy pages, some clean prose."""
+    generator = DocumentGenerator(seed)
+    noise = NoiseInjector(seed + 1)
+    rng = random.Random(seed + 2)
+
+    def clean(_index: int) -> str:
+        return generator.document()
+
+    def dirty(_index: int) -> str:
+        roll = rng.random()
+        if roll < 0.2:
+            return noise.gibberish()
+        if roll < 0.35:
+            return noise.truncate(generator.paragraph())
+        # always include at least one visible web defect so raw crawl pages are
+        # distinguishable from curated prose (as real CommonCrawl text is)
+        visible = rng.sample(["html", "links", "repetition", "flagged"], k=rng.randint(1, 3))
+        subtle = ["mojibake"] if rng.random() < 0.3 else []
+        return noise.corrupt(generator.document(), kinds=visible + subtle)
+
+    return _make_samples(
+        num_samples, seed, "common_crawl", quality, duplicate_ratio, clean, dirty
+    )
+
+
+def c4_like(num_samples: int = 200, seed: int = 10, quality: float = 0.6) -> NestedDataset:
+    """A C4-like corpus: cleaned web text with residual boilerplate."""
+    generator = DocumentGenerator(seed)
+    noise = NoiseInjector(seed + 1)
+
+    def clean(_index: int) -> str:
+        return generator.document()
+
+    def dirty(_index: int) -> str:
+        return noise.corrupt(generator.document(), kinds=["links", "repetition"])
+
+    return _make_samples(num_samples, seed, "c4", quality, 0.05, clean, dirty)
+
+
+def wikipedia_like(num_samples: int = 150, seed: int = 20) -> NestedDataset:
+    """A Wikipedia-like corpus: clean encyclopedic prose with headings."""
+    generator = DocumentGenerator(seed)
+
+    def clean(index: int) -> str:
+        return generator.title() + "\n\n" + generator.document(num_paragraphs=4)
+
+    return _make_samples(num_samples, seed, "wikipedia", 1.0, 0.0, clean)
+
+
+def books_like(num_samples: int = 60, seed: int = 30) -> NestedDataset:
+    """A Books-like corpus: long, coherent documents."""
+    generator = DocumentGenerator(seed)
+
+    def clean(_index: int) -> str:
+        return generator.document(num_paragraphs=12)
+
+    return _make_samples(num_samples, seed, "books", 1.0, 0.0, clean)
+
+
+def arxiv_like(num_samples: int = 100, seed: int = 40, quality: float = 0.8) -> NestedDataset:
+    """An arXiv-like corpus: LaTeX sources with preamble, macros, comments, bibliography."""
+    generator = DocumentGenerator(seed)
+
+    def clean(index: int) -> str:
+        body = generator.document(num_paragraphs=4)
+        return (
+            "\\documentclass{article}\n"
+            "\\newcommand{\\method}{JuicyNet}\n"
+            "% internal review comment\n"
+            "\\begin{document}\n"
+            f"\\section{{Introduction}}\n{body}\n"
+            "The \\method approach is described above. % trailing note\n"
+            "\\begin{thebibliography}{9}\\bibitem{x} Some Reference.\\end{thebibliography}\n"
+            "\\end{document}\n"
+        )
+
+    def dirty(index: int) -> str:
+        return "\\documentclass{article}\n% only preamble, no content\n\\usepackage{amsmath}\n"
+
+    return _make_samples(num_samples, seed, "arxiv", quality, 0.02, clean, dirty)
+
+
+def code_like(num_samples: int = 100, seed: int = 50, quality: float = 0.7) -> NestedDataset:
+    """A GitHub-like code corpus with star-count metadata and copyright headers."""
+    generator = DocumentGenerator(seed)
+    rng = random.Random(seed + 3)
+
+    def clean(index: int) -> str:
+        return generator.code_document()
+
+    def dirty(index: int) -> str:
+        header = (
+            "# Copyright (c) 2020 Example Corp. All rights reserved.\n"
+            "# Licensed under the Apache License, Version 2.0\n"
+        )
+        return header + generator.code_document(num_functions=1)
+
+    dataset = _make_samples(num_samples, seed, "github", quality, 0.05, clean, dirty)
+    stars = [rng.randint(0, 2000) for _ in range(len(dataset))]
+    rows = []
+    for row, star_count in zip(dataset, stars):
+        meta = dict(row.get(Fields.meta) or {})
+        meta["stars"] = star_count
+        row = dict(row)
+        row[Fields.meta] = meta
+        row[Fields.suffix] = ".py"
+        rows.append(row)
+    return NestedDataset.from_list(rows)
+
+
+def stackexchange_like(num_samples: int = 150, seed: int = 60, quality: float = 0.75) -> NestedDataset:
+    """A StackExchange-like Q&A corpus."""
+    generator = DocumentGenerator(seed)
+    noise = NoiseInjector(seed + 1)
+
+    def clean(_index: int) -> str:
+        question = "Q: " + generator.sentence(8, 16)
+        answer = "A: " + generator.paragraph(3)
+        return question + "\n" + answer
+
+    def dirty(_index: int) -> str:
+        return noise.corrupt(clean(0), kinds=["links"])
+
+    return _make_samples(num_samples, seed, "stackexchange", quality, 0.08, clean, dirty)
+
+
+def chinese_web_like(num_samples: int = 120, seed: int = 70, quality: float = 0.5) -> NestedDataset:
+    """A Chinese-like web corpus (CJK characters) with noisy variants."""
+    generator = DocumentGenerator(seed)
+    noise = NoiseInjector(seed + 1)
+
+    def clean(_index: int) -> str:
+        return generator.cjk_document()
+
+    def dirty(_index: int) -> str:
+        return noise.add_links_and_emails(generator.cjk_document(num_sentences=2))
+
+    return _make_samples(
+        num_samples, seed, "chinese_web", quality, 0.05, clean, dirty, language="zh"
+    )
+
+
+def instruction_dataset(
+    num_samples: int = 200,
+    seed: int = 80,
+    language: str = "en",
+    usage: str = "IFT",
+    quality: float = 0.8,
+    name: str | None = None,
+) -> NestedDataset:
+    """A fine-tuning dataset of (instruction, input, output) samples.
+
+    ``usage`` is the paper's meta-tag: ``"IFT"`` (instruct fine-tuning) or
+    ``"CFT"`` (chat fine-tuning).  The text field concatenates the parts so
+    text-level OPs work unchanged, while the structured fields are kept for
+    recipe tooling.
+    """
+    generator = DocumentGenerator(seed)
+    noise = NoiseInjector(seed + 1)
+    rng = random.Random(seed + 2)
+    source = name or f"{usage.lower()}_{language}_{seed}"
+    templates = [
+        "Summarize the following text",
+        "Explain the concept of",
+        "Translate this sentence about",
+        "Write a short story about",
+        "List three facts about",
+        "Compare and contrast",
+        "Answer the question about",
+        "Classify the sentiment of",
+        "Extract the key entities from",
+        "Generate a question about",
+    ]
+    samples = []
+    for index in range(num_samples):
+        is_clean = rng.random() < quality
+        if language == "zh":
+            instruction = "请总结以下内容" if rng.random() < 0.5 else "请解释下面的概念"
+            input_text = generator.cjk_sentence()
+            output_text = generator.cjk_document(num_sentences=3)
+        else:
+            instruction = f"{rng.choice(templates)} {rng.choice(['the', 'a'])} {generator.title().lower()}."
+            input_text = generator.sentence(8, 20)
+            output_text = generator.paragraph(3)
+        if not is_clean:
+            output_text = noise.corrupt(
+                output_text, kinds=rng.sample(["repetition", "flagged", "links"], k=2)
+            )
+        text = f"{instruction}\n{input_text}\n{output_text}"
+        samples.append(
+            {
+                Fields.text: text,
+                "instruction": instruction,
+                "input": input_text,
+                "output": output_text,
+                Fields.meta: {
+                    "source": source,
+                    "language": language.upper(),
+                    "usage": usage,
+                    "clean": is_clean,
+                },
+                Fields.source: source,
+            }
+        )
+    return NestedDataset.from_list(samples)
+
+
+CORPUS_BUILDERS = {
+    "common_crawl": common_crawl_like,
+    "c4": c4_like,
+    "wikipedia": wikipedia_like,
+    "books": books_like,
+    "arxiv": arxiv_like,
+    "github": code_like,
+    "stackexchange": stackexchange_like,
+    "chinese_web": chinese_web_like,
+}
+
+
+def make_corpus(name: str, num_samples: int = 100, seed: int = 0, **kwargs) -> NestedDataset:
+    """Build one of the named synthetic corpora."""
+    if name not in CORPUS_BUILDERS:
+        raise ValueError(f"unknown corpus {name!r}; choose from {sorted(CORPUS_BUILDERS)}")
+    return CORPUS_BUILDERS[name](num_samples=num_samples, seed=seed, **kwargs)

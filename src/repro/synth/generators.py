@@ -1,0 +1,164 @@
+"""Core synthetic text generator with controllable quality defects.
+
+``DocumentGenerator`` produces English-like prose with realistic token
+statistics; ``NoiseInjector`` degrades clean documents with the defects the
+paper's operator pool targets: HTML debris, URLs/e-mails, repeated n-grams,
+flagged words, broken unicode, exotic whitespace and truncation.  All output
+is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.synth import vocabulary as vocab
+
+
+class DocumentGenerator:
+    """Generate clean, structured prose documents from the embedded vocabulary."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def word(self) -> str:
+        """Sample one word with a rough Zipf-like distribution across pools."""
+        roll = self.rng.random()
+        if roll < 0.45:
+            return self.rng.choice(vocab.FUNCTION_WORDS)
+        if roll < 0.70:
+            return self.rng.choice(vocab.NOUNS)
+        if roll < 0.85:
+            return self.rng.choice(vocab.VERBS)
+        if roll < 0.96:
+            return self.rng.choice(vocab.MODIFIERS)
+        return self.rng.choice(vocab.RARE_WORDS)
+
+    def sentence(self, min_words: int = 6, max_words: int = 18) -> str:
+        """Generate one sentence of the form 'The <noun> <verb>s the <noun> ...'."""
+        length = self.rng.randint(min_words, max_words)
+        words = [
+            "the" if self.rng.random() < 0.15 else self.word() for _ in range(length)
+        ]
+        # guarantee one verb and one noun so diversity analysis finds pairs
+        words[min(1, length - 1)] = self.rng.choice(vocab.VERBS)
+        words[min(2, length - 1)] = self.rng.choice(vocab.NOUNS)
+        text = " ".join(words)
+        return text[0].upper() + text[1:] + "."
+
+    def paragraph(self, num_sentences: int | None = None) -> str:
+        """Generate one paragraph of several sentences."""
+        count = num_sentences or self.rng.randint(3, 7)
+        return " ".join(self.sentence() for _ in range(count))
+
+    def document(self, num_paragraphs: int | None = None) -> str:
+        """Generate one clean multi-paragraph document."""
+        count = num_paragraphs or self.rng.randint(2, 6)
+        return "\n\n".join(self.paragraph() for _ in range(count))
+
+    def title(self) -> str:
+        """Generate a short title-like line."""
+        words = [self.rng.choice(vocab.MODIFIERS), self.rng.choice(vocab.NOUNS),
+                 self.rng.choice(vocab.NOUNS)]
+        return " ".join(word.capitalize() for word in words)
+
+    def cjk_sentence(self, min_chars: int = 10, max_chars: int = 40) -> str:
+        """Generate a Chinese-like sentence from the CJK character pool."""
+        length = self.rng.randint(min_chars, max_chars)
+        return "".join(self.rng.choice(vocab.CJK_CHARS) for _ in range(length)) + "。"
+
+    def cjk_document(self, num_sentences: int | None = None) -> str:
+        """Generate a Chinese-like document."""
+        count = num_sentences or self.rng.randint(4, 10)
+        return "".join(self.cjk_sentence() for _ in range(count))
+
+    def code_document(self, num_functions: int | None = None) -> str:
+        """Generate a Python-like source file."""
+        count = num_functions or self.rng.randint(2, 5)
+        lines = ['"""Utility module."""', "", "import os", "import sys", ""]
+        for _ in range(count):
+            name = self.rng.choice(vocab.CODE_IDENTIFIERS)
+            arg = self.rng.choice(vocab.CODE_IDENTIFIERS)
+            lines.append(f"def {name}({arg}):")
+            for _ in range(self.rng.randint(2, 5)):
+                left = self.rng.choice(vocab.CODE_IDENTIFIERS)
+                right = self.rng.choice(vocab.CODE_IDENTIFIERS)
+                lines.append(f"    {left} = {right} + {self.rng.randint(0, 99)}")
+            lines.append(f"    return {arg}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+class NoiseInjector:
+    """Degrade clean documents with the quality defects targeted by the OP pool."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    def add_html(self, text: str) -> str:
+        """Wrap parts of the text in HTML debris."""
+        return (
+            "<html><body><div class=\"content\"><p>"
+            + text.replace("\n\n", "</p>\n<p>")
+            + "</p></div><script>var x = 1;</script></body></html>"
+        )
+
+    def add_links_and_emails(self, text: str) -> str:
+        """Append navigation boilerplate full of URLs and e-mail addresses."""
+        boiler = (
+            " Visit https://example-site{0}.com/page?id={0} now."
+            " Contact admin{0}@example.com or see www.tracker{0}.net/click."
+        ).format(self.rng.randint(1, 999))
+        return text + ("\n" + boiler) * self.rng.randint(1, 3)
+
+    def add_repetition(self, text: str) -> str:
+        """Repeat one sentence many times (generation-loop style defect)."""
+        sentences = text.split(". ")
+        victim = self.rng.choice(sentences) if sentences else text
+        return text + " " + (". ".join([victim] * self.rng.randint(5, 10)))
+
+    def add_flagged_words(self, text: str) -> str:
+        """Sprinkle flagged marker words into the text."""
+        from repro.ops.common.flagged_words import FLAGGED_WORDS_EN
+
+        words = text.split()
+        for _ in range(max(3, len(words) // 10)):
+            position = self.rng.randint(0, len(words))
+            words.insert(position, self.rng.choice(sorted(FLAGGED_WORDS_EN)))
+        return " ".join(words)
+
+    def add_mojibake(self, text: str) -> str:
+        """Introduce broken unicode sequences."""
+        return text.replace("the", "â€™the", 3).replace(" a ", " Â a ", 2)
+
+    def add_messy_whitespace(self, text: str) -> str:
+        """Replace normal spaces with exotic whitespace characters."""
+        return text.replace(" ", " ", len(text) // 8).replace(" ", " ", len(text) // 10)
+
+    def truncate(self, text: str) -> str:
+        """Truncate to a tiny fragment (too-short document defect)."""
+        return text[: self.rng.randint(5, 30)]
+
+    def gibberish(self, length: int | None = None) -> str:
+        """Produce symbol soup with no natural-language structure."""
+        length = length or self.rng.randint(80, 300)
+        alphabet = "qwrtypsdfghjklzxcvbnm#$%&*@!{}[]<>|\\/~^"
+        return "".join(self.rng.choice(alphabet) for _ in range(length))
+
+    def corrupt(self, text: str, kinds: list[str] | None = None) -> str:
+        """Apply a random subset of defects to a clean document."""
+        operations = {
+            "html": self.add_html,
+            "links": self.add_links_and_emails,
+            "repetition": self.add_repetition,
+            "flagged": self.add_flagged_words,
+            "mojibake": self.add_mojibake,
+            "whitespace": self.add_messy_whitespace,
+            "truncate": self.truncate,
+        }
+        chosen = kinds if kinds is not None else self.rng.sample(
+            sorted(operations), k=self.rng.randint(1, 3)
+        )
+        for kind in chosen:
+            text = operations[kind](text)
+        return text

@@ -1,0 +1,73 @@
+"""Vocabularies backing the synthetic corpus generators.
+
+The generators compose documents from these word pools with a Zipf-like rank
+distribution, which gives the synthetic corpora realistic token statistics
+(stop-word density, word-length distribution, verb-noun structure) without
+shipping any real corpus.
+"""
+
+from __future__ import annotations
+
+# Function words (high frequency) — also drive the stop-word ratio statistics.
+FUNCTION_WORDS = [
+    "the", "of", "and", "a", "to", "in", "is", "was", "it", "for", "with",
+    "as", "on", "be", "at", "by", "this", "that", "from", "or", "an", "are",
+    "not", "but", "they", "which", "have", "has", "had", "were", "their",
+    "its", "we", "you", "can", "will", "would", "there", "been", "more",
+]
+
+# Content nouns (mid frequency).
+NOUNS = [
+    "system", "data", "model", "language", "research", "paper", "method",
+    "result", "experiment", "analysis", "process", "quality", "information",
+    "network", "algorithm", "structure", "science", "history", "theory",
+    "energy", "market", "company", "student", "teacher", "city", "country",
+    "government", "policy", "problem", "solution", "project", "design",
+    "library", "dataset", "pipeline", "operator", "filter", "sample",
+    "document", "corpus", "token", "training", "evaluation", "benchmark",
+    "knowledge", "question", "answer", "example", "feature", "value",
+    "people", "world", "water", "music", "story", "family", "health",
+    "economy", "climate", "culture", "education", "industry", "technology",
+]
+
+# Verbs (mid frequency) — drive the verb-noun diversity analysis.
+VERBS = [
+    "make", "use", "find", "show", "provide", "describe", "explain",
+    "analyze", "compare", "improve", "build", "create", "develop", "evaluate",
+    "measure", "train", "test", "process", "filter", "generate", "collect",
+    "study", "consider", "propose", "present", "support", "require",
+    "increase", "reduce", "apply", "observe", "report", "discuss", "design",
+    "summarize", "translate", "classify", "extract", "identify", "write",
+]
+
+# Adjectives / adverbs (lower frequency).
+MODIFIERS = [
+    "new", "large", "small", "good", "important", "different", "significant",
+    "high", "low", "effective", "efficient", "robust", "simple", "complex",
+    "general", "specific", "recent", "early", "various", "common", "main",
+    "novel", "practical", "open", "public", "modern", "diverse", "massive",
+]
+
+# Rare "long tail" words to stretch the vocabulary (lowest frequency).
+RARE_WORDS = [
+    "heterogeneity", "composability", "deduplication", "tokenization",
+    "optimization", "scalability", "visualization", "infrastructure",
+    "hyperparameter", "configuration", "reproducibility", "distributed",
+    "throughput", "bottleneck", "fingerprint", "checkpoint", "perplexity",
+    "anonymization", "granularity", "orchestration", "materialization",
+]
+
+# Simplified Chinese-like characters (for the ZH corpus variants).
+CJK_CHARS = list("数据处理系统模型语言大规模训练评估质量多样性文本清洗过滤重复指令对话帮助用户问题回答研究方法结果分析实验设计改进提高效果性能内容信息知识学习理解生成")
+
+# Code identifiers and keywords for the code-like corpus.
+CODE_KEYWORDS = [
+    "def", "return", "class", "import", "for", "while", "if", "else", "try",
+    "except", "lambda", "yield", "assert", "raise", "with", "pass",
+]
+CODE_IDENTIFIERS = [
+    "load_data", "process_batch", "compute_stats", "run_pipeline", "main",
+    "parse_args", "get_config", "build_model", "train_step", "evaluate",
+    "tokenize", "normalize", "filter_samples", "dedup", "export_results",
+    "value", "result", "index", "count", "total", "buffer", "handler",
+]

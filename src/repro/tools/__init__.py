@@ -1,0 +1,1 @@
+"""Dedicated pluggable tools: quality classifiers, samplers, HPO and evaluation."""

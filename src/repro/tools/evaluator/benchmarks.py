@@ -1,0 +1,75 @@
+"""The 16-task HELM-like benchmark suite scored against proxy models.
+
+Each task converts a :class:`~repro.tools.evaluator.trainer.ProxyLLM`'s
+component scores (coverage, fluency, diversity, cleanliness, dedup) into a
+0-100 task score via task-specific weights, a base offset and a small
+deterministic task×model perturbation.  The task names follow the 16 HELM core
+scenarios the paper evaluates (Table 9); the *relative* orderings — better
+recipes score higher, more tokens score higher — are what the reproduction
+preserves, not the paper's absolute values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.tools.evaluator.trainer import ProxyLLM
+
+
+@dataclass(frozen=True)
+class BenchmarkTask:
+    """One synthetic evaluation task: a name, component weights, base and scale."""
+
+    name: str
+    base: float
+    scale: float
+    weights: dict[str, float]
+
+    def score(self, model: ProxyLLM) -> float:
+        """Score the model on this task (0-100)."""
+        components = model.component_scores()
+        weighted = sum(self.weights.get(key, 0.0) * value for key, value in components.items())
+        weight_total = sum(self.weights.values()) or 1.0
+        raw = self.base + self.scale * (weighted / weight_total)
+        raw += self._perturbation(model.name)
+        return float(max(0.0, min(100.0, raw)))
+
+    def _perturbation(self, model_name: str) -> float:
+        """Small deterministic task x model noise (reproducible across runs)."""
+        digest = hashlib.md5(f"{self.name}:{model_name}".encode("utf-8")).digest()
+        return (digest[0] / 255.0 - 0.5) * 2.0  # in [-1, 1]
+
+
+#: The 16 HELM core scenarios (Table 9 of the paper) with task-specific weights.
+HELM_CORE_TASKS: tuple[BenchmarkTask, ...] = (
+    BenchmarkTask("MMLU", 18.0, 30.0, {"coverage": 2, "fluency": 1, "diversity": 1}),
+    BenchmarkTask("BoolQ", 35.0, 40.0, {"fluency": 2, "coverage": 1, "cleanliness": 1}),
+    BenchmarkTask("NarrativeQA", 20.0, 45.0, {"fluency": 2, "diversity": 2, "coverage": 1}),
+    BenchmarkTask("NaturalQuestions (closed-book)", 5.0, 20.0, {"coverage": 3, "fluency": 1}),
+    BenchmarkTask("NaturalQuestions (open-book)", 30.0, 45.0, {"coverage": 2, "fluency": 2}),
+    BenchmarkTask("QuAC", 15.0, 30.0, {"diversity": 2, "fluency": 1, "coverage": 1}),
+    BenchmarkTask("HellaSwag", 30.0, 50.0, {"coverage": 2, "fluency": 2, "dedup": 1}),
+    BenchmarkTask("OpenbookQA", 25.0, 40.0, {"coverage": 2, "fluency": 1, "diversity": 1}),
+    BenchmarkTask("TruthfulQA", 12.0, 40.0, {"cleanliness": 3, "dedup": 1, "fluency": 1}),
+    BenchmarkTask("MS MARCO (regular)", 8.0, 20.0, {"coverage": 1, "fluency": 1, "diversity": 1}),
+    BenchmarkTask("MS MARCO (TREC)", 18.0, 30.0, {"coverage": 1, "fluency": 1, "diversity": 1}),
+    BenchmarkTask("IMDB", 45.0, 45.0, {"fluency": 2, "cleanliness": 1, "coverage": 1}),
+    BenchmarkTask("XSUM", 2.0, 10.0, {"fluency": 2, "diversity": 1}),
+    BenchmarkTask("CNN/DailyMail", 2.0, 15.0, {"fluency": 2, "diversity": 1, "dedup": 1}),
+    BenchmarkTask("CivilComments", 42.0, 18.0, {"cleanliness": 3, "fluency": 1}),
+    BenchmarkTask("RAFT", 30.0, 35.0, {"diversity": 2, "coverage": 1, "cleanliness": 1}),
+)
+
+
+def task_names() -> list[str]:
+    """Names of the 16 core tasks, in canonical order."""
+    return [task.name for task in HELM_CORE_TASKS]
+
+
+def get_task(name: str) -> BenchmarkTask:
+    """Look up a task by name."""
+    for task in HELM_CORE_TASKS:
+        if task.name == name:
+            return task
+    raise KeyError(f"unknown benchmark task {name!r}")

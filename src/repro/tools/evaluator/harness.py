@@ -1,0 +1,111 @@
+"""Auto-evaluation harness: run the benchmark suite, aggregate and rank models.
+
+Reproduces the evaluator / leaderboard tooling of Sec. 4.3: per-task scores,
+several aggregation strategies (plain mean, rank averaging, score-normalised
+averaging) and a leaderboard-style comparison across reference models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import EvaluationError
+from repro.tools.evaluator.benchmarks import HELM_CORE_TASKS, BenchmarkTask
+from repro.tools.evaluator.trainer import ProxyLLM
+
+
+@dataclass
+class EvaluationReport:
+    """Per-task scores and the aggregate score of one model."""
+
+    model_name: str
+    task_scores: dict[str, float]
+    average_score: float
+    components: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for benchmark tables."""
+        return {
+            "model_name": self.model_name,
+            "task_scores": dict(self.task_scores),
+            "average_score": self.average_score,
+            "components": dict(self.components),
+        }
+
+
+class Evaluator:
+    """Evaluate proxy models across a (configurable) benchmark suite."""
+
+    def __init__(self, tasks: tuple[BenchmarkTask, ...] | None = None):
+        self.tasks = tuple(tasks) if tasks is not None else HELM_CORE_TASKS
+        if not self.tasks:
+            raise EvaluationError("the benchmark suite must contain at least one task")
+
+    def evaluate(self, model: ProxyLLM) -> EvaluationReport:
+        """Score one model on every task and aggregate with the plain mean."""
+        task_scores = {task.name: task.score(model) for task in self.tasks}
+        return EvaluationReport(
+            model_name=model.name,
+            task_scores=task_scores,
+            average_score=float(np.mean(list(task_scores.values()))),
+            components=model.component_scores(),
+        )
+
+    def evaluate_many(self, models: list[ProxyLLM]) -> list[EvaluationReport]:
+        """Evaluate several models."""
+        return [self.evaluate(model) for model in models]
+
+
+class Leaderboard:
+    """Collect evaluation reports and rank models by a chosen aggregation."""
+
+    AGGREGATIONS = ("mean", "rank", "normalized")
+
+    def __init__(self, aggregation: str = "mean"):
+        if aggregation not in self.AGGREGATIONS:
+            raise EvaluationError(
+                f"unknown aggregation {aggregation!r}; choose from {self.AGGREGATIONS}"
+            )
+        self.aggregation = aggregation
+        self.reports: list[EvaluationReport] = []
+
+    def add(self, report: EvaluationReport) -> None:
+        """Add one model's report to the leaderboard."""
+        self.reports.append(report)
+
+    # ------------------------------------------------------------------
+    def _aggregate(self) -> dict[str, float]:
+        if not self.reports:
+            return {}
+        if self.aggregation == "mean":
+            return {report.model_name: report.average_score for report in self.reports}
+        task_names = list(self.reports[0].task_scores)
+        matrix = np.array(
+            [[report.task_scores[name] for name in task_names] for report in self.reports]
+        )
+        if self.aggregation == "normalized":
+            minimum = matrix.min(axis=0)
+            spread = np.where(matrix.max(axis=0) - minimum > 0, matrix.max(axis=0) - minimum, 1.0)
+            normalized = (matrix - minimum) / spread
+            values = normalized.mean(axis=1)
+        else:  # rank averaging: higher score -> better (lower) rank
+            ranks = np.zeros_like(matrix)
+            for column in range(matrix.shape[1]):
+                order = np.argsort(-matrix[:, column])
+                ranks[order, column] = np.arange(1, matrix.shape[0] + 1)
+            values = -ranks.mean(axis=1)  # negate so "higher is better" holds
+        return {report.model_name: float(value) for report, value in zip(self.reports, values)}
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Model names with aggregate values, best first."""
+        aggregated = self._aggregate()
+        return sorted(aggregated.items(), key=lambda item: item[1], reverse=True)
+
+    def render(self) -> str:
+        """Human-readable leaderboard table."""
+        lines = [f"Leaderboard (aggregation={self.aggregation})"]
+        for position, (name, value) in enumerate(self.ranking(), start=1):
+            lines.append(f"  {position}. {name}: {value:.3f}")
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Pairwise judging of fine-tuned proxy models (the GPT-4 evaluation stand-in).
+
+The paper scores fine-tuning recipes by asking GPT-4 to compare responses of
+two models on a prompt set and tallying wins/ties (Table 3).  The stand-in
+judge compares two proxy models prompt by prompt using a deterministic quality
+criterion: per-prompt response quality is drawn from each model's component
+scores (fluency, diversity, cleanliness) plus a prompt-specific perturbation,
+and a win is declared when the margin exceeds a tie threshold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.tools.evaluator.trainer import ProxyLLM
+
+
+@dataclass
+class JudgeResult:
+    """Win/tie/loss tallies of model A vs model B over a prompt set."""
+
+    model_a: str
+    model_b: str
+    wins_a: int
+    wins_b: int
+    ties: int
+
+    @property
+    def num_prompts(self) -> int:
+        """Total number of judged prompts."""
+        return self.wins_a + self.wins_b + self.ties
+
+    def win_rate_a(self) -> float:
+        """Fraction of prompts won by model A."""
+        return self.wins_a / self.num_prompts if self.num_prompts else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for the Table 3 benchmark."""
+        return {
+            "model_a": self.model_a,
+            "model_b": self.model_b,
+            "wins_a": self.wins_a,
+            "wins_b": self.wins_b,
+            "ties": self.ties,
+        }
+
+
+class PairwiseJudge:
+    """Deterministic pairwise comparison over a fixed number of prompts."""
+
+    def __init__(self, num_prompts: int = 160, tie_margin: float = 0.04, seed: int = 7):
+        self.num_prompts = num_prompts
+        self.tie_margin = tie_margin
+        self.seed = seed
+
+    def _response_quality(self, model: ProxyLLM, prompt_index: int) -> float:
+        components = model.component_scores()
+        base = (
+            0.4 * components["fluency"]
+            + 0.3 * components["diversity"]
+            + 0.2 * components["cleanliness"]
+            + 0.1 * components["dedup"]
+        )
+        digest = hashlib.md5(f"{self.seed}:{model.name}:{prompt_index}".encode("utf-8")).digest()
+        perturbation = (digest[0] / 255.0 - 0.5) * 0.12
+        return base + perturbation
+
+    def compare(self, model_a: ProxyLLM, model_b: ProxyLLM) -> JudgeResult:
+        """Judge both models on every prompt and tally wins/ties."""
+        wins_a = wins_b = ties = 0
+        for prompt_index in range(self.num_prompts):
+            quality_a = self._response_quality(model_a, prompt_index)
+            quality_b = self._response_quality(model_b, prompt_index)
+            if abs(quality_a - quality_b) <= self.tie_margin:
+                ties += 1
+            elif quality_a > quality_b:
+                wins_a += 1
+            else:
+                wins_b += 1
+        return JudgeResult(
+            model_a=model_a.name, model_b=model_b.name, wins_a=wins_a, wins_b=wins_b, ties=ties
+        )

@@ -1,0 +1,34 @@
+"""Auto-HPO for data recipes: search spaces, optimizers and ready-made objectives."""
+
+from repro.tools.hpo.objectives import make_mixture_objective, make_op_threshold_objective
+from repro.tools.hpo.optimizers import (
+    Hyperband,
+    RandomSearch,
+    TPEOptimizer,
+    best_trial,
+    parameter_importance,
+)
+from repro.tools.hpo.search_space import (
+    Choice,
+    IntUniform,
+    LogUniform,
+    SearchSpace,
+    Trial,
+    Uniform,
+)
+
+__all__ = [
+    "Choice",
+    "Hyperband",
+    "IntUniform",
+    "LogUniform",
+    "RandomSearch",
+    "SearchSpace",
+    "TPEOptimizer",
+    "Trial",
+    "Uniform",
+    "best_trial",
+    "make_mixture_objective",
+    "make_op_threshold_objective",
+    "parameter_importance",
+]

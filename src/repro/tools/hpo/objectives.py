@@ -1,0 +1,78 @@
+"""Ready-made HPO objectives for data-recipe search.
+
+The paper's running example (Sec. 4.1.2) searches mixture weights for M
+datasets maximising ``n/N + s`` where ``n`` is the mixed token count, ``N`` the
+total token count and ``s`` the average GPT-3-style quality score of the
+mixture.  :func:`make_mixture_objective` builds exactly that callable from a
+set of candidate datasets and a trained quality classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.dataset import NestedDataset, dataset_token_count
+from repro.core.sample import Fields
+from repro.formats.mixture_formatter import mix_datasets
+from repro.tools.quality_classifier.pipeline import QualityClassifier
+
+
+def make_mixture_objective(
+    datasets: dict[str, NestedDataset],
+    classifier: QualityClassifier,
+    max_samples: int | None = None,
+    dedup: bool = True,
+    seed: int = 42,
+) -> Callable[..., float]:
+    """Return an objective ``f(**weights) -> n/N + s`` over mixture weights.
+
+    Weight keyword names follow :meth:`SearchSpace.for_mixture_weights`:
+    ``w_<dataset_name>``.
+    """
+    total_tokens = sum(dataset_token_count(dataset) for dataset in datasets.values()) or 1
+
+    def objective(**weights: float) -> float:
+        named = {name: max(0.0, float(weights.get(f"w_{name}", 0.0))) for name in datasets}
+        if sum(named.values()) <= 0:
+            return 0.0
+        mixed = mix_datasets(datasets, named, max_samples=max_samples, seed=seed)
+        if dedup and len(mixed) > 0:
+            from repro.ops.deduplicators.document_deduplicator import DocumentDeduplicator
+
+            mixed = DocumentDeduplicator().run(mixed)
+        if len(mixed) == 0:
+            return 0.0
+        tokens = dataset_token_count(mixed)
+        texts = [row.get(Fields.text, "") for row in mixed]
+        quality = float(classifier.predict_scores(texts).mean()) if texts else 0.0
+        return tokens / total_tokens + quality
+
+    return objective
+
+
+def make_op_threshold_objective(
+    dataset: NestedDataset,
+    classifier: QualityClassifier,
+    op_name: str = "character_repetition_filter",
+    param_name: str = "max_ratio",
+) -> Callable[..., float]:
+    """Objective scoring a single filter threshold by kept-volume x kept-quality.
+
+    Used by the feedback-loop example to tune one OP hyper-parameter: the
+    score is ``kept_fraction * average_quality_of_kept``, which trades recall
+    against precision exactly like the paper's recipe-refinement loop.
+    """
+    from repro.core.registry import OPERATORS
+
+    total = len(dataset) or 1
+
+    def objective(**params: float) -> float:
+        op = OPERATORS.get(op_name)(**{param_name: params[param_name]})
+        kept = op.run(dataset)
+        if len(kept) == 0:
+            return 0.0
+        texts = [row.get(Fields.text, "") for row in kept]
+        quality = float(classifier.predict_scores(texts).mean())
+        return (len(kept) / total) * quality
+
+    return objective

@@ -1,0 +1,208 @@
+"""HPO schedulers: random search, TPE (Bayesian) and Hyperband early stopping.
+
+These stand in for the W&B Sweeps integration of the original system: given a
+:class:`~repro.tools.hpo.search_space.SearchSpace` and an objective callable,
+each optimizer returns the best trial and the full trial history, which the
+HPO demo (Figure 3) turns into importance/correlation views.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+import numpy as np
+
+from repro.core.errors import HPOError
+from repro.tools.hpo.search_space import SearchSpace, Trial
+
+Objective = Callable[..., float]
+
+
+class RandomSearch:
+    """Uniformly sample configurations and keep the best."""
+
+    def __init__(self, space: SearchSpace, maximize: bool = True, seed: int = 0):
+        self.space = space
+        self.maximize = maximize
+        self.rng = random.Random(seed)
+        self.trials: list[Trial] = []
+
+    def optimize(self, objective: Objective, num_trials: int = 20) -> Trial:
+        """Run ``num_trials`` evaluations and return the best trial."""
+        if num_trials <= 0:
+            raise HPOError("num_trials must be positive")
+        for _ in range(num_trials):
+            params = self.space.sample(self.rng)
+            value = float(objective(**params))
+            self.trials.append(Trial(params=params, value=value))
+        return best_trial(self.trials, self.maximize)
+
+
+class TPEOptimizer:
+    """A simplified Tree-structured Parzen Estimator (Bayesian optimization).
+
+    After a warm-up of random trials, candidates are sampled around the "good"
+    trials (top ``gamma`` fraction) with Gaussian perturbations, and the
+    candidate with the best good/bad density ratio is evaluated next.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        maximize: bool = True,
+        seed: int = 0,
+        gamma: float = 0.25,
+        num_candidates: int = 24,
+        num_startup_trials: int = 8,
+    ):
+        self.space = space
+        self.maximize = maximize
+        self.rng = random.Random(seed)
+        self.np_rng = np.random.default_rng(seed)
+        self.gamma = gamma
+        self.num_candidates = num_candidates
+        self.num_startup_trials = num_startup_trials
+        self.trials: list[Trial] = []
+
+    # ------------------------------------------------------------------
+    def _numeric_names(self) -> list[str]:
+        names = []
+        for name, dist in self.space.parameters.items():
+            if hasattr(dist, "low") and hasattr(dist, "high"):
+                names.append(name)
+        return names
+
+    def _density(self, points: np.ndarray, center_points: np.ndarray, bandwidth: np.ndarray) -> np.ndarray:
+        if len(center_points) == 0:
+            return np.full(len(points), 1e-12)
+        densities = np.zeros(len(points))
+        for center in center_points:
+            z = (points - center) / bandwidth
+            densities += np.exp(-0.5 * np.sum(z * z, axis=1))
+        return densities / len(center_points) + 1e-12
+
+    def _suggest(self) -> dict:
+        numeric_names = self._numeric_names()
+        if len(self.trials) < self.num_startup_trials or not numeric_names:
+            return self.space.sample(self.rng)
+        ordered = sorted(self.trials, key=lambda t: t.value, reverse=self.maximize)
+        cut = max(1, int(len(ordered) * self.gamma))
+        good, bad = ordered[:cut], ordered[cut:]
+
+        def to_matrix(trials: list[Trial]) -> np.ndarray:
+            return np.array([[float(t.params[name]) for name in numeric_names] for t in trials])
+
+        good_matrix, bad_matrix = to_matrix(good), to_matrix(bad if bad else ordered)
+        spans = np.array(
+            [self.space.parameters[name].high - self.space.parameters[name].low
+             for name in numeric_names],
+            dtype=float,
+        )
+        bandwidth = np.maximum(spans * 0.15, 1e-6)
+
+        candidates = []
+        for _ in range(self.num_candidates):
+            anchor = good_matrix[self.rng.randrange(len(good_matrix))]
+            candidate = anchor + self.np_rng.normal(0.0, bandwidth)
+            lows = np.array([self.space.parameters[n].low for n in numeric_names], dtype=float)
+            highs = np.array([self.space.parameters[n].high for n in numeric_names], dtype=float)
+            candidates.append(np.clip(candidate, lows, highs))
+        candidate_matrix = np.array(candidates)
+        score = self._density(candidate_matrix, good_matrix, bandwidth) / self._density(
+            candidate_matrix, bad_matrix, bandwidth
+        )
+        best = candidate_matrix[int(np.argmax(score))]
+        params = self.space.sample(self.rng)  # fills categorical params
+        for name, value in zip(numeric_names, best):
+            dist = self.space.parameters[name]
+            params[name] = int(round(value)) if dist.__class__.__name__ == "IntUniform" else float(value)
+        return params
+
+    def optimize(self, objective: Objective, num_trials: int = 30) -> Trial:
+        """Run ``num_trials`` TPE-guided evaluations and return the best trial."""
+        for _ in range(num_trials):
+            params = self._suggest()
+            value = float(objective(**params))
+            self.trials.append(Trial(params=params, value=value))
+        return best_trial(self.trials, self.maximize)
+
+
+class Hyperband:
+    """Successive-halving early stopping over a budgeted objective.
+
+    The objective must accept a ``budget`` keyword (e.g. the number of samples
+    processed or proxy-training tokens); configurations surviving each rung
+    get geometrically larger budgets.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        max_budget: float = 81.0,
+        eta: int = 3,
+        maximize: bool = True,
+        seed: int = 0,
+    ):
+        if eta < 2:
+            raise HPOError("eta must be >= 2")
+        self.space = space
+        self.max_budget = max_budget
+        self.eta = eta
+        self.maximize = maximize
+        self.rng = random.Random(seed)
+        self.trials: list[Trial] = []
+
+    def optimize(self, objective: Objective, num_configs: int = 27) -> Trial:
+        """Run one successive-halving bracket starting from ``num_configs`` configs."""
+        num_rungs = int(math.floor(math.log(max(num_configs, self.eta), self.eta)))
+        budget = self.max_budget / (self.eta ** num_rungs)
+        population = [self.space.sample(self.rng) for _ in range(num_configs)]
+        while population:
+            rung_trials = []
+            for params in population:
+                value = float(objective(budget=budget, **params))
+                trial = Trial(params=params, value=value, budget=budget)
+                rung_trials.append(trial)
+                self.trials.append(trial)
+            survivors = max(1, len(population) // self.eta)
+            rung_trials.sort(key=lambda t: t.value, reverse=self.maximize)
+            if budget >= self.max_budget or len(population) == 1:
+                break
+            population = [trial.params for trial in rung_trials[:survivors]]
+            budget = min(self.max_budget, budget * self.eta)
+        return best_trial(self.trials, self.maximize)
+
+
+def best_trial(trials: list[Trial], maximize: bool = True) -> Trial:
+    """Return the best trial of a history."""
+    if not trials:
+        raise HPOError("no trials have been evaluated")
+    return max(trials, key=lambda t: t.value) if maximize else min(trials, key=lambda t: t.value)
+
+
+def parameter_importance(trials: list[Trial]) -> dict[str, float]:
+    """Absolute Pearson correlation of each numeric parameter with the objective.
+
+    This is the "importance / correlation" view of the HPO demo (Figure 3).
+    """
+    if len(trials) < 3:
+        return {}
+    values = np.array([trial.value for trial in trials], dtype=float)
+    importance: dict[str, float] = {}
+    for name in trials[0].params:
+        column = []
+        for trial in trials:
+            value = trial.params.get(name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                column.append(float(value))
+            else:
+                column = []
+                break
+        if not column or len(set(column)) < 2 or len(set(values.tolist())) < 2:
+            continue
+        correlation = np.corrcoef(np.array(column), values)[0, 1]
+        if not np.isnan(correlation):
+            importance[name] = float(abs(correlation))
+    return importance

@@ -1,0 +1,101 @@
+"""Search-space definitions for data-recipe hyper-parameter optimization (Sec. 4.1.2)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.errors import HPOError
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """A continuous uniform parameter in ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class LogUniform:
+    """A log-uniform parameter in ``[low, high]`` (both > 0)."""
+
+    low: float
+    high: float
+
+    def sample(self, rng: random.Random) -> float:
+        import math
+
+        return math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+
+
+@dataclass(frozen=True)
+class IntUniform:
+    """An integer uniform parameter in ``[low, high]`` inclusive."""
+
+    low: int
+    high: int
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A categorical parameter."""
+
+    options: tuple
+
+    def sample(self, rng: random.Random) -> Any:
+        return rng.choice(self.options)
+
+
+class SearchSpace:
+    """A named collection of parameter distributions.
+
+    Example::
+
+        space = SearchSpace({
+            "w_wiki": Uniform(0, 1),
+            "w_cc": Uniform(0, 1),
+            "max_ratio": Choice((0.2, 0.3, 0.4)),
+        })
+    """
+
+    def __init__(self, parameters: dict[str, Any]):
+        if not parameters:
+            raise HPOError("search space must contain at least one parameter")
+        for name, dist in parameters.items():
+            if not hasattr(dist, "sample"):
+                raise HPOError(f"parameter {name!r} has no sample() method: {dist!r}")
+        self.parameters = dict(parameters)
+
+    def names(self) -> list[str]:
+        """Parameter names, in insertion order."""
+        return list(self.parameters)
+
+    def sample(self, rng: random.Random) -> dict[str, Any]:
+        """Draw one configuration."""
+        return {name: dist.sample(rng) for name, dist in self.parameters.items()}
+
+    @staticmethod
+    def for_mixture_weights(dataset_names: Sequence[str]) -> "SearchSpace":
+        """Convenience space: one weight in [0, 1] per dataset to be mixed."""
+        return SearchSpace({f"w_{name}": Uniform(0.0, 1.0) for name in dataset_names})
+
+
+@dataclass
+class Trial:
+    """One evaluated configuration."""
+
+    params: dict[str, Any]
+    value: float
+    budget: float = 1.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for logging."""
+        return {"params": dict(self.params), "value": self.value, "budget": self.budget}

@@ -1,0 +1,25 @@
+"""Quality classifiers: GPT-3-style text quality scoring pipelines."""
+
+from repro.tools.quality_classifier.features import HashingVectorizer
+from repro.tools.quality_classifier.model import LogisticRegression, precision_recall_f1
+from repro.tools.quality_classifier.pipeline import (
+    EvaluationResult,
+    QualityClassifier,
+    train_chinese_classifier,
+    train_code_classifier,
+    train_gpt3_like_classifier,
+)
+from repro.tools.quality_classifier.tokenizer import StandardTokenizer, UnigramTokenizer
+
+__all__ = [
+    "EvaluationResult",
+    "HashingVectorizer",
+    "LogisticRegression",
+    "QualityClassifier",
+    "StandardTokenizer",
+    "UnigramTokenizer",
+    "precision_recall_f1",
+    "train_chinese_classifier",
+    "train_code_classifier",
+    "train_gpt3_like_classifier",
+]

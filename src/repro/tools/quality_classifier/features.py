@@ -1,0 +1,48 @@
+"""HashingTF feature extraction (PySpark ``HashingTF`` equivalent on numpy)."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class HashingVectorizer:
+    """Map token lists to fixed-width term-frequency vectors via the hashing trick.
+
+    Parameters
+    ----------
+    num_features:
+        Width of the feature space (PySpark defaults to 2^20; a smaller power
+        of two keeps the pure-Python reproduction fast without changing the
+        behaviour of the downstream logistic regression).
+    normalize:
+        When True, each vector is L2-normalised, which stabilises training.
+    """
+
+    def __init__(self, num_features: int = 2 ** 14, normalize: bool = True):
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = num_features
+        self.normalize = normalize
+
+    def _index(self, token: str) -> int:
+        digest = hashlib.md5(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "little") % self.num_features
+
+    def transform_one(self, tokens: list[str]) -> np.ndarray:
+        """Vectorise one token list."""
+        vector = np.zeros(self.num_features, dtype=np.float64)
+        for token in tokens:
+            vector[self._index(token)] += 1.0
+        if self.normalize:
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector /= norm
+        return vector
+
+    def transform(self, token_lists: list[list[str]]) -> np.ndarray:
+        """Vectorise a batch of token lists into a (n_samples, num_features) matrix."""
+        if not token_lists:
+            return np.zeros((0, self.num_features), dtype=np.float64)
+        return np.stack([self.transform_one(tokens) for tokens in token_lists])

@@ -1,0 +1,75 @@
+"""Binary logistic regression trained with batch gradient descent (numpy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LogisticRegression:
+    """L2-regularised binary logistic regression.
+
+    The GPT-3 quality classifier is "a binary logistic regression classifier"
+    over HashingTF features; this is the same model trained with full-batch
+    gradient descent, which is plenty for the feature sizes used here.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 5.0,
+        num_iterations: int = 500,
+        l2: float = 1e-5,
+        seed: int = 0,
+    ):
+        self.learning_rate = learning_rate
+        self.num_iterations = num_iterations
+        self.l2 = l2
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Fit on a (n_samples, n_features) matrix and 0/1 label vector."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.ndim != 2 or labels.ndim != 1 or features.shape[0] != labels.shape[0]:
+            raise ValueError("features must be 2-D and labels 1-D with matching rows")
+        num_samples, num_features = features.shape
+        rng = np.random.default_rng(self.seed)
+        self.weights = rng.normal(0.0, 0.01, size=num_features)
+        self.bias = 0.0
+        for _ in range(self.num_iterations):
+            predictions = self._sigmoid(features @ self.weights + self.bias)
+            error = predictions - labels
+            gradient_w = features.T @ error / num_samples + self.l2 * self.weights
+            gradient_b = float(error.mean())
+            self.weights -= self.learning_rate * gradient_w
+            self.bias -= self.learning_rate * gradient_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Return P(label=1) for each row."""
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return self._sigmoid(features @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Return 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(features) > threshold).astype(int)
+
+
+def precision_recall_f1(labels: np.ndarray, predictions: np.ndarray) -> dict[str, float]:
+    """Compute precision, recall and F1 of binary predictions."""
+    labels = np.asarray(labels).astype(int)
+    predictions = np.asarray(predictions).astype(int)
+    true_positive = int(np.sum((labels == 1) & (predictions == 1)))
+    false_positive = int(np.sum((labels == 0) & (predictions == 1)))
+    false_negative = int(np.sum((labels == 1) & (predictions == 0)))
+    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
+    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,193 @@
+"""The callable quality-classifier pipeline (GPT-3-style, plus ZH / Code variants).
+
+Reproduces Sec. 5.2 / 7.2.3 and Appendix B.1 of the paper: a tokenizer +
+HashingTF + binary logistic regression pipeline that scores text quality, with
+two keeping rules:
+
+* ``label``  — keep when ``doc_score > 0.5``;
+* ``pareto`` — keep when ``doc_score > 1 - numpy.random.pareto(alpha)`` with
+  ``alpha = 9`` (the GPT-3 re-sampling rule).
+
+Factory helpers train the three classifiers of Table 5/6 against the synthetic
+corpora: GPT-3-like (Wikipedia/Books positives vs CommonCrawl negatives),
+Chinese (clean vs noisy Chinese-like web) and Code (high-star vs random code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import NestedDataset
+from repro.core.sample import Fields, get_field
+from repro.tools.quality_classifier.features import HashingVectorizer
+from repro.tools.quality_classifier.model import LogisticRegression, precision_recall_f1
+from repro.tools.quality_classifier.tokenizer import StandardTokenizer, UnigramTokenizer
+
+PARETO_ALPHA = 9.0
+
+
+@dataclass
+class EvaluationResult:
+    """Precision / recall / F1 of a trained classifier on a held-out split."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (used by the Table 5 benchmark)."""
+        return {"precision": self.precision, "recall": self.recall, "f1": self.f1}
+
+
+class QualityClassifier:
+    """Tokenizer + HashingTF + logistic-regression text quality scorer."""
+
+    def __init__(
+        self,
+        tokenizer: str = "standard",
+        num_features: int = 2 ** 14,
+        num_iterations: int = 500,
+        seed: int = 0,
+    ):
+        if tokenizer == "standard":
+            self.tokenizer = StandardTokenizer()
+        elif tokenizer == "unigram":
+            self.tokenizer = UnigramTokenizer()
+        else:
+            raise ValueError(f"unknown tokenizer {tokenizer!r}")
+        self.tokenizer_name = tokenizer
+        self.vectorizer = HashingVectorizer(num_features=num_features)
+        self.model = LogisticRegression(num_iterations=num_iterations, seed=seed)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _vectorize(self, texts: list[str]) -> np.ndarray:
+        token_lists = [self.tokenizer.tokenize(text) for text in texts]
+        return self.vectorizer.transform(token_lists)
+
+    def fit(self, positive_texts: list[str], negative_texts: list[str]) -> "QualityClassifier":
+        """Train on positive (high-quality) vs negative (low-quality) texts."""
+        if isinstance(self.tokenizer, UnigramTokenizer) and not self.tokenizer.is_trained:
+            self.tokenizer.train(list(positive_texts) + list(negative_texts))
+        texts = list(positive_texts) + list(negative_texts)
+        labels = np.array([1] * len(positive_texts) + [0] * len(negative_texts))
+        features = self._vectorize(texts)
+        self.model.fit(features, labels)
+        return self
+
+    def predict_scores(self, texts: list[str]) -> np.ndarray:
+        """Return the document quality score (P(high quality)) for each text."""
+        if not texts:
+            return np.zeros(0)
+        return self.model.predict_proba(self._vectorize(texts))
+
+    def evaluate(self, positive_texts: list[str], negative_texts: list[str]) -> EvaluationResult:
+        """Compute precision/recall/F1 on labelled held-out texts."""
+        texts = list(positive_texts) + list(negative_texts)
+        labels = np.array([1] * len(positive_texts) + [0] * len(negative_texts))
+        predictions = (self.predict_scores(texts) > 0.5).astype(int)
+        metrics = precision_recall_f1(labels, predictions)
+        return EvaluationResult(**metrics)
+
+    # ------------------------------------------------------------------
+    def keep_mask(
+        self, scores: np.ndarray, method: str = "label", seed: int | None = None
+    ) -> np.ndarray:
+        """Return the boolean keep decision for each score under a keeping rule."""
+        scores = np.asarray(scores, dtype=float)
+        if method == "label":
+            return scores > 0.5
+        if method == "pareto":
+            rng = np.random.default_rng(self.seed if seed is None else seed)
+            thresholds = 1.0 - rng.pareto(PARETO_ALPHA, size=scores.shape)
+            return scores > thresholds
+        raise ValueError(f"unknown keeping method {method!r}")
+
+    def keeping_ratio(
+        self, texts: list[str], method: str = "label", seed: int | None = None
+    ) -> float:
+        """Fraction of texts kept under the given keeping rule (Table 4)."""
+        if not texts:
+            return 0.0
+        scores = self.predict_scores(texts)
+        return float(self.keep_mask(scores, method=method, seed=seed).mean())
+
+    def annotate_dataset(
+        self, dataset: NestedDataset, text_key: str = Fields.text, stats_key: str = "quality_score"
+    ) -> NestedDataset:
+        """Return a copy of the dataset with per-sample quality scores in stats."""
+        texts = [
+            value if isinstance(value := get_field(row, text_key, ""), str) else ""
+            for row in dataset
+        ]
+        scores = self.predict_scores(texts)
+
+        def attach(sample: dict, score_iter=iter(scores.tolist())) -> dict:
+            sample = dict(sample)
+            stats = dict(sample.get(Fields.stats) or {})
+            stats[stats_key] = next(score_iter)
+            sample[Fields.stats] = stats
+            return sample
+
+        return dataset.map(attach)
+
+
+# ----------------------------------------------------------------------
+# Factory helpers matching the three classifiers of the paper (Table 5/6).
+# ----------------------------------------------------------------------
+def _texts(dataset: NestedDataset) -> list[str]:
+    return [row.get(Fields.text, "") for row in dataset]
+
+
+def train_gpt3_like_classifier(
+    num_samples: int = 150, seed: int = 0, num_iterations: int = 500
+) -> QualityClassifier:
+    """GPT-3-like English classifier: Wikipedia/Books positives vs CommonCrawl negatives."""
+    from repro.synth.corpora import books_like, common_crawl_like, wikipedia_like
+
+    positives = _texts(wikipedia_like(num_samples=num_samples, seed=seed)) + _texts(
+        books_like(num_samples=max(10, num_samples // 3), seed=seed + 1)
+    )
+    negatives = _texts(
+        common_crawl_like(num_samples=num_samples, seed=seed + 2, quality=0.1, duplicate_ratio=0.0)
+    )
+    classifier = QualityClassifier(tokenizer="standard", num_iterations=num_iterations, seed=seed)
+    return classifier.fit(positives, negatives)
+
+
+def train_chinese_classifier(
+    num_samples: int = 150, seed: int = 1, num_iterations: int = 500
+) -> QualityClassifier:
+    """Chinese classifier: clean Chinese-like prose vs noisy Chinese-like web text."""
+    from repro.synth.corpora import chinese_web_like
+
+    clean = chinese_web_like(num_samples=num_samples, seed=seed, quality=1.0)
+    noisy = chinese_web_like(num_samples=num_samples, seed=seed + 5, quality=0.0)
+    classifier = QualityClassifier(tokenizer="unigram", num_iterations=num_iterations, seed=seed)
+    return classifier.fit(_texts(clean), _texts(noisy))
+
+
+def train_code_classifier(
+    num_samples: int = 150, seed: int = 2, num_iterations: int = 500
+) -> QualityClassifier:
+    """Code classifier: high-star code positives vs random code negatives.
+
+    The paper reports this split works poorly (F1 ≈ 62%), because star count
+    is a weak proxy for textual quality; the same weakness is reproduced here
+    since positives and negatives are drawn from the same generator and differ
+    mostly by the presence of license headers.
+    """
+    from repro.synth.corpora import code_like
+
+    corpus = code_like(num_samples=num_samples * 2, seed=seed, quality=0.5)
+    positives, negatives = [], []
+    for row in corpus:
+        stars = get_field(row, "meta.stars", 0)
+        if stars >= 1000:
+            positives.append(row.get(Fields.text, ""))
+        else:
+            negatives.append(row.get(Fields.text, ""))
+    classifier = QualityClassifier(tokenizer="unigram", num_iterations=num_iterations, seed=seed)
+    return classifier.fit(positives or ["def f():\n    return 1"], negatives or ["x = 1"])

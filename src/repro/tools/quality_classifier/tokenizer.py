@@ -1,0 +1,80 @@
+"""Tokenizers backing the quality classifiers.
+
+The original pipeline uses PySpark's standard tokenizer for English and a
+SentencePiece model for Chinese/code.  Two equivalents are provided:
+
+* :class:`StandardTokenizer` — lowercased whitespace/punctuation word splitting;
+* :class:`UnigramTokenizer` — a trainable unigram/character sub-word tokenizer
+  (greedy longest-match over a learned vocabulary), standing in for
+  SentencePiece; it handles CJK text and code identifiers where whitespace
+  tokenization is inadequate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ops.common.helper_funcs import get_words_from_text, words_refinement
+
+
+class StandardTokenizer:
+    """Whitespace/punctuation word tokenizer (PySpark ``Tokenizer`` equivalent)."""
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return lowercased word tokens with punctuation stripped."""
+        return words_refinement(get_words_from_text(text, lowercase=True))
+
+
+class UnigramTokenizer:
+    """A trainable greedy sub-word tokenizer (SentencePiece stand-in).
+
+    Training collects the most frequent character n-grams (up to
+    ``max_piece_len``) as the vocabulary; tokenisation greedily matches the
+    longest known piece at each position, falling back to single characters.
+    """
+
+    def __init__(self, vocab_size: int = 2000, max_piece_len: int = 6):
+        self.vocab_size = vocab_size
+        self.max_piece_len = max_piece_len
+        self.vocab: set[str] = set()
+
+    def train(self, texts: list[str]) -> "UnigramTokenizer":
+        """Learn the piece vocabulary from a list of texts."""
+        counts: Counter = Counter()
+        for text in texts:
+            text = text.lower()
+            for length in range(2, self.max_piece_len + 1):
+                for start in range(0, max(0, len(text) - length + 1)):
+                    piece = text[start:start + length]
+                    if piece.strip() and not any(char.isspace() for char in piece):
+                        counts[piece] += 1
+        self.vocab = {piece for piece, _ in counts.most_common(self.vocab_size)}
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has produced a vocabulary."""
+        return bool(self.vocab)
+
+    def tokenize(self, text: str) -> list[str]:
+        """Greedy longest-match tokenisation over the learned vocabulary."""
+        text = text.lower()
+        if not self.vocab:
+            return [char for char in text if not char.isspace()]
+        tokens: list[str] = []
+        position = 0
+        while position < len(text):
+            if text[position].isspace():
+                position += 1
+                continue
+            match = None
+            for length in range(min(self.max_piece_len, len(text) - position), 1, -1):
+                piece = text[position:position + length]
+                if piece in self.vocab:
+                    match = piece
+                    break
+            if match is None:
+                match = text[position]
+            tokens.append(match)
+            position += len(match)
+        return tokens

@@ -1,0 +1,6 @@
+"""Enhanced samplers for LLM data: stratified and diversity-aware selection."""
+
+from repro.tools.sampler.diversity import DiversitySampler
+from repro.tools.sampler.stratified import StratifiedSampler
+
+__all__ = ["DiversitySampler", "StratifiedSampler"]

@@ -1,0 +1,83 @@
+"""Stratified sampling over metadata / statistics fields (Sec. 5.2).
+
+The enhanced sampler buckets samples by one or more criteria (a categorical
+meta field, or quantile buckets of a numeric stats field) and draws a bounded
+number of samples from every bucket, yielding a representative yet compact
+subset of a large corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.dataset import NestedDataset
+from repro.core.sample import get_field
+
+
+class StratifiedSampler:
+    """Sample a fixed budget spread across the value buckets of a field.
+
+    Parameters
+    ----------
+    field_key:
+        The (possibly nested) field to stratify on, e.g. ``"meta.source"`` or
+        ``"__stats__.text_len"``.
+    num_buckets:
+        Number of quantile buckets used when the field is numeric.
+    seed:
+        Seed of the per-bucket uniform sampling.
+    """
+
+    def __init__(self, field_key: str, num_buckets: int = 5, seed: int = 42):
+        if not field_key:
+            raise ValueError("field_key must be provided")
+        self.field_key = field_key
+        self.num_buckets = max(1, num_buckets)
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _bucket_assignments(self, dataset: NestedDataset) -> dict:
+        values = [get_field(row, self.field_key) for row in dataset]
+        numeric = [
+            value for value in values
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        ]
+        buckets: dict = defaultdict(list)
+        if numeric and len(numeric) == len([v for v in values if v is not None]):
+            array = np.asarray(numeric, dtype=float)
+            edges = np.quantile(array, np.linspace(0, 1, self.num_buckets + 1))
+            for index, value in enumerate(values):
+                if value is None:
+                    buckets["__missing__"].append(index)
+                    continue
+                bucket = int(np.searchsorted(edges[1:-1], float(value), side="right"))
+                buckets[f"bucket_{bucket}"].append(index)
+        else:
+            for index, value in enumerate(values):
+                key = str(value) if value is not None else "__missing__"
+                buckets[key].append(index)
+        return buckets
+
+    def sample(self, dataset: NestedDataset, num_samples: int) -> NestedDataset:
+        """Return roughly ``num_samples`` rows, balanced across buckets."""
+        if len(dataset) == 0 or num_samples <= 0:
+            return dataset.select([])
+        num_samples = min(num_samples, len(dataset))
+        buckets = self._bucket_assignments(dataset)
+        rng = random.Random(self.seed)
+        per_bucket = max(1, num_samples // max(1, len(buckets)))
+        chosen: list[int] = []
+        for key in sorted(buckets):
+            indices = buckets[key]
+            take = min(len(indices), per_bucket)
+            chosen.extend(rng.sample(indices, take))
+        # top-up (or trim) to hit the requested budget
+        remaining = [index for index in range(len(dataset)) if index not in set(chosen)]
+        rng.shuffle(remaining)
+        while len(chosen) < num_samples and remaining:
+            chosen.append(remaining.pop())
+        chosen = chosen[:num_samples]
+        return dataset.select(sorted(chosen))

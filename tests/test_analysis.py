@@ -1,0 +1,113 @@
+"""Tests for the analyzer: overall stats, histograms, box plots and diversity analysis."""
+
+from repro.analysis.analyzer import Analyzer
+from repro.analysis.diversity_analysis import DiversityAnalysis, extract_verb_noun
+from repro.analysis.histogram import build_box_plot, build_histogram
+from repro.analysis.overall_analysis import OverallAnalysis, collect_stats_values
+from repro.core.dataset import NestedDataset
+from repro.core.sample import Fields
+from repro.synth import instruction_dataset, wikipedia_like
+
+
+def stats_dataset():
+    return NestedDataset.from_list(
+        [
+            {"text": "a", Fields.stats: {"text_len": 10, "lang": "en"}},
+            {"text": "b", Fields.stats: {"text_len": 30, "lang": "en"}},
+            {"text": "c", Fields.stats: {"text_len": 50, "lang": "zh"}},
+        ]
+    )
+
+
+class TestOverallAnalysis:
+    def test_numeric_summary(self):
+        summaries = OverallAnalysis().analyze(stats_dataset())
+        summary = summaries["text_len"]
+        assert summary.kind == "numeric"
+        assert summary.count == 3
+        assert summary.mean == 30
+        assert summary.minimum == 10 and summary.maximum == 50
+        assert "p50" in summary.quantiles
+
+    def test_categorical_summary(self):
+        summary = OverallAnalysis().analyze(stats_dataset())["lang"]
+        assert summary.kind == "categorical"
+        assert summary.value_counts == {"en": 2, "zh": 1}
+        assert summary.entropy > 0
+
+    def test_collect_stats_values(self):
+        values = collect_stats_values(stats_dataset())
+        assert values["text_len"] == [10, 30, 50]
+
+    def test_as_dict_round(self):
+        summaries = OverallAnalysis().analyze(stats_dataset())
+        payload = summaries["text_len"].as_dict()
+        assert payload["name"] == "text_len" and payload["kind"] == "numeric"
+
+
+class TestHistogramAndBoxPlot:
+    def test_histogram_counts_sum_to_total(self):
+        histogram = build_histogram("x", [1, 2, 2, 3, 10], num_bins=5)
+        assert histogram.total == 5
+        assert "Histogram of x" in histogram.render()
+
+    def test_empty_histogram(self):
+        histogram = build_histogram("x", [])
+        assert histogram.total == 0
+
+    def test_box_plot_five_numbers(self):
+        box = build_box_plot("x", [1, 2, 3, 4, 5])
+        assert box.minimum == 1 and box.maximum == 5 and box.median == 3
+        assert "median" in box.render()
+
+
+class TestDiversityAnalysis:
+    def test_extract_verb_noun(self):
+        verb, noun = extract_verb_noun("Summarize the research paper about data systems")
+        assert verb == "summarize"
+        assert noun is not None
+
+    def test_extract_handles_no_verb(self):
+        assert extract_verb_noun("apple banana cherry") == (None, None)
+
+    def test_report_counts(self):
+        dataset = instruction_dataset(num_samples=50, seed=1)
+        report = DiversityAnalysis().analyze(dataset)
+        assert report.num_samples == 50
+        assert report.distinct_verbs > 1
+        assert 0.0 <= report.diversity_score() <= 1.0
+
+    def test_top_structure(self):
+        dataset = instruction_dataset(num_samples=50, seed=2)
+        top = DiversityAnalysis().analyze(dataset).top(num_verbs=5, nouns_per_verb=2)
+        assert len(top) <= 5
+        assert all(len(nouns) <= 2 for nouns in top.values())
+
+
+class TestAnalyzer:
+    def test_probe_covers_default_dimensions(self):
+        probe = Analyzer(with_diversity=False).analyze(wikipedia_like(num_samples=10, seed=3))
+        # the default probe covers the 13 statistics dimensions of the paper
+        numeric = [s for s in probe.summaries.values() if s.kind == "numeric"]
+        assert len(numeric) >= 12
+        assert probe.num_samples == 10
+
+    def test_probe_does_not_drop_samples(self):
+        dataset = wikipedia_like(num_samples=8, seed=4)
+        with_stats = Analyzer(with_diversity=False).compute_stats(dataset)
+        assert len(with_stats) == len(dataset)
+
+    def test_custom_analysis_process(self):
+        probe = Analyzer(
+            analysis_process=[{"text_length_filter": {}}], with_diversity=False
+        ).analyze(wikipedia_like(num_samples=5, seed=5))
+        assert set(probe.summaries) == {"text_len"}
+
+    def test_render_contains_diversity_line(self):
+        probe = Analyzer().analyze(instruction_dataset(num_samples=10, seed=6))
+        assert "diversity:" in probe.render()
+
+    def test_histograms_present_for_numeric_stats(self):
+        probe = Analyzer(with_diversity=False).analyze(wikipedia_like(num_samples=6, seed=7))
+        assert "text_len" in probe.histograms
+        assert "text_len" in probe.box_plots

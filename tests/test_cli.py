@@ -1,0 +1,98 @@
+"""Tests for the zero-code command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "data.jsonl"
+    rows = [
+        {"text": "This is a reasonably long and clean document about data processing systems."},
+        {"text": "tiny"},
+        {"text": "This is a reasonably long and clean document about data processing systems."},
+    ]
+    path.write_text("\n".join(json.dumps(row) for row in rows))
+    return path
+
+
+class TestListCommands:
+    def test_list_ops(self, capsys):
+        assert main(["list-ops"]) == 0
+        output = capsys.readouterr().out
+        assert "text_length_filter" in output
+        assert len(output.splitlines()) >= 50
+
+    def test_list_recipes(self, capsys):
+        assert main(["list-recipes"]) == 0
+        assert "pretrain-c4-refine-en" in capsys.readouterr().out
+
+
+class TestProcess:
+    def test_process_with_builtin_recipe(self, dataset_file, tmp_path, capsys):
+        export = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "process",
+                "--dataset", str(dataset_file),
+                "--recipe", "dedup-only-exact",
+                "--export", str(export),
+                "--work-dir", str(tmp_path / "work"),
+            ]
+        )
+        assert code == 0
+        assert len(export.read_text().splitlines()) == 2  # duplicate removed
+        assert "kept 2 samples" in capsys.readouterr().out
+
+    def test_process_with_recipe_file(self, dataset_file, tmp_path):
+        recipe_path = tmp_path / "recipe.json"
+        recipe_path.write_text(
+            json.dumps({"project_name": "cli", "process": [{"text_length_filter": {"min_len": 10}}]})
+        )
+        export = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "process",
+                "--dataset", str(dataset_file),
+                "--recipe-file", str(recipe_path),
+                "--export", str(export),
+            ]
+        )
+        assert code == 0
+        assert len(export.read_text().splitlines()) == 2  # 'tiny' dropped
+
+    def test_recipe_and_recipe_file_are_exclusive(self, dataset_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "process",
+                    "--dataset", str(dataset_file),
+                    "--recipe", "dedup-only-exact",
+                    "--recipe-file", "whatever.json",
+                ]
+            )
+
+    def test_missing_recipe_rejected(self, dataset_file):
+        with pytest.raises(SystemExit):
+            main(["process", "--dataset", str(dataset_file)])
+
+
+class TestAnalyzeAndSynth:
+    def test_analyze_prints_probe_and_writes_summary(self, dataset_file, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        assert main(["analyze", "--dataset", str(dataset_file), "--output", str(summary_path)]) == 0
+        assert "Data probe over 3 samples" in capsys.readouterr().out
+        assert "text_len" in json.loads(summary_path.read_text())
+
+    def test_synth_writes_corpus(self, tmp_path, capsys):
+        output = tmp_path / "corpus.jsonl"
+        assert main(["synth", "--corpus", "wikipedia", "--num-samples", "7", "--output", str(output)]) == 0
+        assert len(output.read_text().splitlines()) == 7
+        assert "wrote 7 samples" in capsys.readouterr().out
+
+    def test_unknown_corpus_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["synth", "--corpus", "the-pile", "--output", str(tmp_path / "x.jsonl")])

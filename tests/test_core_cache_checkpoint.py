@@ -1,0 +1,118 @@
+"""Tests for the cache manager (compression codecs) and the checkpoint manager."""
+
+import pytest
+
+from repro.core.cache import (
+    CacheManager,
+    available_codecs,
+    estimate_cache_space,
+    estimate_checkpoint_space,
+)
+from repro.core.checkpoint import CheckpointManager
+from repro.core.dataset import NestedDataset
+from repro.core.errors import CheckpointError, ReproError
+
+
+def dataset():
+    return NestedDataset.from_list([{"text": "hello world " * 20, "meta": {"n": 1}}] * 10)
+
+
+class TestCacheManager:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        cache = CacheManager(tmp_path)
+        key = CacheManager.make_key("fp", "op", {"a": 1})
+        cache.save(key, dataset())
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.to_list() == dataset().to_list()
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = CacheManager(tmp_path)
+        assert cache.load("missing") is None
+        assert cache.misses == 1
+
+    def test_hit_counts(self, tmp_path):
+        cache = CacheManager(tmp_path)
+        cache.save("k", dataset())
+        cache.load("k")
+        assert cache.hits == 1
+
+    def test_disabled_cache_is_noop(self, tmp_path):
+        cache = CacheManager(tmp_path, enabled=False)
+        assert cache.save("k", dataset()) is None
+        assert cache.load("k") is None
+        assert not cache.contains("k")
+
+    @pytest.mark.parametrize("codec", ["zlib", "gzip", "lzma", "bz2"])
+    def test_compression_roundtrip(self, tmp_path, codec):
+        cache = CacheManager(tmp_path, compression=codec)
+        cache.save("k", dataset())
+        assert cache.load("k").to_list() == dataset().to_list()
+
+    def test_compression_reduces_size(self, tmp_path):
+        plain = CacheManager(tmp_path / "plain", compression="none")
+        compressed = CacheManager(tmp_path / "zlib", compression="zlib")
+        plain.save("k", dataset())
+        compressed.save("k", dataset())
+        assert compressed.total_bytes() < plain.total_bytes()
+
+    def test_unknown_codec_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            CacheManager(tmp_path, compression="zstd-but-wrong")
+
+    def test_available_codecs_contains_none(self):
+        assert "none" in available_codecs()
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = CacheManager(tmp_path)
+        cache.save("a", dataset())
+        cache.save("b", dataset())
+        assert cache.clear() == 2
+        assert cache.total_bytes() == 0
+
+    def test_make_key_depends_on_params(self):
+        assert CacheManager.make_key("fp", "op", {"a": 1}) != CacheManager.make_key(
+            "fp", "op", {"a": 2}
+        )
+
+
+class TestSpaceEstimates:
+    def test_cache_mode_formula(self):
+        # (1 + M + F + I(F>0) + D) * S  — Appendix A.2
+        assert estimate_cache_space(100, num_mappers=2, num_filters=3, num_dedups=1) == 800
+
+    def test_cache_mode_without_filters(self):
+        assert estimate_cache_space(100, num_mappers=2, num_filters=0, num_dedups=0) == 300
+
+    def test_checkpoint_mode_is_three_copies(self):
+        assert estimate_checkpoint_space(100) == 300
+
+    def test_checkpoint_mode_below_cache_mode_for_long_pipelines(self):
+        cache = estimate_cache_space(100, num_mappers=5, num_filters=8, num_dedups=1)
+        assert estimate_checkpoint_space(100) < cache
+
+
+class TestCheckpointManager:
+    def test_save_and_load(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(dataset(), op_index=2, op_names=["a", "b", "c"])
+        assert manager.exists()
+        restored, op_index, names = manager.load()
+        assert op_index == 2
+        assert names == ["a", "b", "c"]
+        assert len(restored) == 10
+
+    def test_load_without_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path).load()
+
+    def test_disabled_manager_never_exists(self, tmp_path):
+        manager = CheckpointManager(tmp_path, enabled=False)
+        manager.save(dataset(), 1, ["a"])
+        assert not manager.exists()
+
+    def test_clear(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(dataset(), 1, ["a"])
+        manager.clear()
+        assert not manager.exists()

@@ -1,0 +1,116 @@
+"""Tests for sample field conventions and nested access helpers."""
+
+from repro.core.sample import (
+    Fields,
+    HashKeys,
+    clear_context,
+    ensure_context,
+    ensure_stats,
+    get_field,
+    has_field,
+    merge_samples,
+    set_field,
+    split_batched,
+    strip_internal_fields,
+)
+
+
+class TestGetField:
+    def test_top_level(self):
+        assert get_field({"text": "hello"}, "text") == "hello"
+
+    def test_nested(self):
+        assert get_field({"meta": {"language": "en"}}, "meta.language") == "en"
+
+    def test_deeply_nested(self):
+        sample = {"a": {"b": {"c": 3}}}
+        assert get_field(sample, "a.b.c") == 3
+
+    def test_missing_returns_default(self):
+        assert get_field({"text": "x"}, "meta.language", "??") == "??"
+
+    def test_missing_intermediate(self):
+        assert get_field({}, "a.b.c") is None
+
+    def test_non_dict_intermediate(self):
+        assert get_field({"a": 5}, "a.b") is None
+
+
+class TestSetField:
+    def test_top_level(self):
+        sample = set_field({}, "text", "hi")
+        assert sample["text"] == "hi"
+
+    def test_nested_creates_dicts(self):
+        sample = set_field({}, "meta.language", "zh")
+        assert sample == {"meta": {"language": "zh"}}
+
+    def test_overwrites_non_dict_intermediate(self):
+        sample = set_field({"meta": 3}, "meta.lang", "en")
+        assert sample["meta"]["lang"] == "en"
+
+    def test_returns_same_object(self):
+        sample = {}
+        assert set_field(sample, "x", 1) is sample
+
+
+class TestHasField:
+    def test_present(self):
+        assert has_field({"meta": {"x": None}}, "meta.x")
+
+    def test_absent(self):
+        assert not has_field({"meta": {}}, "meta.x")
+
+
+class TestStatsAndContext:
+    def test_ensure_stats_creates_dict(self):
+        sample = {}
+        stats = ensure_stats(sample)
+        stats["a"] = 1
+        assert sample[Fields.stats] == {"a": 1}
+
+    def test_ensure_stats_preserves_existing(self):
+        sample = {Fields.stats: {"x": 2}}
+        assert ensure_stats(sample) == {"x": 2}
+
+    def test_ensure_context_and_clear(self):
+        sample = {}
+        ensure_context(sample)["words"] = ["a"]
+        assert Fields.context in sample
+        clear_context(sample)
+        assert Fields.context not in sample
+
+    def test_clear_context_noop_when_missing(self):
+        assert clear_context({"text": "x"}) == {"text": "x"}
+
+
+class TestStripInternalFields:
+    def test_removes_stats_and_hashes(self):
+        sample = {
+            "text": "x",
+            Fields.stats: {"a": 1},
+            Fields.context: {},
+            HashKeys.hash: "deadbeef",
+        }
+        stripped = strip_internal_fields(sample)
+        assert stripped == {"text": "x"}
+
+    def test_keep_stats_option(self):
+        sample = {"text": "x", Fields.stats: {"a": 1}}
+        assert Fields.stats in strip_internal_fields(sample, keep_stats=True)
+
+    def test_original_not_modified(self):
+        sample = {"text": "x", Fields.stats: {}}
+        strip_internal_fields(sample)
+        assert Fields.stats in sample
+
+
+class TestBatching:
+    def test_merge_and_split_roundtrip(self):
+        samples = [{"text": "a", "n": 1}, {"text": "b", "n": 2}]
+        batched = merge_samples(samples)
+        assert batched == {"text": ["a", "b"], "n": [1, 2]}
+        assert split_batched(batched) == samples
+
+    def test_split_empty(self):
+        assert split_batched({}) == []

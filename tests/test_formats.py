@@ -1,0 +1,160 @@
+"""Tests for formatters: jsonl/json/csv/tsv/text/code loading, dispatch and mixing."""
+
+import json
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.core.sample import Fields
+from repro.formats.csv_formatter import CsvFormatter, TsvFormatter
+from repro.formats.jsonl_formatter import JsonFormatter, JsonlFormatter
+from repro.formats.load import load_dataset, load_formatter
+from repro.formats.mixture_formatter import MixtureFormatter, mix_datasets
+from repro.formats.text_formatter import CodeFormatter, TextFormatter
+from repro.synth import wikipedia_like
+
+
+class TestJsonlFormatter:
+    def test_loads_and_unifies(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"text": "hello"}\n\n{"content": "fallback"}\n')
+        dataset = JsonlFormatter(dataset_path=str(path)).load_dataset()
+        assert len(dataset) == 2
+        assert dataset[1][Fields.text] == "fallback"
+
+    def test_suffix_recorded(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"text": "x"}\n')
+        dataset = JsonlFormatter(dataset_path=str(path)).load_dataset()
+        assert dataset[0][Fields.suffix] == ".jsonl"
+
+    def test_invalid_json_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(FormatError, match="invalid JSON"):
+            JsonlFormatter(dataset_path=str(path)).load_dataset()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FormatError):
+            JsonlFormatter(dataset_path=str(tmp_path / "missing.jsonl")).load_dataset()
+
+
+class TestJsonFormatter:
+    def test_loads_list(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps([{"text": "a"}, {"text": "b"}]))
+        assert len(JsonFormatter(dataset_path=str(path)).load_dataset()) == 2
+
+    def test_loads_single_object(self, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps({"text": "only"}))
+        assert len(JsonFormatter(dataset_path=str(path)).load_dataset()) == 1
+
+    def test_scalar_top_level_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('"just a string"')
+        with pytest.raises(FormatError):
+            JsonFormatter(dataset_path=str(path)).load_dataset()
+
+
+class TestDelimitedFormatters:
+    def test_csv(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("text,label\nhello,1\nworld,2\n")
+        dataset = CsvFormatter(dataset_path=str(path)).load_dataset()
+        assert dataset[0][Fields.text] == "hello"
+        assert dataset[1]["label"] == "2"
+
+    def test_tsv(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("text\tlabel\nhello\t1\n")
+        dataset = TsvFormatter(dataset_path=str(path)).load_dataset()
+        assert dataset[0][Fields.text] == "hello"
+
+    def test_empty_csv_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(FormatError):
+            CsvFormatter(dataset_path=str(path)).load_dataset()
+
+
+class TestFileFormatters:
+    def test_text_directory(self, tmp_path):
+        (tmp_path / "a.txt").write_text("first file")
+        (tmp_path / "b.txt").write_text("second file")
+        dataset = TextFormatter(dataset_path=str(tmp_path)).load_dataset()
+        assert len(dataset) == 2
+        assert dataset[0]["meta"]["source_file"].endswith(".txt")
+
+    def test_single_text_file(self, tmp_path):
+        path = tmp_path / "only.txt"
+        path.write_text("content")
+        assert len(TextFormatter(dataset_path=str(path)).load_dataset()) == 1
+
+    def test_code_directory(self, tmp_path):
+        (tmp_path / "m.py").write_text("def f():\n    return 1\n")
+        dataset = CodeFormatter(dataset_path=str(tmp_path)).load_dataset()
+        assert dataset[0][Fields.suffix] == ".py"
+
+    def test_no_matching_files_raises(self, tmp_path):
+        (tmp_path / "a.bin").write_text("x")
+        with pytest.raises(FormatError):
+            TextFormatter(dataset_path=str(tmp_path)).load_dataset()
+
+
+class TestDispatch:
+    def test_load_formatter_by_suffix(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        path.write_text('{"text": "x"}\n')
+        assert isinstance(load_formatter(str(path)), JsonlFormatter)
+
+    def test_load_dataset_convenience(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        path.write_text('{"text": "x"}\n')
+        assert len(load_dataset(str(path))) == 1
+
+    def test_directory_dispatch_by_majority_suffix(self, tmp_path):
+        (tmp_path / "a.txt").write_text("a")
+        (tmp_path / "b.txt").write_text("b")
+        assert isinstance(load_formatter(str(tmp_path)), TextFormatter)
+
+    def test_unknown_suffix_raises(self, tmp_path):
+        path = tmp_path / "x.parquet"
+        path.write_text("binaryish")
+        with pytest.raises(FormatError):
+            load_formatter(str(path))
+
+
+class TestMixtureFormatter:
+    def test_weights_control_composition(self):
+        heavy = wikipedia_like(num_samples=60, seed=1)
+        light = wikipedia_like(num_samples=60, seed=2)
+        mixed = mix_datasets({"heavy": heavy, "light": light}, {"heavy": 0.9, "light": 0.1},
+                             max_samples=60, seed=0)
+        sources = [row[Fields.source] for row in mixed]
+        assert sources.count("heavy") > sources.count("light")
+
+    def test_max_samples_respected(self):
+        data = wikipedia_like(num_samples=50, seed=3)
+        mixed = mix_datasets({"a": data}, {"a": 1.0}, max_samples=10)
+        assert len(mixed) <= 11
+
+    def test_weight_sequence_accepted(self):
+        data = wikipedia_like(num_samples=10, seed=4)
+        mixed = mix_datasets({"a": data, "b": data}, [1.0, 1.0])
+        assert len(mixed) > 0
+
+    def test_requires_datasets(self):
+        with pytest.raises(FormatError):
+            MixtureFormatter().load_dataset()
+
+    def test_rejects_all_zero_weights(self):
+        data = wikipedia_like(num_samples=5, seed=5)
+        with pytest.raises(FormatError):
+            MixtureFormatter(datasets={"a": data}, weights={"a": 0.0}).load_dataset()
+
+    def test_deterministic_given_seed(self):
+        data = wikipedia_like(num_samples=30, seed=6)
+        first = mix_datasets({"a": data}, {"a": 1.0}, max_samples=10, seed=2)
+        second = mix_datasets({"a": data}, {"a": 1.0}, max_samples=10, seed=2)
+        assert first.to_list() == second.to_list()

@@ -1,0 +1,146 @@
+"""Tests for the shared text helpers (tokenisation, n-grams, language detection, perplexity)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops.common.helper_funcs import (
+    cjk_ratio,
+    get_char_ngrams,
+    get_ngrams,
+    get_words_from_text,
+    ngram_repetition_ratio,
+    split_lines,
+    split_paragraphs,
+    split_sentences,
+    unique_ratio,
+    words_refinement,
+)
+from repro.ops.common.lang_detect import detect_language
+from repro.ops.common.special_characters import is_special_character, special_character_ratio
+from repro.ops.common.unigram_lm import perplexity
+
+
+class TestTokenization:
+    def test_basic_words(self):
+        assert get_words_from_text("Hello, world!") == ["Hello", ",", "world", "!"]
+
+    def test_lowercase_option(self):
+        assert get_words_from_text("ABC", lowercase=True) == ["abc"]
+
+    def test_cjk_split_to_characters(self):
+        assert get_words_from_text("数据处理") == ["数", "据", "处", "理"]
+
+    def test_refinement_strips_punct_and_empties(self):
+        assert words_refinement(["Hello,", "!", " world "]) == ["hello", "world"]
+
+    def test_refinement_keep_case(self):
+        assert words_refinement(["Hello"], lower_case=False) == ["Hello"]
+
+    def test_refinement_words_aug_merges_single_chars(self):
+        assert words_refinement(["数", "据", "model"], use_words_aug=True) == ["数据", "model"]
+
+
+class TestSplitting:
+    def test_sentences(self):
+        assert split_sentences("One. Two! Three?") == ["One.", "Two!", "Three?"]
+
+    def test_sentences_cjk_punctuation(self):
+        assert len(split_sentences("第一句。 第二句！")) == 2
+
+    def test_paragraphs(self):
+        assert split_paragraphs("a\n\nb\n\n\nc") == ["a", "b", "c"]
+
+    def test_lines_preserved(self):
+        assert split_lines("a\n\nb") == ["a", "", "b"]
+
+
+class TestNgrams:
+    def test_word_ngrams(self):
+        assert get_ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_ngrams_too_short(self):
+        assert get_ngrams(["a"], 2) == []
+
+    def test_ngrams_invalid_n(self):
+        with pytest.raises(ValueError):
+            get_ngrams(["a"], 0)
+
+    def test_char_ngrams(self):
+        assert get_char_ngrams("abcd", 2) == ["ab", "bc", "cd"]
+
+    def test_repetition_ratio_unique(self):
+        assert ngram_repetition_ratio(list("abcdefgh"), 2) == 0.0
+
+    def test_repetition_ratio_repeated(self):
+        assert ngram_repetition_ratio(list("ababab"), 2) > 0.5
+
+    def test_unique_ratio(self):
+        assert unique_ratio(["a", "a", "b", "c"]) == 0.75
+        assert unique_ratio([]) == 0.0
+
+
+class TestSpecialCharacters:
+    def test_letters_are_not_special(self):
+        assert not is_special_character("a")
+
+    def test_symbols_are_special(self):
+        assert is_special_character("#")
+        assert is_special_character("🙂")
+
+    def test_ratio(self):
+        assert special_character_ratio("ab##") == 0.5
+        assert special_character_ratio("") == 0.0
+
+
+class TestLanguageDetection:
+    def test_english(self):
+        lang, score = detect_language("This is a simple sentence with the usual words in it.")
+        assert lang == "en"
+        assert score > 0.4
+
+    def test_chinese(self):
+        lang, score = detect_language("这是一个关于数据处理的中文句子，我们的系统可以处理它。")
+        assert lang == "zh"
+        assert score > 0.4
+
+    def test_gibberish_is_other_or_low_score(self):
+        lang, score = detect_language("@@@@ #### $$$$ %%%%")
+        assert lang == "other" or score < 0.2
+
+    def test_empty(self):
+        assert detect_language("") == ("other", 0.0)
+
+    def test_cjk_ratio(self):
+        assert cjk_ratio("ab数据") == 0.5
+
+
+class TestPerplexity:
+    def test_natural_text_lower_than_gibberish(self):
+        natural = "the people of the world know that time and work make a good life"
+        gibberish = "qzx vbnm plk jhg wrt zzz qqq xxp mnb vvv"
+        assert perplexity(natural) < perplexity(gibberish)
+
+    def test_empty_text_zero(self):
+        assert perplexity("") == 0.0
+
+    def test_positive_for_any_text(self):
+        assert perplexity("hello") > 0
+
+
+class TestProperties:
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_refinement_output_is_lowercase_and_nonempty_tokens(self, text):
+        refined = words_refinement(get_words_from_text(text))
+        assert all(token == token.lower() and token for token in refined)
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_special_character_ratio_in_unit_interval(self, text):
+        assert 0.0 <= special_character_ratio(text) <= 1.0
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=60), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_repetition_ratio_in_unit_interval(self, items, n):
+        assert 0.0 <= ngram_repetition_ratio(items, n) <= 1.0

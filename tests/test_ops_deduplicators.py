@@ -1,0 +1,123 @@
+"""Tests for the exact-hash, MinHash-LSH and SimHash deduplicators."""
+
+import pytest
+
+from repro.core.dataset import NestedDataset
+from repro.core.sample import HashKeys
+from repro.core.tracer import Tracer
+from repro.ops.deduplicators.document_deduplicator import DocumentDeduplicator
+from repro.ops.deduplicators.document_minhash_deduplicator import DocumentMinhashDeduplicator
+from repro.ops.deduplicators.document_simhash_deduplicator import (
+    DocumentSimhashDeduplicator,
+    hamming_distance,
+)
+
+BASE = (
+    "The data processing system cleans and filters the large training corpus "
+    "before the language model learns from it every single day."
+)
+NEAR = BASE.replace("every single day", "every single week")
+OTHER = (
+    "Completely different content about music history and the cultural impact "
+    "of classical composers across several centuries of European art."
+)
+
+
+def dataset(rows):
+    return NestedDataset.from_list([{"text": text} for text in rows])
+
+
+class TestExactDeduplicator:
+    def test_removes_exact_duplicates(self):
+        out = DocumentDeduplicator().run(dataset([BASE, OTHER, BASE, BASE]))
+        assert len(out) == 2
+
+    def test_keeps_first_occurrence_order(self):
+        out = DocumentDeduplicator().run(dataset([BASE, OTHER, BASE]))
+        assert out[0]["text"] == BASE and out[1]["text"] == OTHER
+
+    def test_case_sensitive_by_default(self):
+        out = DocumentDeduplicator().run(dataset([BASE, BASE.upper()]))
+        assert len(out) == 2
+
+    def test_lowercase_option_merges_case_variants(self):
+        out = DocumentDeduplicator(lowercase=True).run(dataset([BASE, BASE.upper()]))
+        assert len(out) == 1
+
+    def test_ignore_non_character_option(self):
+        out = DocumentDeduplicator(ignore_non_character=True).run(
+            dataset([BASE, BASE.replace(" ", "  ") + "!!!"])
+        )
+        assert len(out) == 1
+
+    def test_hash_column_removed_from_output(self):
+        out = DocumentDeduplicator().run(dataset([BASE, OTHER]))
+        assert HashKeys.hash not in out.column_names
+
+    def test_invalid_hash_func(self):
+        with pytest.raises(ValueError):
+            DocumentDeduplicator(hash_func="crc32")
+
+    def test_tracer_receives_duplicate_pairs(self):
+        tracer = Tracer()
+        DocumentDeduplicator().run(dataset([BASE, BASE]), tracer=tracer)
+        assert tracer.records[0].examples[0]["original"] == BASE
+
+
+class TestMinhashDeduplicator:
+    def test_near_duplicates_removed(self):
+        out = DocumentMinhashDeduplicator(jaccard_threshold=0.6).run(dataset([BASE, NEAR, OTHER]))
+        assert len(out) == 2
+        texts = [row["text"] for row in out]
+        assert OTHER in texts
+
+    def test_distinct_documents_kept(self):
+        out = DocumentMinhashDeduplicator().run(dataset([BASE, OTHER]))
+        assert len(out) == 2
+
+    def test_exact_duplicates_removed(self):
+        out = DocumentMinhashDeduplicator().run(dataset([BASE, BASE, BASE]))
+        assert len(out) == 1
+
+    def test_signature_width_matches_permutations(self):
+        dedup = DocumentMinhashDeduplicator(num_permutations=32, num_bands=8)
+        hashed = dedup.compute_hash({"text": BASE})
+        assert len(hashed[HashKeys.minhash]) == 32
+
+    def test_bands_must_divide_permutations(self):
+        with pytest.raises(ValueError):
+            DocumentMinhashDeduplicator(num_permutations=64, num_bands=10)
+
+    def test_empty_text_does_not_crash(self):
+        out = DocumentMinhashDeduplicator().run(dataset(["", BASE]))
+        assert len(out) >= 1
+
+
+class TestSimhashDeduplicator:
+    def test_hamming_distance(self):
+        assert hamming_distance(0b1010, 0b0011) == 2
+
+    def test_near_duplicates_removed(self):
+        out = DocumentSimhashDeduplicator(hamming_threshold=8).run(dataset([BASE, NEAR, OTHER]))
+        assert len(out) == 2
+
+    def test_distinct_documents_kept(self):
+        out = DocumentSimhashDeduplicator(hamming_threshold=3).run(dataset([BASE, OTHER]))
+        assert len(out) == 2
+
+    def test_fingerprints_of_identical_texts_match(self):
+        dedup = DocumentSimhashDeduplicator()
+        fp1 = dedup.compute_hash({"text": BASE})[HashKeys.simhash]
+        fp2 = dedup.compute_hash({"text": BASE})[HashKeys.simhash]
+        assert fp1 == fp2
+
+    def test_similar_texts_have_close_fingerprints(self):
+        dedup = DocumentSimhashDeduplicator()
+        fp_base = dedup.compute_hash({"text": BASE})[HashKeys.simhash]
+        fp_near = dedup.compute_hash({"text": NEAR})[HashKeys.simhash]
+        fp_other = dedup.compute_hash({"text": OTHER})[HashKeys.simhash]
+        assert hamming_distance(fp_base, fp_near) < hamming_distance(fp_base, fp_other)
+
+    def test_num_blocks_adjusted_above_threshold(self):
+        dedup = DocumentSimhashDeduplicator(hamming_threshold=5, num_blocks=4)
+        assert dedup.num_blocks > 5

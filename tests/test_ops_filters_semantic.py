@@ -1,0 +1,143 @@
+"""Tests for semantic/metadata filters (language, flagged words, stopwords, perplexity, fields...)."""
+
+from repro.core.dataset import NestedDataset
+from repro.core.sample import Fields, StatsKeys
+from repro.ops.filters.email_count_filter import EmailCountFilter
+from repro.ops.filters.flagged_words_filter import FlaggedWordsFilter
+from repro.ops.filters.language_id_score_filter import LanguageIdScoreFilter
+from repro.ops.filters.perplexity_filter import PerplexityFilter
+from repro.ops.filters.specified_field_filter import SpecifiedFieldFilter
+from repro.ops.filters.specified_numeric_field_filter import SpecifiedNumericFieldFilter
+from repro.ops.filters.stopwords_filter import StopwordsFilter
+from repro.ops.filters.suffix_filter import SuffixFilter
+from repro.ops.filters.text_action_filter import TextActionFilter
+from repro.ops.filters.url_ratio_filter import UrlRatioFilter
+
+
+def keep(filter_op, sample):
+    if isinstance(sample, str):
+        sample = {"text": sample}
+    return filter_op.process(filter_op.compute_stats(sample))
+
+
+ENGLISH = "This is a perfectly normal English sentence that people would write about their life."
+CHINESE = "这是一个关于数据处理系统的中文句子，我们的模型可以理解它的内容。"
+
+
+class TestLanguageFilter:
+    def test_keeps_matching_language(self):
+        assert keep(LanguageIdScoreFilter(lang="en", min_score=0.2), ENGLISH)
+
+    def test_drops_other_language(self):
+        assert not keep(LanguageIdScoreFilter(lang="en", min_score=0.2), CHINESE)
+
+    def test_accepts_list_of_languages(self):
+        assert keep(LanguageIdScoreFilter(lang=["en", "zh"], min_score=0.2), CHINESE)
+
+    def test_empty_lang_only_checks_score(self):
+        assert keep(LanguageIdScoreFilter(lang="", min_score=0.1), ENGLISH)
+
+    def test_stats_record_lang_and_score(self):
+        filter_op = LanguageIdScoreFilter()
+        stats = filter_op.compute_stats({"text": ENGLISH})[Fields.stats]
+        assert stats[StatsKeys.lang] == "en"
+        assert 0.0 <= stats[StatsKeys.lang_score] <= 1.0
+
+
+class TestFlaggedAndStopwords:
+    def test_flagged_words_dropped(self):
+        toxic = "this text contains badword and toxicword and flaggedterm repeatedly badword"
+        assert not keep(FlaggedWordsFilter(max_ratio=0.05), toxic)
+
+    def test_clean_text_kept(self):
+        assert keep(FlaggedWordsFilter(max_ratio=0.05), ENGLISH)
+
+    def test_custom_flagged_list(self):
+        assert not keep(FlaggedWordsFilter(max_ratio=0.0, flagged_words=["data"]), "data driven")
+
+    def test_stopwords_ratio_keeps_prose(self):
+        assert keep(StopwordsFilter(min_ratio=0.2), ENGLISH)
+
+    def test_stopwords_ratio_drops_keyword_lists(self):
+        assert not keep(StopwordsFilter(min_ratio=0.2), "keyword stuffing seo marketing click buy")
+
+
+class TestPerplexityFilter:
+    def test_natural_text_kept(self):
+        assert keep(PerplexityFilter(max_ppl=5000), ENGLISH)
+
+    def test_gibberish_dropped(self):
+        assert not keep(PerplexityFilter(max_ppl=2000), "zqx wvb nmp qqq zzz xxw vvb mnk")
+
+    def test_min_ppl_bound(self):
+        assert not keep(PerplexityFilter(min_ppl=1e9), ENGLISH)
+
+
+class TestFieldFilters:
+    def test_specified_field_match(self):
+        sample = {"text": "x", "meta": {"language": "EN"}}
+        assert keep(SpecifiedFieldFilter(field_key="meta.language", target_values=["EN"]), sample)
+
+    def test_specified_field_mismatch(self):
+        sample = {"text": "x", "meta": {"language": "ZH"}}
+        assert not keep(SpecifiedFieldFilter(field_key="meta.language", target_values=["EN"]), sample)
+
+    def test_specified_field_missing_value_fails(self):
+        assert not keep(SpecifiedFieldFilter(field_key="meta.tag", target_values=["a"]), {"text": "x"})
+
+    def test_specified_field_list_value_requires_all(self):
+        sample = {"text": "x", "meta": {"tags": ["a", "b"]}}
+        assert keep(SpecifiedFieldFilter(field_key="meta.tags", target_values=["a", "b", "c"]), sample)
+        assert not keep(SpecifiedFieldFilter(field_key="meta.tags", target_values=["a"]), sample)
+
+    def test_specified_field_no_config_keeps_all(self):
+        assert keep(SpecifiedFieldFilter(), {"text": "x"})
+
+    def test_numeric_field_range(self):
+        sample = {"text": "x", "meta": {"stars": 1500}}
+        assert keep(SpecifiedNumericFieldFilter(field_key="meta.stars", min_value=1000), sample)
+        assert not keep(SpecifiedNumericFieldFilter(field_key="meta.stars", min_value=2000), sample)
+
+    def test_numeric_field_accepts_numeric_strings(self):
+        sample = {"text": "x", "meta": {"score": "3.5"}}
+        assert keep(SpecifiedNumericFieldFilter(field_key="meta.score", min_value=3), sample)
+
+    def test_numeric_field_non_numeric_fails(self):
+        sample = {"text": "x", "meta": {"score": "n/a"}}
+        assert not keep(SpecifiedNumericFieldFilter(field_key="meta.score", min_value=0), sample)
+
+    def test_suffix_filter(self):
+        assert keep(SuffixFilter(suffixes=[".py"]), {"text": "x", Fields.suffix: ".py"})
+        assert not keep(SuffixFilter(suffixes=[".py"]), {"text": "x", Fields.suffix: ".cpp"})
+
+    def test_suffix_filter_accepts_names_without_dot(self):
+        assert keep(SuffixFilter(suffixes=["py"]), {"text": "x", Fields.suffix: ".py"})
+
+    def test_suffix_filter_empty_allowlist_keeps_all(self):
+        assert keep(SuffixFilter(), {"text": "x"})
+
+
+class TestContentFilters:
+    def test_email_count(self):
+        many = "a@b.com c@d.com e@f.com g@h.com"
+        assert not keep(EmailCountFilter(max_count=2), many)
+        assert keep(EmailCountFilter(max_count=2), "only a@b.com here")
+
+    def test_url_ratio(self):
+        linky = "https://a.com https://b.com https://c.com text"
+        assert not keep(UrlRatioFilter(max_ratio=0.3), linky)
+        assert keep(UrlRatioFilter(max_ratio=0.3), "mostly text with one https://a.com link in it")
+
+    def test_text_action_requires_verbs(self):
+        assert keep(TextActionFilter(), "Summarize the following paragraph for me")
+        assert not keep(TextActionFilter(), "apple banana orange")
+
+
+class TestFilterRunOnDataset:
+    def test_run_filters_dataset_and_writes_stats(self):
+        from repro.ops.filters.text_length_filter import TextLengthFilter
+
+        dataset = NestedDataset.from_list([{"text": ENGLISH}, {"text": "zz"}])
+        out = TextLengthFilter(min_len=10).run(dataset)
+        assert len(out) == 1
+        assert out[0][Fields.stats][StatsKeys.text_len] == len(ENGLISH)

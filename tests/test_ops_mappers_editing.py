@@ -1,0 +1,153 @@
+"""Tests for the text-editing mappers (LaTeX, tables, long words, repetition, augmentation...)."""
+
+import pytest
+
+from repro.ops.mappers.expand_macro_mapper import ExpandMacroMapper
+from repro.ops.mappers.lowercase_mapper import LowercaseMapper
+from repro.ops.mappers.nfkc_normalization_mapper import NfkcNormalizationMapper
+from repro.ops.mappers.remove_bibliography_mapper import RemoveBibliographyMapper
+from repro.ops.mappers.remove_comments_mapper import RemoveCommentsMapper
+from repro.ops.mappers.remove_duplicate_lines_mapper import RemoveDuplicateLinesMapper
+from repro.ops.mappers.remove_header_mapper import RemoveHeaderMapper
+from repro.ops.mappers.remove_long_words_mapper import RemoveLongWordsMapper
+from repro.ops.mappers.remove_repeat_sentences_mapper import RemoveRepeatSentencesMapper
+from repro.ops.mappers.remove_specific_chars_mapper import RemoveSpecificCharsMapper
+from repro.ops.mappers.remove_table_text_mapper import RemoveTableTextMapper
+from repro.ops.mappers.remove_words_with_incorrect_substrings_mapper import (
+    RemoveWordsWithIncorrectSubstringsMapper,
+)
+from repro.ops.mappers.replace_content_mapper import ReplaceContentMapper
+from repro.ops.mappers.sentence_split_mapper import SentenceSplitMapper
+from repro.ops.mappers.text_augmentation_mapper import TextAugmentationMapper
+from repro.ops.mappers.truncate_text_mapper import TruncateTextMapper
+
+
+def text_of(mapper, text):
+    return mapper.process({"text": text})["text"]
+
+
+LATEX = (
+    "\\documentclass{article}\n"
+    "\\newcommand{\\sys}{JuicyNet}\n"
+    "% a review comment\n"
+    "\\section{Intro}\n"
+    "The \\sys system works. % inline note\n"
+    "\\begin{thebibliography}{9}\\bibitem{a} Ref.\\end{thebibliography}\n"
+)
+
+
+class TestLatexMappers:
+    def test_remove_header_keeps_from_first_section(self):
+        assert text_of(RemoveHeaderMapper(), LATEX).startswith("\\section{Intro}")
+
+    def test_remove_header_drops_headless_documents(self):
+        assert text_of(RemoveHeaderMapper(), "\\documentclass{article}\nno sections") == ""
+
+    def test_remove_header_keeps_plain_text(self):
+        assert text_of(RemoveHeaderMapper(), "just plain text") == "just plain text"
+
+    def test_remove_comments_whole_line_and_inline(self):
+        cleaned = text_of(RemoveCommentsMapper(), LATEX)
+        assert "review comment" not in cleaned and "inline note" not in cleaned
+
+    def test_remove_comments_inline_only_preserves_line_structure(self):
+        cleaned = text_of(RemoveCommentsMapper(whole_line=False), "% full\nkeep % drop")
+        # inline mode truncates at '%' but keeps the (now empty) line in place
+        assert cleaned.splitlines() == ["", "keep "]
+
+    def test_expand_macro(self):
+        expanded = text_of(ExpandMacroMapper(), LATEX)
+        assert "JuicyNet system" in expanded
+        assert "\\newcommand" not in expanded
+
+    def test_expand_macro_ignores_macros_with_arguments(self):
+        text = "\\newcommand{\\pair}[2]{(#1,#2)} use \\pair{a}{b}"
+        assert "\\pair{a}{b}" in text_of(ExpandMacroMapper(), text)
+
+    def test_remove_bibliography(self):
+        assert "bibitem" not in text_of(RemoveBibliographyMapper(), LATEX)
+
+
+class TestWordAndLineMappers:
+    def test_remove_long_words(self):
+        text = "short " + "x" * 60 + " fine"
+        assert text_of(RemoveLongWordsMapper(max_len=30), text).split() == ["short", "fine"]
+
+    def test_remove_short_words(self):
+        assert text_of(RemoveLongWordsMapper(min_len=3), "a an the word") == "the word"
+
+    def test_remove_specific_chars(self):
+        assert text_of(RemoveSpecificCharsMapper(chars_to_remove="◆●"), "◆a●b") == "ab"
+
+    def test_remove_specific_chars_empty_config(self):
+        assert text_of(RemoveSpecificCharsMapper(chars_to_remove=""), "◆a") == "◆a"
+
+    def test_remove_incorrect_substrings(self):
+        text = "read this href=page.html now"
+        assert "href" not in text_of(RemoveWordsWithIncorrectSubstringsMapper(), text)
+
+    def test_remove_table_text(self):
+        table = "intro line\ncol1\tcol2\tcol3\n1\t2\t3\n4\t5\t6\nclosing line"
+        cleaned = text_of(RemoveTableTextMapper(), table)
+        assert "col1" not in cleaned and "intro line" in cleaned and "closing line" in cleaned
+
+    def test_single_aligned_line_kept(self):
+        text = "before\na\tb\nafter"
+        assert "a\tb" in text_of(RemoveTableTextMapper(), text)
+
+    def test_remove_duplicate_lines(self):
+        text = "a unique first line here\nsame long repeated line content\nsame long repeated line content"
+        assert text_of(RemoveDuplicateLinesMapper(), text).count("repeated") == 1
+
+    def test_remove_duplicate_lines_keeps_short_lines(self):
+        text = "-\n-\n-"
+        assert text_of(RemoveDuplicateLinesMapper(min_line_length=5), text) == text
+
+    def test_remove_repeat_sentences(self):
+        text = "This sentence repeats itself badly. This sentence repeats itself badly. Another one."
+        assert text_of(RemoveRepeatSentencesMapper(), text).count("repeats") == 1
+
+
+class TestMiscMappers:
+    def test_sentence_split(self):
+        assert text_of(SentenceSplitMapper(), "One. Two.") == "One.\nTwo."
+
+    def test_lowercase(self):
+        assert text_of(LowercaseMapper(), "MiXeD") == "mixed"
+
+    def test_nfkc_fullwidth_to_ascii(self):
+        assert text_of(NfkcNormalizationMapper(), "ＡＢＣ１２３") == "ABC123"
+
+    def test_replace_content_single_pattern(self):
+        assert text_of(ReplaceContentMapper(pattern=r"\d+", repl="N"), "a1 b22") == "aN bN"
+
+    def test_replace_content_multiple_patterns(self):
+        mapper = ReplaceContentMapper(pattern=[r"foo", r"bar"], repl="_")
+        assert text_of(mapper, "foo bar baz") == "_ _ baz"
+
+    def test_truncate_by_words(self):
+        assert text_of(TruncateTextMapper(max_words=2), "a b c d") == "a b"
+
+    def test_truncate_by_chars(self):
+        assert text_of(TruncateTextMapper(max_chars=3), "abcdef") == "abc"
+
+    def test_truncate_requires_a_limit(self):
+        with pytest.raises(ValueError):
+            TruncateTextMapper()
+
+    def test_augmentation_is_deterministic(self):
+        mapper = TextAugmentationMapper(aug_method="swap", aug_ratio=0.5, seed=1)
+        text = "one two three four five six"
+        assert text_of(mapper, text) == text_of(mapper, text)
+
+    def test_augmentation_delete_never_empties(self):
+        mapper = TextAugmentationMapper(aug_method="delete", aug_ratio=1.0, seed=0)
+        assert text_of(mapper, "a b c") != ""
+
+    def test_augmentation_duplicate_grows_text(self):
+        mapper = TextAugmentationMapper(aug_method="duplicate", aug_ratio=1.0, seed=0)
+        assert len(text_of(mapper, "a b c").split()) == 6
+
+    def test_augmentation_invalid_method(self):
+        with pytest.raises(ValueError):
+            TextAugmentationMapper(aug_method="backtranslate")

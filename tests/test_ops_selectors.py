@@ -1,0 +1,114 @@
+"""Tests for the dataset-level selectors (top-k, frequency, random, quantile range)."""
+
+import pytest
+
+from repro.core.dataset import NestedDataset
+from repro.ops.selectors.frequency_specified_field_selector import FrequencySpecifiedFieldSelector
+from repro.ops.selectors.random_selector import RandomSelector
+from repro.ops.selectors.range_specified_field_selector import RangeSpecifiedFieldSelector
+from repro.ops.selectors.topk_specified_field_selector import TopkSpecifiedFieldSelector
+
+
+def scored_dataset():
+    return NestedDataset.from_list(
+        [{"text": f"doc {index}", "meta": {"score": index, "source": "a" if index % 2 else "b"}}
+         for index in range(10)]
+    )
+
+
+class TestTopkSelector:
+    def test_topk_highest(self):
+        out = TopkSpecifiedFieldSelector(field_key="meta.score", topk=3).process(scored_dataset())
+        assert sorted(row["meta"]["score"] for row in out) == [7, 8, 9]
+
+    def test_topk_lowest_with_reverse_false(self):
+        out = TopkSpecifiedFieldSelector(field_key="meta.score", topk=2, reverse=False).process(
+            scored_dataset()
+        )
+        assert sorted(row["meta"]["score"] for row in out) == [0, 1]
+
+    def test_top_ratio(self):
+        out = TopkSpecifiedFieldSelector(field_key="meta.score", top_ratio=0.5).process(scored_dataset())
+        assert len(out) == 5
+
+    def test_missing_field_sorts_last(self):
+        data = NestedDataset.from_list([{"text": "a"}, {"text": "b", "meta": {"score": 5}}])
+        out = TopkSpecifiedFieldSelector(field_key="meta.score", topk=1).process(data)
+        assert out[0]["text"] == "b"
+
+    def test_requires_budget(self):
+        with pytest.raises(ValueError):
+            TopkSpecifiedFieldSelector(field_key="meta.score")
+
+    def test_requires_field(self):
+        with pytest.raises(ValueError):
+            TopkSpecifiedFieldSelector(topk=1)
+
+
+class TestFrequencySelector:
+    def test_keeps_most_frequent_groups(self):
+        data = NestedDataset.from_list(
+            [{"text": str(i), "meta": {"lang": "en"}} for i in range(6)]
+            + [{"text": str(i), "meta": {"lang": "zh"}} for i in range(2)]
+        )
+        out = FrequencySpecifiedFieldSelector(field_key="meta.lang", topk=1).process(data)
+        assert all(row["meta"]["lang"] == "en" for row in out)
+
+    def test_max_per_group_balances(self):
+        out = FrequencySpecifiedFieldSelector(
+            field_key="meta.source", topk=2, max_per_group=2
+        ).process(scored_dataset())
+        assert len(out) == 4
+
+    def test_top_ratio_groups(self):
+        out = FrequencySpecifiedFieldSelector(field_key="meta.source", top_ratio=0.5).process(
+            scored_dataset()
+        )
+        assert len({row["meta"]["source"] for row in out}) == 1
+
+    def test_empty_dataset(self):
+        empty = NestedDataset.empty()
+        assert len(FrequencySpecifiedFieldSelector(field_key="meta.x", topk=1).process(empty)) == 0
+
+
+class TestRandomSelector:
+    def test_select_num(self):
+        out = RandomSelector(select_num=4, seed=1).process(scored_dataset())
+        assert len(out) == 4
+
+    def test_select_ratio(self):
+        out = RandomSelector(select_ratio=0.3, seed=1).process(scored_dataset())
+        assert len(out) == 3
+
+    def test_deterministic_given_seed(self):
+        first = RandomSelector(select_num=5, seed=9).process(scored_dataset())
+        second = RandomSelector(select_num=5, seed=9).process(scored_dataset())
+        assert first.to_list() == second.to_list()
+
+    def test_requires_budget(self):
+        with pytest.raises(ValueError):
+            RandomSelector()
+
+    def test_num_larger_than_dataset(self):
+        assert len(RandomSelector(select_num=100).process(scored_dataset())) == 10
+
+
+class TestRangeSelector:
+    def test_middle_band(self):
+        out = RangeSpecifiedFieldSelector(
+            field_key="meta.score", lower_percentile=0.2, upper_percentile=0.8
+        ).process(scored_dataset())
+        scores = [row["meta"]["score"] for row in out]
+        assert min(scores) >= 1 and max(scores) <= 8
+
+    def test_full_band_keeps_all_numeric(self):
+        out = RangeSpecifiedFieldSelector(field_key="meta.score").process(scored_dataset())
+        assert len(out) == 10
+
+    def test_invalid_percentiles(self):
+        with pytest.raises(ValueError):
+            RangeSpecifiedFieldSelector(field_key="x", lower_percentile=0.9, upper_percentile=0.1)
+
+    def test_no_numeric_values_selects_nothing(self):
+        data = NestedDataset.from_list([{"text": "a", "meta": {"score": "high"}}])
+        assert len(RangeSpecifiedFieldSelector(field_key="meta.score").process(data)) == 0

@@ -1,0 +1,120 @@
+"""Tests for the synthetic corpus generators and noise injection."""
+
+import pytest
+
+from repro.core.sample import Fields
+from repro.ops.common.flagged_words import FLAGGED_WORDS_EN
+from repro.synth import (
+    DocumentGenerator,
+    NoiseInjector,
+    arxiv_like,
+    chinese_web_like,
+    code_like,
+    common_crawl_like,
+    instruction_dataset,
+    make_corpus,
+    stackexchange_like,
+    wikipedia_like,
+)
+
+
+class TestDocumentGenerator:
+    def test_deterministic_given_seed(self):
+        assert DocumentGenerator(1).document() == DocumentGenerator(1).document()
+
+    def test_different_seeds_differ(self):
+        assert DocumentGenerator(1).document() != DocumentGenerator(2).document()
+
+    def test_sentence_ends_with_period(self):
+        assert DocumentGenerator(0).sentence().endswith(".")
+
+    def test_document_has_paragraphs(self):
+        assert "\n\n" in DocumentGenerator(0).document(num_paragraphs=3)
+
+    def test_cjk_document_is_cjk(self):
+        from repro.ops.common.helper_funcs import cjk_ratio
+
+        assert cjk_ratio(DocumentGenerator(0).cjk_document()) > 0.8
+
+    def test_code_document_looks_like_python(self):
+        code = DocumentGenerator(0).code_document()
+        assert "def " in code and "return" in code
+
+
+class TestNoiseInjector:
+    def test_add_html_wraps_text(self):
+        assert "<html>" in NoiseInjector(0).add_html("hello")
+
+    def test_add_links_and_emails(self):
+        noisy = NoiseInjector(0).add_links_and_emails("text")
+        assert "http" in noisy and "@" in noisy
+
+    def test_add_flagged_words(self):
+        noisy = NoiseInjector(0).add_flagged_words("clean words only here now")
+        assert any(word in noisy for word in FLAGGED_WORDS_EN)
+
+    def test_gibberish_has_no_common_words(self):
+        assert "the" not in NoiseInjector(0).gibberish().split()
+
+    def test_truncate_shortens(self):
+        assert len(NoiseInjector(0).truncate("x" * 500)) <= 30
+
+    def test_corrupt_changes_text(self):
+        clean = DocumentGenerator(0).document()
+        assert NoiseInjector(0).corrupt(clean, kinds=["links"]) != clean
+
+
+class TestCorpora:
+    def test_sizes_and_sources(self):
+        corpus = common_crawl_like(num_samples=30, seed=0, duplicate_ratio=0.1)
+        assert len(corpus) == 33  # 30 + 10% duplicates
+        assert all(row[Fields.meta]["source"] == "common_crawl" for row in corpus)
+
+    def test_quality_knob_controls_clean_fraction(self):
+        dirty = common_crawl_like(num_samples=60, seed=1, quality=0.1, duplicate_ratio=0.0)
+        clean = common_crawl_like(num_samples=60, seed=1, quality=0.9, duplicate_ratio=0.0)
+        dirty_clean_count = sum(1 for row in dirty if row[Fields.meta]["clean"])
+        clean_clean_count = sum(1 for row in clean if row[Fields.meta]["clean"])
+        assert clean_clean_count > dirty_clean_count
+
+    def test_duplicates_injected(self):
+        corpus = common_crawl_like(num_samples=40, seed=2, duplicate_ratio=0.25)
+        texts = [row[Fields.text] for row in corpus]
+        assert len(set(texts)) < len(texts)
+
+    def test_wikipedia_is_all_clean(self):
+        assert all(row[Fields.meta]["clean"] for row in wikipedia_like(num_samples=20, seed=3))
+
+    def test_arxiv_contains_latex(self):
+        assert any("\\documentclass" in row[Fields.text] for row in arxiv_like(20, seed=4))
+
+    def test_code_has_star_metadata_and_suffix(self):
+        corpus = code_like(num_samples=10, seed=5)
+        assert all(isinstance(row[Fields.meta]["stars"], int) for row in corpus)
+        assert all(row[Fields.suffix] == ".py" for row in corpus)
+
+    def test_stackexchange_has_question_answer(self):
+        assert any("Q:" in row[Fields.text] and "A:" in row[Fields.text]
+                   for row in stackexchange_like(10, seed=6))
+
+    def test_chinese_web_language_tag(self):
+        assert all(row[Fields.meta]["language"] == "zh" for row in chinese_web_like(10, seed=7))
+
+    def test_instruction_dataset_fields_and_tags(self):
+        dataset = instruction_dataset(num_samples=15, seed=8, usage="CFT", language="en")
+        row = dataset[0]
+        assert {"instruction", "input", "output"} <= set(row)
+        assert row[Fields.meta]["usage"] == "CFT"
+        assert row[Fields.meta]["language"] == "EN"
+
+    def test_make_corpus_dispatch(self):
+        assert len(make_corpus("wikipedia", num_samples=5, seed=9)) == 5
+
+    def test_make_corpus_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_corpus("pile_of_nothing")
+
+    def test_corpora_deterministic(self):
+        first = common_crawl_like(num_samples=15, seed=11)
+        second = common_crawl_like(num_samples=15, seed=11)
+        assert first.to_list() == second.to_list()

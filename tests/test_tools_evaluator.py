@@ -1,0 +1,181 @@
+"""Tests for the proxy LLM substrate: bigram LM, trainer, benchmark suite, leaderboard, judge."""
+
+import math
+
+import pytest
+
+from repro.synth import common_crawl_like, wikipedia_like
+from repro.tools.evaluator.benchmarks import HELM_CORE_TASKS, get_task, task_names
+from repro.tools.evaluator.harness import Evaluator, Leaderboard
+from repro.tools.evaluator.judge import PairwiseJudge
+from repro.tools.evaluator.ngram_lm import BigramLanguageModel, tokenize
+from repro.tools.evaluator.reference_models import ReferenceModel, ReferenceModelRegistry
+from repro.tools.evaluator.trainer import ProxyTrainer
+
+
+@pytest.fixture(scope="module")
+def trainer():
+    return ProxyTrainer()
+
+
+@pytest.fixture(scope="module")
+def clean_model(trainer):
+    return trainer.train(wikipedia_like(num_samples=60, seed=0), name="clean")
+
+
+@pytest.fixture(scope="module")
+def dirty_model(trainer):
+    return trainer.train(
+        common_crawl_like(num_samples=60, seed=1, quality=0.1, duplicate_ratio=0.2), name="dirty"
+    )
+
+
+class TestBigramLanguageModel:
+    def test_training_counts_tokens(self):
+        model = BigramLanguageModel().fit(["one two three", "four five"])
+        assert model.total_tokens == 5
+
+    def test_token_budget_respected(self):
+        model = BigramLanguageModel().fit(["word " * 100], max_tokens=30)
+        assert model.total_tokens == 30
+
+    def test_perplexity_lower_on_seen_text(self):
+        text = "the data system processes the corpus"
+        model = BigramLanguageModel().fit([text] * 5)
+        assert model.perplexity([text]) < model.perplexity(["völlig unbekannte wörter hier"])
+
+    def test_perplexity_empty_model(self):
+        assert math.isinf(BigramLanguageModel().perplexity([]))
+
+    def test_generation_deterministic_given_seed(self):
+        model = BigramLanguageModel().fit(["a b c d e f g"] * 3)
+        assert model.generate(10, seed=1) == model.generate(10, seed=1)
+
+    def test_distinct_n_in_unit_interval(self):
+        model = BigramLanguageModel().fit(["varied words appear in this longer training text"] * 2)
+        assert 0.0 <= model.distinct_n(2) <= 1.0
+
+    def test_tokenize_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+
+class TestProxyTrainer:
+    def test_component_scores_in_unit_interval(self, clean_model):
+        for value in clean_model.component_scores().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_clean_data_beats_dirty_on_cleanliness(self, clean_model, dirty_model):
+        assert clean_model.cleanliness_score() >= dirty_model.cleanliness_score()
+
+    def test_dirty_data_has_duplicates(self, dirty_model):
+        assert dirty_model.duplicate_fraction > 0.0
+
+    def test_more_tokens_increase_coverage(self, trainer):
+        corpus = wikipedia_like(num_samples=60, seed=2)
+        small = trainer.train(corpus, name="small", num_tokens=500)
+        large = trainer.train(corpus, name="large", num_tokens=5000)
+        assert large.coverage_score() > small.coverage_score()
+
+    def test_effective_tokens_capped_by_budget(self, trainer):
+        model = trainer.train(wikipedia_like(num_samples=30, seed=3), num_tokens=1000)
+        assert model.effective_tokens <= 1000
+
+
+class TestBenchmarks:
+    def test_sixteen_tasks(self):
+        assert len(HELM_CORE_TASKS) == 16
+        assert len(task_names()) == 16
+
+    def test_scores_bounded(self, clean_model):
+        for task in HELM_CORE_TASKS:
+            assert 0.0 <= task.score(clean_model) <= 100.0
+
+    def test_scores_deterministic(self, clean_model):
+        task = get_task("MMLU")
+        assert task.score(clean_model) == task.score(clean_model)
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            get_task("GSM8K")
+
+    def test_clean_model_beats_dirty_on_average(self, clean_model, dirty_model):
+        evaluator = Evaluator()
+        assert (
+            evaluator.evaluate(clean_model).average_score
+            > evaluator.evaluate(dirty_model).average_score
+        )
+
+
+class TestEvaluatorAndLeaderboard:
+    def test_report_contains_all_tasks(self, clean_model):
+        report = Evaluator().evaluate(clean_model)
+        assert set(report.task_scores) == set(task_names())
+        assert report.as_dict()["model_name"] == "clean"
+
+    def test_leaderboard_mean_ranking(self, clean_model, dirty_model):
+        evaluator = Evaluator()
+        board = Leaderboard("mean")
+        board.add(evaluator.evaluate(clean_model))
+        board.add(evaluator.evaluate(dirty_model))
+        assert board.ranking()[0][0] == "clean"
+        assert "Leaderboard" in board.render()
+
+    @pytest.mark.parametrize("aggregation", ["rank", "normalized"])
+    def test_alternative_aggregations_keep_order(self, aggregation, clean_model, dirty_model):
+        evaluator = Evaluator()
+        board = Leaderboard(aggregation)
+        board.add(evaluator.evaluate(clean_model))
+        board.add(evaluator.evaluate(dirty_model))
+        assert board.ranking()[0][0] == "clean"
+
+    def test_invalid_aggregation(self):
+        from repro.core.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            Leaderboard("median-of-medians")
+
+
+class TestReferenceModels:
+    def test_register_and_rank(self):
+        registry = ReferenceModelRegistry()
+        registry.register(ReferenceModel("a", "data-a", 100, 30.0))
+        registry.register(ReferenceModel("b", "data-b", 100, 40.0))
+        assert registry.all()[0].name == "b"
+        assert len(registry) == 2
+        assert "a" in registry
+
+    def test_duplicate_rejected_without_overwrite(self):
+        registry = ReferenceModelRegistry()
+        registry.register(ReferenceModel("a", "d", 1, 1.0))
+        with pytest.raises(ValueError):
+            registry.register(ReferenceModel("a", "d", 1, 2.0))
+
+    def test_register_report(self, clean_model):
+        registry = ReferenceModelRegistry()
+        report = Evaluator().evaluate(clean_model)
+        registry.register_report(report, training_data="wiki", num_tokens=123)
+        assert registry.get("clean").num_tokens == 123
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            ReferenceModelRegistry().get("missing")
+
+
+class TestPairwiseJudge:
+    def test_tallies_sum_to_prompts(self, clean_model, dirty_model):
+        result = PairwiseJudge(num_prompts=50).compare(clean_model, dirty_model)
+        assert result.num_prompts == 50
+
+    def test_better_model_wins(self, clean_model, dirty_model):
+        result = PairwiseJudge(num_prompts=100).compare(clean_model, dirty_model)
+        assert result.wins_a > result.wins_b
+
+    def test_self_comparison_is_all_ties(self, clean_model):
+        result = PairwiseJudge(num_prompts=40).compare(clean_model, clean_model)
+        assert result.ties == 40
+
+    def test_deterministic(self, clean_model, dirty_model):
+        judge = PairwiseJudge(num_prompts=30)
+        assert judge.compare(clean_model, dirty_model).as_dict() == judge.compare(
+            clean_model, dirty_model
+        ).as_dict()

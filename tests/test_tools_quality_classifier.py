@@ -1,0 +1,124 @@
+"""Tests for the quality-classifier pipeline (tokenizers, hashing features, model, keeping rules)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sample import Fields
+from repro.synth import common_crawl_like, wikipedia_like
+from repro.tools.quality_classifier.features import HashingVectorizer
+from repro.tools.quality_classifier.model import LogisticRegression, precision_recall_f1
+from repro.tools.quality_classifier.pipeline import QualityClassifier
+from repro.tools.quality_classifier.tokenizer import StandardTokenizer, UnigramTokenizer
+
+
+class TestTokenizers:
+    def test_standard_tokenizer_lowercases(self):
+        assert StandardTokenizer().tokenize("Hello World!") == ["hello", "world"]
+
+    def test_unigram_tokenizer_untrained_falls_back_to_chars(self):
+        assert UnigramTokenizer().tokenize("ab c") == ["a", "b", "c"]
+
+    def test_unigram_tokenizer_learns_pieces(self):
+        tokenizer = UnigramTokenizer(vocab_size=50, max_piece_len=4)
+        tokenizer.train(["the data system processes the data"] * 5)
+        tokens = tokenizer.tokenize("the data")
+        assert any(len(token) > 1 for token in tokens)
+        assert tokenizer.is_trained
+
+    def test_unigram_tokenizer_roundtrip_covers_text(self):
+        tokenizer = UnigramTokenizer(vocab_size=100).train(["hello world"] * 3)
+        assert "".join(tokenizer.tokenize("hello world")) == "helloworld"
+
+
+class TestHashingVectorizer:
+    def test_output_shape(self):
+        vectorizer = HashingVectorizer(num_features=64)
+        matrix = vectorizer.transform([["a", "b"], ["c"]])
+        assert matrix.shape == (2, 64)
+
+    def test_same_tokens_same_vector(self):
+        vectorizer = HashingVectorizer(num_features=64)
+        assert np.allclose(vectorizer.transform_one(["x", "y"]), vectorizer.transform_one(["x", "y"]))
+
+    def test_l2_normalized(self):
+        vector = HashingVectorizer(num_features=32).transform_one(["a", "b", "c"])
+        assert np.isclose(np.linalg.norm(vector), 1.0)
+
+    def test_empty_batch(self):
+        assert HashingVectorizer(num_features=8).transform([]).shape == (0, 8)
+
+    def test_invalid_num_features(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(num_features=0)
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        features = np.vstack([rng.normal(1, 0.2, (50, 4)), rng.normal(-1, 0.2, (50, 4))])
+        labels = np.array([1] * 50 + [0] * 50)
+        model = LogisticRegression(num_iterations=200).fit(features, labels)
+        metrics = precision_recall_f1(labels, model.predict(features))
+        assert metrics["f1"] > 0.95
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 3)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_metrics_handle_degenerate_predictions(self):
+        metrics = precision_recall_f1(np.array([1, 1]), np.array([0, 0]))
+        assert metrics == {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+
+
+class TestQualityClassifierPipeline:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        positives = [row[Fields.text] for row in wikipedia_like(num_samples=60, seed=0)]
+        negatives = [
+            row[Fields.text]
+            for row in common_crawl_like(num_samples=60, seed=1, quality=0.0, duplicate_ratio=0.0)
+        ]
+        return QualityClassifier(num_iterations=300).fit(positives, negatives)
+
+    def test_separates_held_out_data(self, classifier):
+        positives = [row[Fields.text] for row in wikipedia_like(num_samples=25, seed=10)]
+        negatives = [
+            row[Fields.text]
+            for row in common_crawl_like(num_samples=25, seed=11, quality=0.0, duplicate_ratio=0.0)
+        ]
+        result = classifier.evaluate(positives, negatives)
+        assert result.f1 > 0.85
+
+    def test_scores_in_unit_interval(self, classifier):
+        scores = classifier.predict_scores(["any text at all"])
+        assert 0.0 <= scores[0] <= 1.0
+
+    def test_label_rule_keeps_more_than_pareto(self, classifier):
+        crawl = [row[Fields.text] for row in common_crawl_like(200, seed=12, quality=0.05)]
+        label_ratio = classifier.keeping_ratio(crawl, method="label")
+        pareto_ratio = classifier.keeping_ratio(crawl, method="pareto")
+        assert label_ratio >= pareto_ratio
+
+    def test_keeping_ratio_small_on_low_quality_crawl(self, classifier):
+        crawl = [row[Fields.text] for row in common_crawl_like(200, seed=13, quality=0.02)]
+        assert classifier.keeping_ratio(crawl, method="label") < 0.4
+
+    def test_unknown_keeping_method(self, classifier):
+        with pytest.raises(ValueError):
+            classifier.keep_mask(np.array([0.9]), method="magic")
+
+    def test_annotate_dataset_adds_scores(self, classifier):
+        dataset = wikipedia_like(num_samples=5, seed=14)
+        annotated = classifier.annotate_dataset(dataset)
+        assert all("quality_score" in row[Fields.stats] for row in annotated)
+
+    def test_empty_predict(self, classifier):
+        assert classifier.predict_scores([]).shape == (0,)
+
+    def test_unknown_tokenizer_rejected(self):
+        with pytest.raises(ValueError):
+            QualityClassifier(tokenizer="bpe-external")

@@ -1,0 +1,180 @@
+"""Tests for the enhanced samplers and the HPO tools (search spaces, optimizers, objectives)."""
+
+import random
+
+import pytest
+
+from repro.core.dataset import NestedDataset
+from repro.core.errors import HPOError
+from repro.synth import instruction_dataset, wikipedia_like
+from repro.tools.hpo.objectives import make_mixture_objective, make_op_threshold_objective
+from repro.tools.hpo.optimizers import (
+    Hyperband,
+    RandomSearch,
+    TPEOptimizer,
+    best_trial,
+    parameter_importance,
+)
+from repro.tools.hpo.search_space import Choice, IntUniform, LogUniform, SearchSpace, Trial, Uniform
+from repro.tools.sampler.diversity import DiversitySampler
+from repro.tools.sampler.stratified import StratifiedSampler
+
+
+def meta_dataset():
+    return NestedDataset.from_list(
+        [{"text": f"doc number {index} talks about things", "meta": {"source": "a" if index < 8 else "b", "len": index}}
+         for index in range(12)]
+    )
+
+
+class TestStratifiedSampler:
+    def test_balances_categorical_buckets(self):
+        sampler = StratifiedSampler(field_key="meta.source", seed=0)
+        sample = sampler.sample(meta_dataset(), 4)
+        sources = [row["meta"]["source"] for row in sample]
+        assert set(sources) == {"a", "b"}
+
+    def test_numeric_field_bucketed_by_quantiles(self):
+        sampler = StratifiedSampler(field_key="meta.len", num_buckets=3, seed=0)
+        sample = sampler.sample(meta_dataset(), 6)
+        assert len(sample) == 6
+
+    def test_budget_larger_than_dataset(self):
+        sampler = StratifiedSampler(field_key="meta.source")
+        assert len(sampler.sample(meta_dataset(), 100)) == 12
+
+    def test_zero_budget(self):
+        assert len(StratifiedSampler(field_key="meta.source").sample(meta_dataset(), 0)) == 0
+
+    def test_field_required(self):
+        with pytest.raises(ValueError):
+            StratifiedSampler(field_key="")
+
+
+class TestDiversitySampler:
+    def test_covers_more_pairs_than_random(self):
+        dataset = instruction_dataset(num_samples=150, seed=0)
+        diversity_sampler = DiversitySampler(seed=0)
+        diverse = diversity_sampler.sample(dataset, 40)
+        random_subset = dataset.shuffle(seed=0).take(40)
+        assert diversity_sampler.diversity_of(diverse) >= diversity_sampler.diversity_of(random_subset)
+
+    def test_budget_respected(self):
+        dataset = instruction_dataset(num_samples=60, seed=1)
+        assert len(DiversitySampler(seed=1).sample(dataset, 25)) == 25
+
+    def test_empty_dataset(self):
+        assert len(DiversitySampler().sample(NestedDataset.empty(), 5)) == 0
+
+
+class TestSearchSpace:
+    def test_sampling_respects_bounds(self):
+        space = SearchSpace({"u": Uniform(0, 1), "i": IntUniform(1, 5), "c": Choice((1, 2)),
+                             "l": LogUniform(0.01, 1.0)})
+        rng = random.Random(0)
+        for _ in range(20):
+            params = space.sample(rng)
+            assert 0 <= params["u"] <= 1
+            assert 1 <= params["i"] <= 5 and isinstance(params["i"], int)
+            assert params["c"] in (1, 2)
+            assert 0.01 <= params["l"] <= 1.0
+
+    def test_mixture_weight_helper(self):
+        space = SearchSpace.for_mixture_weights(["wiki", "cc"])
+        assert set(space.names()) == {"w_wiki", "w_cc"}
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(HPOError):
+            SearchSpace({})
+
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(HPOError):
+            SearchSpace({"x": 42})
+
+
+def quadratic(**params):
+    x = params["x"]
+    return -((x - 0.7) ** 2)
+
+
+class TestOptimizers:
+    def test_random_search_finds_near_optimum(self):
+        optimizer = RandomSearch(SearchSpace({"x": Uniform(0, 1)}), seed=0)
+        best = optimizer.optimize(quadratic, num_trials=60)
+        assert abs(best.params["x"] - 0.7) < 0.15
+
+    def test_tpe_beats_or_matches_small_random_budget(self):
+        space = SearchSpace({"x": Uniform(0, 1)})
+        tpe_best = TPEOptimizer(space, seed=1).optimize(quadratic, num_trials=40)
+        assert abs(tpe_best.params["x"] - 0.7) < 0.15
+
+    def test_random_search_requires_positive_trials(self):
+        with pytest.raises(HPOError):
+            RandomSearch(SearchSpace({"x": Uniform(0, 1)})).optimize(quadratic, num_trials=0)
+
+    def test_hyperband_allocates_growing_budgets(self):
+        def budgeted(budget, **params):
+            return -((params["x"] - 0.5) ** 2) * (1.0 / budget)
+
+        optimizer = Hyperband(SearchSpace({"x": Uniform(0, 1)}), max_budget=27, eta=3, seed=0)
+        best = optimizer.optimize(budgeted, num_configs=9)
+        budgets = {trial.budget for trial in optimizer.trials}
+        assert len(budgets) > 1
+        assert best in optimizer.trials
+
+    def test_hyperband_eta_validation(self):
+        with pytest.raises(HPOError):
+            Hyperband(SearchSpace({"x": Uniform(0, 1)}), eta=1)
+
+    def test_best_trial_empty_raises(self):
+        with pytest.raises(HPOError):
+            best_trial([])
+
+    def test_parameter_importance_detects_influential_param(self):
+        trials = [
+            Trial(params={"x": value, "noise": 0.5}, value=-((value - 0.7) ** 2))
+            for value in [i / 20 for i in range(20)]
+        ]
+        importance = parameter_importance(trials)
+        assert "x" in importance
+        assert "noise" not in importance or importance["x"] >= importance["noise"]
+
+
+class TestObjectives:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        from repro.core.sample import Fields
+        from repro.synth import common_crawl_like
+        from repro.tools.quality_classifier.pipeline import QualityClassifier
+
+        positives = [row[Fields.text] for row in wikipedia_like(num_samples=40, seed=0)]
+        negatives = [
+            row[Fields.text]
+            for row in common_crawl_like(num_samples=40, seed=1, quality=0.0, duplicate_ratio=0.0)
+        ]
+        return QualityClassifier(num_iterations=200).fit(positives, negatives)
+
+    def test_mixture_objective_prefers_clean_dataset(self, classifier):
+        from repro.synth import common_crawl_like
+
+        datasets = {
+            "wiki": wikipedia_like(num_samples=30, seed=2),
+            "cc": common_crawl_like(num_samples=30, seed=3, quality=0.0, duplicate_ratio=0.0),
+        }
+        objective = make_mixture_objective(datasets, classifier, dedup=False, seed=0)
+        clean_heavy = objective(w_wiki=1.0, w_cc=0.0)
+        dirty_heavy = objective(w_wiki=0.0, w_cc=1.0)
+        assert clean_heavy > dirty_heavy
+
+    def test_mixture_objective_zero_weights(self, classifier):
+        datasets = {"wiki": wikipedia_like(num_samples=10, seed=4)}
+        objective = make_mixture_objective(datasets, classifier)
+        assert objective(w_wiki=0.0) == 0.0
+
+    def test_op_threshold_objective_returns_score_in_range(self, classifier):
+        from repro.synth import common_crawl_like
+
+        dataset = common_crawl_like(num_samples=30, seed=5)
+        objective = make_op_threshold_objective(dataset, classifier)
+        value = objective(max_ratio=0.4)
+        assert 0.0 <= value <= 1.0
