@@ -1,0 +1,24 @@
+# Test / benchmark entry points.
+#
+#   make smoke       tier-1 verification, exactly as ROADMAP.md specifies
+#   make unit        unit tests only (tests/)
+#   make benchmarks  paper figure/table reproductions only (benchmarks/)
+#   make fig10       the Figure-10 scalability reproduction with its table
+
+PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
+
+.PHONY: smoke test unit benchmarks fig10
+
+smoke:
+	$(PYTEST) -x -q
+
+test: smoke
+
+unit:
+	$(PYTEST) -x -q -m "not benchmark_suite" tests
+
+benchmarks:
+	$(PYTEST) -x -q -m benchmark_suite benchmarks
+
+fig10:
+	$(PYTEST) -x -q -s benchmarks/test_fig10_scalability.py

@@ -10,9 +10,26 @@ to micro-benchmark the code.
 import sys
 from pathlib import Path
 
+import pytest
+
 _SRC = Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test in this directory so the suites can run separately.
+
+    ``pytest -m "not benchmark_suite"`` runs only the unit tests under
+    ``tests/``; ``pytest -m benchmark_suite`` (or ``pytest benchmarks``) runs
+    only the paper reproductions (see the Makefile targets).  The hook
+    receives the whole session's items, so mark only the ones under this
+    directory.
+    """
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.benchmark_suite)
 
 
 def print_table(title: str, rows: list[dict]) -> None:

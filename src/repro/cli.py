@@ -64,9 +64,11 @@ def cmd_process(args: argparse.Namespace) -> int:
         recipe["export_path"] = args.export
     if args.work_dir:
         recipe["work_dir"] = args.work_dir
-    executor = Executor(recipe)
-    result = executor.run()
-    report = executor.last_report
+    if args.np is not None:
+        recipe["np"] = args.np
+    with Executor(recipe) as executor:
+        result = executor.run()
+        report = executor.last_report
     print(f"processed {args.dataset}: kept {len(result)} samples")
     if args.export:
         print(f"exported to {args.export}")
@@ -114,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
     process.add_argument("--recipe-file", help="path to a YAML/JSON recipe file")
     process.add_argument("--export", help="output path (jsonl/json/txt)")
     process.add_argument("--work-dir", help="working directory for cache/checkpoints/traces")
+    process.add_argument(
+        "--np",
+        type=int,
+        default=None,
+        help="worker processes for Mapper/Filter stages (overrides the recipe's np)",
+    )
     process.set_defaults(func=cmd_process)
 
     analyze = subparsers.add_parser("analyze", help="compute the data probe of a dataset file")

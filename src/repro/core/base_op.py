@@ -71,12 +71,19 @@ class Mapper(OP):
         """Transform a batch of samples; default maps :meth:`process` over the batch."""
         return [self.process(sample) for sample in samples]
 
-    def run(self, dataset: NestedDataset, tracer: Any = None, **kwargs: Any) -> NestedDataset:
-        """Apply the mapper to every sample of the dataset."""
+    def run(
+        self, dataset: NestedDataset, tracer: Any = None, pool: Any = None, **kwargs: Any
+    ) -> NestedDataset:
+        """Apply the mapper to every sample of the dataset.
+
+        ``pool`` is an optional :class:`repro.parallel.WorkerPool` handle; when
+        this mapper is resident in the pool the rows are processed by the
+        worker processes in chunks instead of in-process.
+        """
         if self._batched:
-            mapped = dataset.map(self.process_batched, batched=True)
+            mapped = dataset.map(self.process_batched, batched=True, pool=pool)
         else:
-            mapped = dataset.map(self.process)
+            mapped = dataset.map(self.process, pool=pool)
         if tracer is not None:
             tracer.trace_mapper(self.name, dataset, mapped, self.text_key)
         return mapped
@@ -99,19 +106,27 @@ class Filter(OP):
         """Return True to keep the sample, False to drop it."""
         raise NotImplementedError
 
-    def run(self, dataset: NestedDataset, tracer: Any = None, **kwargs: Any) -> NestedDataset:
+    def run(
+        self, dataset: NestedDataset, tracer: Any = None, pool: Any = None, **kwargs: Any
+    ) -> NestedDataset:
         """Compute stats for every sample, then keep only the passing samples.
 
         Stats computation and the keep/drop decision happen in one pass over
         the rows (the decoupled ``compute_stats`` / ``process`` methods are
         still exposed separately for the Analyzer and for fused execution).
+        With a :class:`repro.parallel.WorkerPool` handle holding this filter,
+        that pass runs chunk-parallel in the worker processes; the resulting
+        rows (and therefore fingerprints and cache keys) are identical.
         """
-        stat_rows: list[dict] = []
-        keep_flags: list[bool] = []
-        for row in dataset:
-            row = self.compute_stats(dict(row))
-            stat_rows.append(row)
-            keep_flags.append(bool(self.process(row)))
+        if pool is not None and pool.accepts(self.compute_stats) and len(dataset) > 1:
+            stat_rows, keep_flags = pool.filter_rows(self, dataset.to_list())
+        else:
+            stat_rows = []
+            keep_flags = []
+            for row in dataset:
+                row = self.compute_stats(dict(row))
+                stat_rows.append(row)
+                keep_flags.append(bool(self.process(row)))
         kept_rows = [row for row, keep in zip(stat_rows, keep_flags) if keep]
         filtered = NestedDataset.from_list(kept_rows)
         if tracer is not None:

@@ -31,6 +31,8 @@ class RecipeConfig:
     dataset_path: str | None = None
     export_path: str | None = None
     text_keys: list[str] = field(default_factory=lambda: ["text"])
+    #: number of worker processes; ``np > 1`` routes Mapper/Filter stages
+    #: through the persistent :class:`repro.parallel.WorkerPool`
     np: int = 1
     process: list = field(default_factory=list)
 
@@ -99,8 +101,8 @@ def validate_config(config: RecipeConfig) -> RecipeConfig:
             raise ConfigError(f"unknown operator {name!r} in recipe {config.project_name!r}")
         if not isinstance(params, dict):
             raise ConfigError(f"parameters of operator {name!r} must be a mapping")
-    if config.np < 1:
-        raise ConfigError("np (number of processes) must be >= 1")
+    if not isinstance(config.np, int) or isinstance(config.np, bool) or config.np < 1:
+        raise ConfigError("np (number of worker processes) must be an integer >= 1")
     return config
 
 

@@ -187,19 +187,29 @@ class NestedDataset:
         num_proc: int = 1,
         new_fingerprint: str | None = None,
         desc: str | None = None,
+        pool: Any = None,
     ) -> "NestedDataset":
         """Apply ``function`` to every sample and return a new dataset.
 
         With ``batched=True`` the function receives and returns a *list* of
         samples, enabling multi-sample mappers (e.g. splitting or merging).
         ``num_proc`` is accepted for interface compatibility with the original
-        system; work is executed in-process (the distributed runners in
-        :mod:`repro.distributed` provide real parallelism).
+        system; real parallelism comes from ``pool`` — a
+        :class:`repro.parallel.WorkerPool` handle.  When the pool can execute
+        ``function`` (a method of a pool-resident operator) the rows are
+        dispatched to it in chunks; the derived fingerprint is identical to
+        the serial path, so cache and checkpoint semantics are preserved.
         """
-        del num_proc, desc  # single-process substrate; kept for API parity
+        del num_proc, desc  # kept for API parity with the original system
         rows = self.to_list()
         new_rows: list[dict] = []
-        if batched:
+        if pool is not None and pool.accepts(function) and len(rows) > 1:
+            new_rows = pool.map_rows(rows=rows, function=function, batched=batched, batch_size=batch_size)
+            if not isinstance(new_rows, list) or not all(
+                isinstance(row, dict) for row in new_rows
+            ):
+                raise DatasetError("map function must return a sample dict")
+        elif batched:
             for start in range(0, len(rows), batch_size):
                 batch = rows[start:start + batch_size]
                 result = function(batch)
@@ -225,10 +235,20 @@ class NestedDataset:
         num_proc: int = 1,
         new_fingerprint: str | None = None,
         desc: str | None = None,
+        pool: Any = None,
     ) -> "NestedDataset":
-        """Keep only the samples for which ``function`` returns True."""
+        """Keep only the samples for which ``function`` returns True.
+
+        Like :meth:`map`, a ``pool`` handle routes the boolean decision
+        through the parallel engine when ``function`` belongs to a
+        pool-resident Filter.
+        """
         del num_proc, desc
-        keep_indices = [index for index, row in enumerate(self) if function(row)]
+        if pool is not None and pool.accepts(function) and len(self) > 1:
+            flags = pool.flag_rows(function, self.to_list())
+            keep_indices = [index for index, keep in enumerate(flags) if keep]
+        else:
+            keep_indices = [index for index, row in enumerate(self) if function(row)]
         dataset = self.select(keep_indices)
         dataset._fingerprint = new_fingerprint or self._derive_fingerprint(
             "filter", getattr(function, "__qualname__", repr(function))

@@ -4,6 +4,13 @@
 runs the full pipeline: load/unify the dataset via a Formatter, instantiate the
 operator list, optionally fuse and reorder operators, execute them with cache,
 checkpoint and tracing support, and export the processed dataset.
+
+When the recipe sets ``np > 1`` the executor lazily creates a persistent
+:class:`repro.parallel.WorkerPool` (workers hold the instantiated op list) and
+routes every Mapper/Filter stage through it as row chunks; dataset-level
+operators (Deduplicators, Selectors) still run globally on the merged data.
+The pool survives across ``run`` calls — close the executor (or use it as a
+context manager) to shut the workers down.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
+from repro.core.base_op import Filter, Mapper
 from repro.core.cache import CacheManager
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import RecipeConfig, load_config
@@ -19,6 +27,7 @@ from repro.core.exporter import Exporter
 from repro.core.fusion import describe_plan, fuse_operators
 from repro.core.monitor import ResourceMonitor
 from repro.core.tracer import Tracer
+from repro.parallel import WorkerPool
 
 
 class Executor:
@@ -56,6 +65,33 @@ class Executor:
             self.ops = fuse_operators(self.ops)
         self.plan = describe_plan(self.ops)
         self.last_report: dict[str, Any] = {}
+        self._pool: WorkerPool | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> WorkerPool | None:
+        """Return the persistent worker pool when ``np > 1`` (created lazily)."""
+        if self.cfg.np <= 1:
+            return None
+        if self._pool is None or not self._pool.alive:
+            self._pool = WorkerPool(
+                self.cfg.np,
+                ops=self.ops,
+                process_list=self.cfg.process,
+                op_fusion=self.cfg.op_fusion,
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op for serial executors)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _load_input(self, dataset: NestedDataset | None) -> NestedDataset:
@@ -87,8 +123,16 @@ class Executor:
                 cached = self.cache.load(cache_key)
                 if cached is not None:
                     current = cached
+                    # keep the checkpoint in lock-step with the cache: a later
+                    # resume must restart after this op, not at a stale index
+                    self.checkpoint.save(current, index + 1, op_names)
                     continue
-                current = op.run(current, tracer=self.tracer)
+                if isinstance(op, (Mapper, Filter)):
+                    # pool creation is deferred to the first actually-executed
+                    # sample-level op, so fully cache-hit runs never fork workers
+                    current = op.run(current, tracer=self.tracer, pool=self._ensure_pool())
+                else:
+                    current = op.run(current, tracer=self.tracer)
                 self.cache.save(cache_key, current)
                 self.checkpoint.save(current, index + 1, op_names)
 
@@ -102,5 +146,10 @@ class Executor:
             "resources": monitor.report.as_dict() if monitor.report else {},
             "cache": {"hits": self.cache.hits, "misses": self.cache.misses},
             "trace": self.tracer.summary() if self.tracer else [],
+            "parallel": {
+                "np": self.cfg.np,
+                # None when no pool was needed (np=1, or every stage cache-hit)
+                "start_method": self._pool.start_method if self._pool is not None else None,
+            },
         }
         return current

@@ -35,11 +35,18 @@ class SweepPoint:
 
 @dataclass
 class ScalabilitySweep:
-    """Run the same recipe across several node counts and back-ends."""
+    """Run the same recipe across several node counts and back-ends.
+
+    All points share the process-wide worker pools of :mod:`repro.parallel`
+    (one persistent pool per distinct worker count): the sweep pays worker
+    start-up and operator instantiation once per pool, not once per point,
+    and the Ray-like and Beam-like back-ends reuse each other's pools.
+    """
 
     process_list: list
     node_counts: list[int] = field(default_factory=lambda: [1, 2, 4])
     cores_per_node: int = 1
+    start_method: str | None = None
 
     def run(self, dataset: NestedDataset, backends: tuple[str, ...] = ("ray", "beam")) -> list[SweepPoint]:
         """Execute the sweep and return one :class:`SweepPoint` per (backend, nodes)."""
@@ -49,9 +56,9 @@ class ScalabilitySweep:
                 spec = ClusterSpec(num_nodes=num_nodes, cores_per_node=self.cores_per_node)
                 runner: RayLikeRunner
                 if backend == "ray":
-                    runner = RayLikeRunner(num_nodes=spec.total_workers)
+                    runner = RayLikeRunner(num_nodes=spec.total_workers, start_method=self.start_method)
                 elif backend == "beam":
-                    runner = BeamLikeRunner(num_nodes=spec.total_workers)
+                    runner = BeamLikeRunner(num_nodes=spec.total_workers, start_method=self.start_method)
                 else:
                     raise ValueError(f"unknown backend {backend!r}")
                 result: RunResult = runner.run(dataset, self.process_list)

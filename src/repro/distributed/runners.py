@@ -2,17 +2,33 @@
 
 The original system runs its single-machine pipelines unchanged on Ray (by
 swapping HuggingFace-datasets for Ray-datasets) or on Apache Beam with the
-Flink runner.  Here, a *node* of the simulated cluster is a worker process:
+Flink runner.  Here, a *node* of the simulated cluster is a worker process of
+the shared :mod:`repro.parallel` engine:
 
-* :class:`RayLikeRunner` partitions the dataset across all workers, runs the
-  sample-level operators (Mappers / Filters) in parallel, merges the results
-  and applies dataset-level operators (Deduplicators / Selectors) globally —
-  the same split the Ray adaptation uses.  Wall-clock time therefore shrinks
-  roughly linearly with the number of nodes (Figure 10).
+* :class:`RayLikeRunner` partitions the dataset across all nodes, runs the
+  sample-level operators (Mappers / Filters) on a persistent
+  :class:`~repro.parallel.WorkerPool`, merges the results and applies
+  dataset-level operators (Deduplicators / Selectors) globally — the same
+  split the Ray adaptation uses.  Pools are obtained from
+  :func:`repro.parallel.get_shared_pool`, so repeated runs (e.g. a
+  scalability sweep) reuse the same initialized workers instead of forking a
+  fresh pool and re-running ``load_ops`` per run.
 * :class:`BeamLikeRunner` adds the behaviour the paper observed to limit Beam
   scalability: the data loading / translation component runs on a single
   worker regardless of cluster size (a full serialise + deserialise pass over
   the dataset), so total time stays nearly flat as nodes are added.
+
+Timing model
+------------
+``RunResult.wall_time_s`` is the *simulated cluster* wall-clock: the serial
+coordinator segments (partitioning, merging, dataset-level ops, Beam's
+loading stage) measured directly, plus the **longest per-node CPU time** of
+the partition-parallel stage.  Per-node cost is measured inside the workers
+with ``time.process_time``, so the simulation reports what a real cluster —
+where every node owns its core, as on the paper's test platform — would
+measure, even when the host CI machine multiplexes all worker processes onto
+fewer physical cores.  ``RunResult.host_time_s`` keeps the raw host
+wall-clock for transparency.
 """
 
 from __future__ import annotations
@@ -20,27 +36,13 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
-from multiprocessing import get_context
 
-from repro.core.base_op import Deduplicator, Filter, Mapper, Selector
+from repro.core.base_op import Deduplicator, Selector
 from repro.core.dataset import NestedDataset
+from repro.core.registry import OPERATORS
 from repro.distributed.partition import partition_rows
-from repro.ops import load_ops
-
-
-def _process_rows(payload: tuple[list[dict], list]) -> list[dict]:
-    """Worker entry point: run sample-level ops over a partition of rows.
-
-    Operators are re-instantiated inside the worker from their recipe entries
-    so nothing non-picklable crosses the process boundary.
-    """
-    rows, process_list = payload
-    ops = load_ops(process_list)
-    dataset = NestedDataset.from_list(rows)
-    for op in ops:
-        if isinstance(op, (Mapper, Filter)):
-            dataset = op.run(dataset)
-    return dataset.to_list()
+from repro.ops import load_ops, split_process_entry
+from repro.parallel import apply_sample_ops, get_shared_pool
 
 
 @dataclass
@@ -52,54 +54,81 @@ class RunResult:
     num_nodes: int
     load_time_s: float = 0.0
     process_time_s: float = 0.0
+    #: raw wall-clock on the host machine (>= ``wall_time_s`` whenever the
+    #: host has fewer free cores than simulated nodes)
+    host_time_s: float = 0.0
 
 
 class RayLikeRunner:
     """Partition-parallel runner standing in for the Ray executor."""
 
-    def __init__(self, num_nodes: int = 1, use_processes: bool = True):
+    def __init__(
+        self,
+        num_nodes: int = 1,
+        use_processes: bool = True,
+        start_method: str | None = None,
+        chunk_size: int | None = None,
+    ):
         if num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
         self.num_nodes = num_nodes
         self.use_processes = use_processes
+        self.start_method = start_method
+        self.chunk_size = chunk_size
 
     def _split_process_list(self, process_list: list) -> tuple[list, list]:
-        """Split the recipe into sample-level entries and dataset-level entries."""
-        ops = load_ops(process_list)
+        """Split the recipe into sample-level entries and dataset-level entries.
+
+        Classification goes through the ``OPERATORS`` registry *classes* —
+        no operator is instantiated here, so timed runs are not skewed by a
+        useless extra ``load_ops`` pass.
+        """
         sample_level, dataset_level = [], []
-        for entry, op in zip(process_list, ops):
-            if isinstance(op, (Deduplicator, Selector)):
+        for entry in process_list:
+            op_cls = OPERATORS.get(split_process_entry(entry)[0])
+            if issubclass(op_cls, (Deduplicator, Selector)):
                 dataset_level.append(entry)
             else:
                 sample_level.append(entry)
         return sample_level, dataset_level
 
     def run(self, dataset: NestedDataset, process_list: list) -> RunResult:
-        """Run the recipe over the dataset using ``num_nodes`` workers."""
+        """Run the recipe over the dataset using ``num_nodes`` simulated nodes."""
         start = time.perf_counter()
         sample_level, dataset_level = self._split_process_list(process_list)
         rows = dataset.to_list()
         partitions = partition_rows(rows, self.num_nodes)
-        payloads = [(partition, sample_level) for partition in partitions]
 
-        process_start = time.perf_counter()
-        if self.use_processes and self.num_nodes > 1 and len(partitions) > 1:
-            context = get_context("fork")
-            with context.Pool(processes=len(partitions)) as pool:
-                results = pool.map(_process_rows, payloads)
+        dispatch_start = time.perf_counter()
+        if self.use_processes and self.num_nodes > 1 and len(partitions) > 1 and sample_level:
+            pool = get_shared_pool(
+                len(partitions), sample_level, start_method=self.start_method
+            )
+            node_rows, node_cpu = pool.run_sample_pipeline(partitions, chunk_size=self.chunk_size)
         else:
-            results = [_process_rows(payload) for payload in payloads]
-        merged_rows = [row for partition in results for row in partition]
-        merged = NestedDataset.from_list(merged_rows)
+            ops = load_ops(sample_level)
+            node_rows, node_cpu = [], []
+            for partition in partitions:
+                cpu_start = time.process_time()
+                node_rows.append(apply_sample_ops(ops, partition))
+                node_cpu.append(time.process_time() - cpu_start)
+        dispatch_end = time.perf_counter()
 
+        merged = NestedDataset.from_list([row for part in node_rows for row in part])
         for op in load_ops(dataset_level):
             merged = op.run(merged)
         end = time.perf_counter()
+
+        # simulated cluster wall-clock: serial coordinator segments + the
+        # slowest node's CPU time (nodes run concurrently on a real cluster)
+        parallel_span = max(node_cpu, default=0.0)
+        serial_span = (dispatch_start - start) + (end - dispatch_end)
         return RunResult(
             dataset=merged,
-            wall_time_s=end - start,
+            wall_time_s=serial_span + parallel_span,
             num_nodes=self.num_nodes,
-            process_time_s=end - process_start,
+            process_time_s=parallel_span + (end - dispatch_end),
+            host_time_s=end - start,
         )
 
 
@@ -133,4 +162,5 @@ class BeamLikeRunner(RayLikeRunner):
             num_nodes=self.num_nodes,
             load_time_s=load_time,
             process_time_s=result.process_time_s,
+            host_time_s=load_time + result.host_time_s,
         )

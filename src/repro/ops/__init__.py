@@ -9,6 +9,20 @@ from repro.core.registry import OPERATORS
 from repro.ops import deduplicators, filters, mappers, selectors  # noqa: F401  (registration side effects)
 
 
+def split_process_entry(entry: dict | str) -> tuple[str, dict]:
+    """Return ``(operator_name, params)`` of one recipe ``process`` entry.
+
+    An entry is either an operator name (string) or a single-key dict mapping
+    the operator name to its keyword arguments.
+    """
+    if isinstance(entry, str):
+        return entry, {}
+    if isinstance(entry, dict) and len(entry) == 1:
+        name, params = next(iter(entry.items()))
+        return name, dict(params or {})
+    raise ValueError(f"invalid process entry: {entry!r}")
+
+
 def load_ops(process_list: list[dict | str]) -> list:
     """Instantiate operators from a recipe's ``process`` list.
 
@@ -22,16 +36,18 @@ def load_ops(process_list: list[dict | str]) -> list:
     """
     ops = []
     for entry in process_list:
-        if isinstance(entry, str):
-            name, params = entry, {}
-        elif isinstance(entry, dict) and len(entry) == 1:
-            name, params = next(iter(entry.items()))
-            params = dict(params or {})
-        else:
-            raise ValueError(f"invalid process entry: {entry!r}")
+        name, params = split_process_entry(entry)
         op_cls = OPERATORS.get(name)
         ops.append(op_cls(**params))
     return ops
 
 
-__all__ = ["OPERATORS", "load_ops", "deduplicators", "filters", "mappers", "selectors"]
+__all__ = [
+    "OPERATORS",
+    "deduplicators",
+    "filters",
+    "load_ops",
+    "mappers",
+    "selectors",
+    "split_process_entry",
+]

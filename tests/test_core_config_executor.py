@@ -147,6 +147,28 @@ class TestExecutor:
         out_second = Executor(config).run(data)
         assert sorted(r["text"] for r in out_first) == sorted(r["text"] for r in out_second)
 
+    def test_checkpoint_saved_on_cache_hits(self, tmp_path):
+        """A resume after a fully cache-hit run must not restart from a stale op index."""
+        config = {
+            "process": PROCESS,
+            "use_cache": True,
+            "cache_dir": str(tmp_path / "cache"),
+            "use_checkpoint": True,
+            "checkpoint_dir": str(tmp_path / "ckpt"),
+        }
+        data = NestedDataset.from_list(sample_rows())
+        Executor(config).run(data)
+
+        # wipe the checkpoint, then re-run: every op is now a cache hit, and
+        # the checkpoint must still advance to the end of the recipe
+        second = Executor(config)
+        second.checkpoint.clear()
+        second.run(data)
+        assert second.last_report["cache"]["hits"] == len(PROCESS)
+        _, op_index, op_names = second.checkpoint.load()
+        assert op_index == len(PROCESS)
+        assert op_names == [op.name for op in second.ops]
+
     def test_plan_describes_ops(self):
         executor = Executor({"process": PROCESS, "op_fusion": False})
         categories = [entry["category"] for entry in executor.plan]

@@ -68,6 +68,32 @@ class TestRunners:
         with pytest.raises(ValueError):
             RayLikeRunner(num_nodes=0)
 
+    def test_split_process_list_does_not_instantiate_ops(self):
+        """Classification goes through the registry classes, never ``load_ops``."""
+        from repro.core.base_op import Selector
+        from repro.core.registry import OPERATORS
+
+        class ExplodingSelector(Selector):
+            def __init__(self, **kwargs):
+                raise AssertionError("classification must not instantiate operators")
+
+        OPERATORS.modules["exploding_selector_for_test"] = ExplodingSelector
+        try:
+            sample_level, dataset_level = RayLikeRunner()._split_process_list(
+                PROCESS + [{"exploding_selector_for_test": {}}]
+            )
+        finally:
+            del OPERATORS.modules["exploding_selector_for_test"]
+        assert dataset_level == [{"document_deduplicator": {}}, {"exploding_selector_for_test": {}}]
+        assert len(sample_level) == len(PROCESS) - 1
+
+    def test_run_result_reports_simulated_and_host_time(self, corpus):
+        result = RayLikeRunner(num_nodes=2).run(corpus, PROCESS)
+        assert result.wall_time_s > 0.0
+        # on a host with fewer free cores than nodes the simulated cluster
+        # wall-clock can only be at or below the measured host wall-clock
+        assert result.wall_time_s <= result.host_time_s + 1e-6
+
 
 class TestScalabilitySweep:
     def test_sweep_produces_point_per_backend_and_node_count(self, corpus):

@@ -1,0 +1,213 @@
+"""Tests for the parallel execution engine (repro.parallel)."""
+
+import pytest
+
+from repro.core.dataset import NestedDataset
+from repro.core.executor import Executor
+from repro.ops import load_ops
+from repro.parallel import (
+    WorkerPool,
+    apply_sample_ops,
+    get_shared_pool,
+    resolve_start_method,
+    shutdown_shared_pools,
+)
+from repro.parallel.worker import chunk_rows, default_chunk_size
+from repro.synth import common_crawl_like
+
+PROCESS = [
+    {"whitespace_normalization_mapper": {}},
+    {"clean_links_mapper": {}},
+    {"text_length_filter": {"min_len": 50}},
+    {"words_num_filter": {"min_num": 10}},
+]
+
+FULL_PROCESS = PROCESS + [{"document_deduplicator": {}}]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return common_crawl_like(num_samples=48, seed=7, duplicate_ratio=0.1)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pools():
+    yield
+    shutdown_shared_pools()
+
+
+class TestStartMethodResolution:
+    def test_preferred_method_honoured_when_available(self):
+        assert resolve_start_method("spawn", available=("fork", "spawn")) == "spawn"
+
+    def test_falls_back_when_preferred_unavailable(self):
+        # a spawn-only platform (Windows, macOS default) must not crash
+        assert resolve_start_method("fork", available=("spawn",)) == "spawn"
+
+    def test_default_prefers_fork(self):
+        assert resolve_start_method(available=("spawn", "forkserver", "fork")) == "fork"
+
+    def test_no_method_available_raises(self):
+        with pytest.raises(RuntimeError):
+            resolve_start_method(available=())
+
+
+class TestChunking:
+    def test_chunk_rows_partitions_in_order(self):
+        rows = [{"i": i} for i in range(7)]
+        chunks = chunk_rows(rows, 3)
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [r["i"] for c in chunks for r in c] == list(range(7))
+
+    def test_chunk_rows_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            chunk_rows([{"i": 0}], 0)
+
+    def test_default_chunk_size_bounds(self):
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(100, 4) == 7  # ~4 tasks per worker
+        assert default_chunk_size(3, 16) == 1
+
+
+class TestWorkerPool:
+    def test_pool_reuse_across_runs(self, corpus):
+        rows = corpus.to_list()
+        with WorkerPool(2, ops=load_ops(PROCESS)) as pool:
+            pids_before = sorted(pool.worker_pids())
+            first, _ = pool.run_sample_pipeline([rows])
+            second, _ = pool.run_sample_pipeline([rows])
+            pids_after = sorted(pool.worker_pids())
+        # the same worker processes served both runs — no fork-per-run
+        assert pids_before == pids_after and len(pids_before) == 2
+        assert first == second
+
+    def test_chunked_dispatch_preserves_row_order(self, corpus):
+        rows = [{"text": f"word {i} " + "stable filler text for the pipeline", "idx": i} for i in range(40)]
+        ops = load_ops([{"whitespace_normalization_mapper": {}}])
+        serial = apply_sample_ops(ops, rows)
+        with WorkerPool(3, ops=ops, chunk_size=4) as pool:
+            node_rows, _cpu = pool.run_sample_pipeline([rows])
+        assert [r["idx"] for r in node_rows[0]] == [r["idx"] for r in serial]
+        assert node_rows[0] == serial
+
+    def test_per_node_cpu_accounting(self, corpus):
+        rows = corpus.to_list()
+        with WorkerPool(2, ops=load_ops(PROCESS)) as pool:
+            node_rows, node_cpu = pool.run_sample_pipeline([rows[:24], rows[24:]])
+        assert len(node_rows) == 2 and len(node_cpu) == 2
+        assert all(cpu >= 0.0 for cpu in node_cpu)
+        assert sum(len(part) for part in node_rows) <= len(rows)
+
+    def test_spawn_fallback_matches_fork_results(self, corpus):
+        rows = corpus.to_list()
+        serial = apply_sample_ops(load_ops(PROCESS), rows)
+        with WorkerPool(2, process_list=PROCESS, start_method="spawn") as pool:
+            assert pool.start_method == "spawn"
+            # workers re-instantiate the ops from the recipe inside spawn init
+            (spawned,), _cpu = pool.run_sample_pipeline([rows])
+        assert spawned == serial
+
+    def test_closed_pool_rejects_work(self, corpus):
+        pool = WorkerPool(2, ops=load_ops(PROCESS))
+        pool.close()
+        assert not pool.alive
+        with pytest.raises(RuntimeError):
+            pool.run_sample_pipeline([corpus.to_list()])
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0, ops=[])
+
+
+class TestSharedPools:
+    def test_same_recipe_and_size_share_one_pool(self):
+        first = get_shared_pool(2, PROCESS)
+        second = get_shared_pool(2, PROCESS)
+        assert first is second
+        assert get_shared_pool(3, PROCESS) is not first
+
+    def test_shutdown_clears_and_recreates(self):
+        pool = get_shared_pool(2, PROCESS)
+        shutdown_shared_pools()
+        assert not pool.alive
+        fresh = get_shared_pool(2, PROCESS)
+        assert fresh is not pool and fresh.alive
+
+
+class TestExecutorParallel:
+    def test_np_serial_equivalence(self, corpus):
+        serial = Executor({"process": FULL_PROCESS, "np": 1}).run(corpus)
+        with Executor({"process": FULL_PROCESS, "np": 3}) as executor:
+            parallel = executor.run(corpus)
+            assert executor.last_report["parallel"]["np"] == 3
+            assert executor.last_report["parallel"]["start_method"] is not None
+        # identical rows in identical order, and identical fingerprints so
+        # cache keys agree between serial and parallel execution
+        assert parallel.to_list() == serial.to_list()
+        assert parallel.fingerprint == serial.fingerprint
+
+    def test_np_equivalence_with_fusion(self, corpus):
+        process = FULL_PROCESS[:-1] + [
+            {"stopwords_filter": {"min_ratio": 0.0}},
+            {"flagged_words_filter": {"max_ratio": 1.0}},
+            FULL_PROCESS[-1],
+        ]
+        serial = Executor({"process": process, "op_fusion": True, "np": 1}).run(corpus)
+        with Executor({"process": process, "op_fusion": True, "np": 2}) as executor:
+            parallel = executor.run(corpus)
+        assert parallel.to_list() == serial.to_list()
+
+    def test_pool_persists_across_executor_runs(self, corpus):
+        with Executor({"process": FULL_PROCESS, "np": 2}) as executor:
+            executor.run(corpus)
+            pool = executor._pool
+            assert pool is not None and pool.alive
+            pids = sorted(pool.worker_pids())
+            executor.run(corpus)
+            assert executor._pool is pool
+            assert sorted(pool.worker_pids()) == pids
+
+    def test_serial_executor_has_no_pool(self, corpus):
+        executor = Executor({"process": FULL_PROCESS})
+        executor.run(corpus)
+        assert executor._pool is None
+        executor.close()
+
+
+class TestDatasetPoolHandle:
+    def test_map_and_filter_accept_pool_handle(self, corpus):
+        ops = load_ops(PROCESS)
+        mapper, text_filter = ops[0], ops[2]
+        with WorkerPool(2, ops=ops) as pool:
+            mapped = corpus.map(mapper.process, pool=pool)
+            filtered = mapped.filter(text_filter.process, pool=pool)
+        serial_mapped = corpus.map(mapper.process)
+        assert mapped.to_list() == serial_mapped.to_list()
+        assert mapped.fingerprint == serial_mapped.fingerprint
+        assert len(filtered) <= len(mapped)
+
+    def test_foreign_function_falls_back_to_serial(self, corpus):
+        with WorkerPool(2, ops=load_ops(PROCESS)) as pool:
+            # a plain function is not pool-resident: the dataset silently
+            # executes it in-process instead of failing
+            result = corpus.map(lambda row: dict(row, tagged=True), pool=pool)
+        assert all(row["tagged"] for row in result)
+
+
+def test_preload_assets_is_idempotent():
+    from repro.ops.common import preload_assets
+
+    preload_assets()
+    preload_assets()
+
+
+class TestApplySampleOps:
+    def test_rejects_dataset_level_ops(self):
+        with pytest.raises(TypeError):
+            apply_sample_ops(load_ops([{"document_deduplicator": {}}]), [{"text": "x"}])
+
+    def test_filter_drops_rows_immediately(self):
+        ops = load_ops([{"text_length_filter": {"min_len": 10}}])
+        rows = [{"text": "tiny"}, {"text": "long enough to survive the filter"}]
+        surviving = apply_sample_ops(ops, rows)
+        assert len(surviving) == 1 and "survive" in surviving[0]["text"]
