@@ -5,7 +5,21 @@ scales almost linearly with the number of nodes (up to ~87% time reduction at
 16 nodes), while the Beam adaptation stays nearly flat because its data-loading
 stage is the bottleneck.  The reproduction sweeps the simulated cluster over
 1/2/4 worker nodes for both back-ends.
+
+What is asserted
+----------------
+``wall_time_s`` is the measured host wall-clock; ``simulated_time_s`` is the
+cluster projection (serial segments + slowest node's worker-measured CPU).
+The projection shrinks with the node count *by construction*, so it is never
+trusted on its own: the test always verifies — via the worker PIDs each sweep
+point reports — that the partition-parallel stage genuinely ran on pool
+workers and that **one persistent pool served every point** at a given node
+count (across both back-ends and both workloads).  When the host has at least
+as many CPU cores as the largest node count, the Figure-10 speedup is
+additionally asserted on the measured wall-clock.
 """
+
+import os
 
 from conftest import print_table, run_once
 
@@ -35,6 +49,28 @@ SCALABILITY_PROCESS = [
 ]
 
 
+def usable_cores() -> int:
+    """CPU cores this process can really use: affinity, capped by cgroup quota.
+
+    ``os.cpu_count()`` reports the host's logical cores, which overstates the
+    truth inside containers (a Kubernetes pod with a 1-CPU quota on a 64-core
+    node still sees 64), so the measured-speedup gate would open on hosts
+    that physically cannot run workers in parallel.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux platforms
+        cores = os.cpu_count() or 1
+    try:  # cgroup v2 CPU quota, e.g. "200000 100000" = 2 CPUs, or "max"
+        with open("/sys/fs/cgroup/cpu.max") as handle:
+            quota, period = handle.read().split()
+        if quota != "max":
+            cores = min(cores, max(1, int(quota) // int(period)))
+    except (OSError, ValueError):
+        pass
+    return cores
+
+
 def reproduce_figure10() -> list[dict]:
     rows = []
     for workload, (builder, kwargs) in WORKLOADS.items():
@@ -48,7 +84,9 @@ def reproduce_figure10() -> list[dict]:
                     "backend": point.backend,
                     "nodes": point.num_nodes,
                     "time_s": point.wall_time_s,
+                    "sim_s": point.simulated_time_s,
                     "load_s": point.load_time_s,
+                    "worker_pids": point.worker_pids,
                 }
             )
     return rows
@@ -56,18 +94,58 @@ def reproduce_figure10() -> list[dict]:
 
 def test_fig10_scalability(benchmark):
     rows = run_once(benchmark, reproduce_figure10)
-    print_table("Figure 10: processing time vs number of nodes", rows)
+    print_table(
+        "Figure 10: processing time vs number of nodes",
+        [{k: v for k, v in row.items() if k != "worker_pids"} for row in rows],
+    )
+
+    # --- genuine parallel execution: worker_pids holds the pids that really
+    # executed dispatched tasks (reported from inside the workers), so every
+    # multi-node point must show out-of-process execution ------------------
+    coordinator_pid = os.getpid()
+    for row in rows:
+        if row["nodes"] > 1:
+            pids = row["worker_pids"]
+            assert pids, row
+            assert coordinator_pid not in pids, row
+            assert len(set(pids)) <= row["nodes"], row
+
+    # --- genuine pool reuse: at each node count, ONE persistent pool served
+    # every sweep point (both back-ends, both workloads), so the union of
+    # serving pids can hold at most `nodes` distinct processes.  A
+    # fork-per-run regression spawns fresh workers per point and blows
+    # through that bound. --------------------------------------------------
+    for nodes in NODE_COUNTS:
+        if nodes == 1:
+            continue
+        served = set()
+        for row in rows:
+            if row["nodes"] == nodes:
+                served.update(row["worker_pids"])
+        assert 1 <= len(served) <= nodes, (
+            f"expected one persistent pool (<= {nodes} workers) across all "
+            f"runs at {nodes} nodes, saw {len(served)} distinct serving pids"
+        )
 
     by_key = {(row["workload"], row["backend"], row["nodes"]): row for row in rows}
+    host_cores = usable_cores()
     for workload in WORKLOADS:
-        ray_single = by_key[(workload, "ray", 1)]["time_s"]
-        ray_max = by_key[(workload, "ray", NODE_COUNTS[-1])]["time_s"]
-        # the Ray-like backend gets meaningfully faster with more nodes
+        # the Ray-like backend gets meaningfully faster with more nodes; the
+        # projection models one core per node (the paper's platform), and is
+        # trustworthy here because the pool-reuse checks above passed
+        ray_single = by_key[(workload, "ray", 1)]["sim_s"]
+        ray_max = by_key[(workload, "ray", NODE_COUNTS[-1])]["sim_s"]
         assert ray_max < ray_single, workload
         ray_reduction = 1.0 - ray_max / ray_single
 
-        beam_single = by_key[(workload, "beam", 1)]["time_s"]
-        beam_max = by_key[(workload, "beam", NODE_COUNTS[-1])]["time_s"]
+        if host_cores >= NODE_COUNTS[-1]:
+            # with enough physical cores the speedup must also be *measured*
+            measured_single = by_key[(workload, "ray", 1)]["time_s"]
+            measured_max = by_key[(workload, "ray", NODE_COUNTS[-1])]["time_s"]
+            assert measured_max < measured_single, workload
+
+        beam_single = by_key[(workload, "beam", 1)]["sim_s"]
+        beam_max = by_key[(workload, "beam", NODE_COUNTS[-1])]["sim_s"]
         beam_reduction = 1.0 - beam_max / beam_single
         # the Beam-like backend scales clearly worse (its loading stage is serial)
         assert ray_reduction > beam_reduction, workload

@@ -118,7 +118,7 @@ class Filter(OP):
         that pass runs chunk-parallel in the worker processes; the resulting
         rows (and therefore fingerprints and cache keys) are identical.
         """
-        if pool is not None and pool.accepts(self.compute_stats) and len(dataset) > 1:
+        if pool is not None and pool.holds(self) and len(dataset) > 1:
             stat_rows, keep_flags = pool.filter_rows(self, dataset.to_list())
         else:
             stat_rows = []

@@ -203,7 +203,7 @@ class NestedDataset:
         del num_proc, desc  # kept for API parity with the original system
         rows = self.to_list()
         new_rows: list[dict] = []
-        if pool is not None and pool.accepts(function) and len(rows) > 1:
+        if pool is not None and pool.accepts(function, kind="map", batched=batched) and len(rows) > 1:
             new_rows = pool.map_rows(rows=rows, function=function, batched=batched, batch_size=batch_size)
             if not isinstance(new_rows, list) or not all(
                 isinstance(row, dict) for row in new_rows
@@ -244,7 +244,7 @@ class NestedDataset:
         pool-resident Filter.
         """
         del num_proc, desc
-        if pool is not None and pool.accepts(function) and len(self) > 1:
+        if pool is not None and pool.accepts(function, kind="filter") and len(self) > 1:
             flags = pool.flag_rows(function, self.to_list())
             keep_indices = [index for index, keep in enumerate(flags) if keep]
         else:

@@ -24,7 +24,7 @@ from repro.core.checkpoint import CheckpointManager
 from repro.core.config import RecipeConfig, load_config
 from repro.core.dataset import NestedDataset
 from repro.core.exporter import Exporter
-from repro.core.fusion import describe_plan, fuse_operators
+from repro.core.fusion import describe_plan
 from repro.core.monitor import ResourceMonitor
 from repro.core.tracer import Tracer
 from repro.parallel import WorkerPool
@@ -42,7 +42,7 @@ class Executor:
 
     def __init__(self, config: dict | str | Path | RecipeConfig):
         # imported lazily to avoid a circular import at package-init time
-        from repro.ops import load_ops
+        from repro.ops import build_ops
 
         self.cfg = load_config(config)
         work_dir = Path(self.cfg.work_dir)
@@ -60,9 +60,7 @@ class Executor:
             checkpoint_dir=self.cfg.checkpoint_dir or (work_dir / "checkpoint"),
             enabled=self.cfg.use_checkpoint,
         )
-        self.ops = load_ops(self.cfg.process)
-        if self.cfg.op_fusion:
-            self.ops = fuse_operators(self.ops)
+        self.ops = build_ops(self.cfg.process, op_fusion=self.cfg.op_fusion)
         self.plan = describe_plan(self.ops)
         self.last_report: dict[str, Any] = {}
         self._pool: WorkerPool | None = None
@@ -117,15 +115,17 @@ class Executor:
                 if saved_names[:op_index] == op_names[:op_index]:
                     current, start_index = restored, op_index
 
+            # index one past the last op whose result the checkpoint holds;
+            # cache-hit streaks defer their save (a resume from an older
+            # checkpoint just replays the same cache hits), so a warm-cache
+            # run pays one checkpoint write instead of one per cached op
+            saved_index = start_index
             for index in range(start_index, len(self.ops)):
                 op = self.ops[index]
                 cache_key = CacheManager.make_key(current.fingerprint, op.name, op.config())
                 cached = self.cache.load(cache_key)
                 if cached is not None:
                     current = cached
-                    # keep the checkpoint in lock-step with the cache: a later
-                    # resume must restart after this op, not at a stale index
-                    self.checkpoint.save(current, index + 1, op_names)
                     continue
                 if isinstance(op, (Mapper, Filter)):
                     # pool creation is deferred to the first actually-executed
@@ -135,6 +135,11 @@ class Executor:
                     current = op.run(current, tracer=self.tracer)
                 self.cache.save(cache_key, current)
                 self.checkpoint.save(current, index + 1, op_names)
+                saved_index = index + 1
+            if saved_index < len(self.ops):
+                # the run ended on a cache-hit streak: persist the final state
+                # once so a later resume restarts past it, not at a stale index
+                self.checkpoint.save(current, len(self.ops), op_names)
 
             if self.cfg.export_path:
                 Exporter(

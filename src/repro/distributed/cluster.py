@@ -28,9 +28,14 @@ class SweepPoint:
 
     backend: str
     num_nodes: int
+    #: measured host wall-clock of the run
     wall_time_s: float
     load_time_s: float
     num_output_samples: int
+    #: simulated-cluster projection (see :class:`~repro.distributed.runners.RunResult`)
+    simulated_time_s: float = 0.0
+    #: pool workers that served the point (empty for inline execution)
+    worker_pids: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -69,6 +74,8 @@ class ScalabilitySweep:
                         wall_time_s=result.wall_time_s,
                         load_time_s=result.load_time_s,
                         num_output_samples=len(result.dataset),
+                        simulated_time_s=result.simulated_time_s,
+                        worker_pids=list(result.worker_pids),
                     )
                 )
         return points

@@ -42,8 +42,25 @@ def load_ops(process_list: list[dict | str]) -> list:
     return ops
 
 
+def build_ops(process_list: list[dict | str], op_fusion: bool = False) -> list:
+    """Instantiate a recipe's operator list, optionally fusing it.
+
+    The single construction path shared by the Executor, the parent side of
+    :class:`repro.parallel.WorkerPool` and the spawn-mode worker initializer.
+    These must produce *index-identical* op lists — parallel tasks address
+    operators by position — so none of them may build the list by hand.
+    """
+    ops = load_ops(process_list)
+    if op_fusion:
+        from repro.core.fusion import fuse_operators
+
+        ops = fuse_operators(ops)
+    return ops
+
+
 __all__ = [
     "OPERATORS",
+    "build_ops",
     "deduplicators",
     "filters",
     "load_ops",

@@ -1,22 +1,6 @@
 """Shared helpers for the operator pool."""
 
 from repro.ops.common.flagged_words import get_flagged_words
-
-
-def preload_assets() -> None:
-    """Warm every shared operator asset (word lists, the unigram LM table).
-
-    Called by :mod:`repro.parallel` worker initialisation so the cost of
-    loading assets is paid once per worker process at pool start-up instead of
-    inside the first timed task.  Under the ``fork`` start method the caches
-    are usually inherited warm from the parent and this is nearly free; under
-    ``spawn`` it performs the actual one-off loading.
-    """
-    from repro.ops.common.unigram_lm import perplexity
-
-    get_stopwords("all")
-    get_flagged_words("all")
-    perplexity("warm up the unigram language model table")
 from repro.ops.common.helper_funcs import (
     cjk_ratio,
     get_char_ngrams,
@@ -34,6 +18,23 @@ from repro.ops.common.special_characters import (
     special_character_ratio,
 )
 from repro.ops.common.stopwords import get_stopwords
+
+
+def preload_assets() -> None:
+    """Warm the lazily-loaded operator assets (currently the unigram LM table).
+
+    Called by :mod:`repro.parallel` worker initialisation so the cost is paid
+    once per worker process at pool start-up instead of inside the first timed
+    task.  Under the ``fork`` start method the cache is usually inherited warm
+    from the parent and this is nearly free; under ``spawn`` it performs the
+    actual one-off loading.  The stop-word and flagged-word sets need no
+    warming: they are module-level constants materialised when this package is
+    imported.
+    """
+    from repro.ops.common.unigram_lm import perplexity
+
+    perplexity("warm up the unigram language model table")
+
 
 __all__ = [
     "SPECIAL_CHARACTERS",

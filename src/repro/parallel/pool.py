@@ -17,6 +17,7 @@ from __future__ import annotations
 import atexit
 import json
 import multiprocessing
+from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
 from repro.core.base_op import Filter, Mapper
@@ -85,16 +86,16 @@ class WorkerPool:
         if ops is None:
             if process_list is None:
                 raise ValueError("WorkerPool needs ops or a process_list")
-            from repro.ops import load_ops
+            from repro.ops import build_ops
 
-            ops = load_ops(process_list)
-            if op_fusion:
-                from repro.core.fusion import fuse_operators
-
-                ops = fuse_operators(ops)
+            ops = build_ops(process_list, op_fusion=op_fusion)
         self.num_workers = num_workers
         self.chunk_size = chunk_size
         self.start_method = resolve_start_method(start_method)
+        #: pids of the workers that executed the most recent dispatch — direct
+        #: evidence of out-of-process execution (unlike :meth:`worker_pids`,
+        #: which only lists the live processes)
+        self.last_served_pids: list[int] = []
         self._ops = list(ops)
         self._op_index = {id(op): index for index, op in enumerate(self._ops)}
         self._closed = False
@@ -120,12 +121,20 @@ class WorkerPool:
         return not self._closed
 
     def close(self) -> None:
-        """Shut the worker processes down; the pool accepts no further work."""
+        """Shut the worker processes down; the pool accepts no further work.
+
+        Drains gracefully — in-flight tasks finish before the workers exit —
+        falling back to ``terminate()`` only when the drain itself fails.
+        """
         if self._closed:
             return
         self._closed = True
-        self._pool.terminate()
-        self._pool.join()
+        try:
+            self._pool.close()
+            self._pool.join()
+        except Exception:
+            self._pool.terminate()
+            self._pool.join()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -141,21 +150,44 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def accepts(self, function: Callable) -> bool:
-        """True when ``function`` is a dispatchable method of a pool-resident op."""
-        if self._closed:
-            return False
+    def holds(self, op: Any) -> bool:
+        """True when ``op`` is resident in this (open) pool."""
+        return not self._closed and id(op) in self._op_index
+
+    def accepts(self, function: Callable, kind: str = "map", batched: bool = False) -> bool:
+        """True when ``function`` can be dispatched to the pool as ``kind``.
+
+        ``kind`` is the caller's dispatch intent — ``"map"`` (row transform or
+        stats annotation, served by :meth:`map_rows`) or ``"filter"`` (boolean
+        keep/drop decision, served by :meth:`flag_rows`) — and ``batched``
+        mirrors the caller's ``batched=`` flag.  Both matter: approving a
+        method for the wrong intent (or a per-sample method for a batched
+        call) would make the pool execute *different* worker code than the
+        serial path runs for the same call, so mismatches fall back to serial.
+        """
         owner = getattr(function, "__self__", None)
-        if owner is None or id(owner) not in self._op_index:
+        if self._closed or owner is None or id(owner) not in self._op_index:
             return False
-        return getattr(function, "__name__", "") in ("process", "process_batched", "compute_stats")
+        name = getattr(function, "__name__", "")
+        if kind == "filter":
+            return not batched and isinstance(owner, Filter) and name == "process"
+        if kind == "map":
+            if name == "process_batched":
+                return batched
+            if name == "compute_stats":
+                return not batched
+            return not batched and name == "process" and isinstance(owner, Mapper)
+        return False
 
     def _dispatch(self, tasks: list[tuple[str, int, list[dict]]]) -> list[tuple[Any, float]]:
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
         if not tasks:
+            self.last_served_pids = []
             return []
-        return self._pool.map(_worker.run_task, tasks)
+        results = self._pool.map(_worker.run_task, tasks)
+        self.last_served_pids = sorted({pid for _payload, _cpu, pid in results})
+        return [(payload, cpu) for payload, cpu, _pid in results]
 
     def _chunks(self, rows: Sequence[dict], chunk_size: int | None = None) -> list[list[dict]]:
         size = chunk_size or self.chunk_size or default_chunk_size(len(rows), self.num_workers)
@@ -170,6 +202,9 @@ class WorkerPool:
     ) -> list[dict]:
         """Run a Mapper method (or ``compute_stats``) over rows via the pool.
 
+        The task kind is derived from the bound method itself — never from
+        the ``batched`` flag — so the workers always execute the same method
+        the serial path would; a flag that contradicts the method is an error.
         Chunks preserve row order; for batched mappers the chunk size equals
         ``batch_size`` so batch boundaries match the serial execution exactly.
         """
@@ -178,11 +213,15 @@ class WorkerPool:
         if index is None:
             raise ValueError(f"{function!r} is not a method of a pool-resident op")
         method = getattr(function, "__name__", "")
-        if batched or method == "process_batched":
+        if method == "process_batched":
+            if not batched:
+                raise ValueError("process_batched requires batched=True")
             kind, chunks = "map_batched", chunk_rows(rows, max(1, batch_size))
+        elif batched:
+            raise ValueError(f"batched map requires process_batched, got {method!r}")
         elif method == "compute_stats":
             kind, chunks = "stats", self._chunks(rows)
-        elif isinstance(owner, Mapper):
+        elif method == "process" and isinstance(owner, Mapper):
             kind, chunks = "map", self._chunks(rows)
         else:
             raise ValueError(f"cannot map {method!r} of {type(owner).__name__} over rows")
@@ -249,7 +288,16 @@ class WorkerPool:
 # ----------------------------------------------------------------------
 # Process-wide shared pools
 # ----------------------------------------------------------------------
-_SHARED_POOLS: dict[tuple, WorkerPool] = {}
+#: most-recently-used ordering; bounded so a long-lived caller cycling through
+#: many recipes / worker counts does not accumulate idle worker processes
+_SHARED_POOLS: "OrderedDict[tuple, WorkerPool]" = OrderedDict()
+
+#: maximum number of live shared pools; the least-recently-used pool is
+#: closed and evicted when the bound is exceeded.  Sized so a scalability
+#: sweep over the paper's node counts (2/4/8/16, plus headroom) keeps every
+#: pool alive for the whole sweep — eviction mid-sweep would silently bring
+#: back the fork-per-run behaviour the shared registry exists to prevent
+MAX_SHARED_POOLS = 8
 
 
 def _pool_key(num_workers: int, process_list: list, start_method: str) -> tuple:
@@ -265,6 +313,8 @@ def get_shared_pool(
     Repeated callers with the same recipe and worker count — e.g. every run of
     a scalability sweep, or the Ray-like and Beam-like runners on the same
     recipe — reuse the same worker processes instead of forking fresh ones.
+    The registry keeps at most :data:`MAX_SHARED_POOLS` live pools, closing
+    the least recently used one when a new pool would exceed the bound.
     """
     method = resolve_start_method(start_method)
     key = _pool_key(num_workers, process_list, method)
@@ -274,6 +324,10 @@ def get_shared_pool(
             num_workers, process_list=list(process_list), start_method=method
         )
         _SHARED_POOLS[key] = pool
+    _SHARED_POOLS.move_to_end(key)
+    while len(_SHARED_POOLS) > MAX_SHARED_POOLS:
+        _, evicted = _SHARED_POOLS.popitem(last=False)
+        evicted.close()
     return pool
 
 

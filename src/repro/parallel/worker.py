@@ -9,11 +9,13 @@ implementation.
 
 Tasks are small tuples ``(kind, op_index, rows)``; operators are referenced by
 index into the worker-resident list, so only row chunks cross the process
-boundary.  Every task returns ``(payload, cpu_seconds)`` where ``cpu_seconds``
-is the CPU time this worker spent executing the operator code
-(:func:`time.process_time`), excluding IPC serialisation.  Callers use it to
-attribute cost to simulated cluster nodes independently of how the host OS
-multiplexes the workers onto physical cores.
+boundary.  Every task returns ``(payload, cpu_seconds, pid)`` where
+``cpu_seconds`` is the CPU time this worker spent executing the operator code
+(:func:`time.process_time`), excluding IPC serialisation, and ``pid`` is the
+process id of the worker that actually executed the task.  Callers use the
+CPU time to attribute cost to simulated cluster nodes independently of how
+the host OS multiplexes the workers onto physical cores, and the pid as
+direct evidence that the work really ran out-of-process in a pool worker.
 """
 
 from __future__ import annotations
@@ -27,6 +29,11 @@ from repro.core.base_op import Filter, Mapper
 
 #: operator list of this worker process, set once by :func:`initialize_worker`
 _WORKER_OPS: list | None = None
+
+#: batch size for batched Mappers inside :func:`apply_sample_ops`; matches
+#: the default ``batch_size`` of :meth:`repro.core.dataset.NestedDataset.map`
+#: so batch boundaries line up with the serial Executor path within a chunk
+DEFAULT_BATCH_SIZE = 1000
 
 
 def initialize_worker(ops: Sequence | None, process_list: list | None, op_fusion: bool) -> None:
@@ -42,13 +49,9 @@ def initialize_worker(ops: Sequence | None, process_list: list | None, op_fusion
     if ops is None:
         if process_list is None:
             raise ValueError("worker needs either instantiated ops or a process list")
-        from repro.ops import load_ops
+        from repro.ops import build_ops
 
-        ops = load_ops(process_list)
-        if op_fusion:
-            from repro.core.fusion import fuse_operators
-
-            ops = fuse_operators(ops)
+        ops = build_ops(process_list, op_fusion=op_fusion)
     _WORKER_OPS = list(ops)
     # warm the shared assets (word lists, unigram LM) so the first dispatched
     # chunk is not billed for lazy loading — see ops.common.preload_assets
@@ -74,17 +77,23 @@ def chunk_rows(rows: Sequence[dict], chunk_size: int) -> list[list[dict]]:
 def apply_sample_ops(ops: Sequence, rows: list[dict]) -> list[dict]:
     """Run a list of sample-level ops over rows in a single fused pass.
 
-    Mappers transform rows (batched mappers receive the whole chunk as one
-    batch); Filters compute stats and drop rejected rows immediately.  This is
-    the common code path of the inline (``np=1`` / single-node) execution and
-    the worker-side ``pipeline`` task, guaranteeing serial/parallel output
-    equivalence.
+    Mappers transform rows; Filters compute stats and drop rejected rows
+    immediately.  This is the common code path of the inline (``np=1`` /
+    single-node) execution and the worker-side ``pipeline`` task.  Output
+    equivalence with the serial Executor is guaranteed for per-sample ops.
+    Batched Mappers are fed :data:`DEFAULT_BATCH_SIZE`-row batches *local to
+    this chunk*, so their batch boundaries coincide with the serial path only
+    up to chunk/partition edges — a batched mapper whose output depends on
+    batch composition is not safe to run partitioned.
     """
     current = [dict(row) for row in rows]
     for op in ops:
         if isinstance(op, Mapper):
             if op._batched:
-                current = op.process_batched(current)
+                batched: list[dict] = []
+                for start in range(0, len(current), DEFAULT_BATCH_SIZE):
+                    batched.extend(op.process_batched(current[start:start + DEFAULT_BATCH_SIZE]))
+                current = batched
             else:
                 current = [op.process(sample) for sample in current]
         elif isinstance(op, Filter):
@@ -99,7 +108,7 @@ def apply_sample_ops(ops: Sequence, rows: list[dict]) -> list[dict]:
     return current
 
 
-def run_task(task: tuple[str, int, list[dict]]) -> tuple[Any, float]:
+def run_task(task: tuple[str, int, list[dict]]) -> tuple[Any, float, int]:
     """Execute one dispatched task against the worker-resident operator list.
 
     Supported kinds:
@@ -111,11 +120,11 @@ def run_task(task: tuple[str, int, list[dict]]) -> tuple[Any, float]:
     * ``"filter"`` — stats then decision; payload: ``(stat_rows, keep_flags)``.
     * ``"pipeline"`` — the full worker op list via :func:`apply_sample_ops`
       (``op_index`` is ignored); payload: surviving rows.
-    * ``"pid"`` — diagnostics; payload: this worker's process id.
+
+    Returns ``(payload, cpu_seconds, pid)``; the pid identifies the worker
+    process that served the task.
     """
     kind, op_index, rows = task
-    if kind == "pid":
-        return os.getpid(), 0.0
     if _WORKER_OPS is None:
         raise RuntimeError("worker not initialized; WorkerPool must set the op list")
     start_cpu = time.process_time()
@@ -136,4 +145,4 @@ def run_task(task: tuple[str, int, list[dict]]) -> tuple[Any, float]:
             payload = (stat_rows, [bool(op.process(row)) for row in stat_rows])
         else:
             raise ValueError(f"unknown task kind {kind!r}")
-    return payload, time.process_time() - start_cpu
+    return payload, time.process_time() - start_cpu, os.getpid()

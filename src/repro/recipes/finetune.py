@@ -104,7 +104,8 @@ def data_juicer_finetune_dataset(
     recipe["process"].insert(
         0, {"specified_field_filter": {"field_key": "meta.usage", "target_values": [usage]}}
     )
-    refined = Executor(recipe).run(merged)
+    with Executor(recipe) as executor:
+        refined = executor.run(merged)
     if len(refined) <= num_samples:
         return refined
     return DiversitySampler(seed=seed).sample(refined, num_samples)

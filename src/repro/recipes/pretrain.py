@@ -117,7 +117,8 @@ def build_pretrain_mixture(
     mixture = mix_datasets(datasets, weights, seed=seed)
     if refined:
         recipe = get_recipe("pretrain-redpajama-pile-refine")
-        mixture = Executor(recipe).run(mixture)
+        with Executor(recipe) as executor:
+            mixture = executor.run(mixture)
     return mixture
 
 

@@ -133,6 +133,22 @@ class TestSharedPools:
         fresh = get_shared_pool(2, PROCESS)
         assert fresh is not pool and fresh.alive
 
+    def test_registry_bounded_evicts_least_recently_used(self):
+        from repro.parallel.pool import MAX_SHARED_POOLS
+
+        shutdown_shared_pools()
+        recipes = [
+            [{"whitespace_normalization_mapper": {}}] * (k + 1)
+            for k in range(MAX_SHARED_POOLS + 1)
+        ]
+        pools = [get_shared_pool(1, recipe) for recipe in recipes]
+        # the least-recently-used pool was closed to respect the bound …
+        assert not pools[0].alive
+        assert all(pool.alive for pool in pools[1:])
+        # … and asking for it again builds a fresh live pool
+        revived = get_shared_pool(1, recipes[0])
+        assert revived is not pools[0] and revived.alive
+
 
 class TestExecutorParallel:
     def test_np_serial_equivalence(self, corpus):
@@ -192,6 +208,36 @@ class TestDatasetPoolHandle:
             # executes it in-process instead of failing
             result = corpus.map(lambda row: dict(row, tagged=True), pool=pool)
         assert all(row["tagged"] for row in result)
+
+    def test_accepts_discriminates_dispatch_intent(self):
+        """Approving a method for the wrong intent would run different worker
+        code than the serial path runs for the same call."""
+        ops = load_ops(PROCESS)
+        mapper, text_filter = ops[0], ops[2]
+        with WorkerPool(2, ops=ops) as pool:
+            assert pool.accepts(text_filter.process, kind="filter")
+            # a Filter's stats method is not a boolean keep/drop predicate …
+            assert not pool.accepts(text_filter.compute_stats, kind="filter")
+            assert not pool.accepts(mapper.process, kind="filter")
+            # … and a Filter's boolean predicate is not a row transform
+            assert pool.accepts(mapper.process, kind="map")
+            assert pool.accepts(text_filter.compute_stats, kind="map")
+            assert not pool.accepts(text_filter.process, kind="map")
+            # the batched flag must agree with the bound method
+            assert pool.accepts(mapper.process_batched, kind="map", batched=True)
+            assert not pool.accepts(mapper.process_batched, kind="map", batched=False)
+            assert not pool.accepts(mapper.process, kind="map", batched=True)
+            assert pool.holds(text_filter) and not pool.holds(object())
+
+    def test_filter_with_stats_method_matches_serial(self, corpus):
+        """dataset.filter with a non-predicate method falls back to the serial
+        path instead of silently evaluating a different function in the pool."""
+        ops = load_ops(PROCESS)
+        text_filter = ops[2]
+        with WorkerPool(2, ops=ops) as pool:
+            pooled = corpus.filter(text_filter.compute_stats, pool=pool)
+        serial = corpus.filter(text_filter.compute_stats)
+        assert pooled.to_list() == serial.to_list()
 
 
 def test_preload_assets_is_idempotent():
