@@ -4,10 +4,11 @@
 #   make unit        unit tests only (tests/)
 #   make benchmarks  paper figure/table reproductions only (benchmarks/)
 #   make fig10       the Figure-10 scalability reproduction with its table
+#   make bench-batch batched-engine throughput suite; refreshes BENCH_batch_engine.json
 
 PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
 
-.PHONY: smoke test unit benchmarks fig10
+.PHONY: smoke test unit benchmarks fig10 bench-batch
 
 smoke:
 	$(PYTEST) -x -q
@@ -22,3 +23,6 @@ benchmarks:
 
 fig10:
 	$(PYTEST) -x -q -s benchmarks/test_fig10_scalability.py
+
+bench-batch:
+	$(PYTEST) -x -q -s benchmarks/test_batch_throughput.py

@@ -66,6 +66,8 @@ def cmd_process(args: argparse.Namespace) -> int:
         recipe["work_dir"] = args.work_dir
     if args.np is not None:
         recipe["np"] = args.np
+    if args.batch_size is not None:
+        recipe["batch_size"] = args.batch_size
     with Executor(recipe) as executor:
         result = executor.run()
         report = executor.last_report
@@ -121,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes for Mapper/Filter stages (overrides the recipe's np)",
+    )
+    process.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="rows per batch of the batched columnar op path (overrides the recipe's batch_size)",
     )
     process.set_defaults(func=cmd_process)
 

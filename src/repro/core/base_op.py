@@ -7,12 +7,27 @@ design decision reproduced here is the decoupling of stats computation from
 the boolean keep/drop decision in Filters (``compute_stats`` vs ``process``),
 which lets the Analyzer consume statistics for the *whole* dataset and lets
 fused operators share per-sample contexts.
+
+Execution is **batched columnar by default**: ``run`` hands operators column
+batches (``dict[str, list]`` slices, see :mod:`repro.core.batch`) instead of
+materialising one dict per row.  Every batched entry point
+(``process_batched`` / ``compute_stats_batched``/ ``compute_hash_batched``)
+has a per-row fallback, so subclasses only implement the per-sample method
+unless they have a genuinely vectorised implementation.  ``run(...,
+batched=False)`` forces the legacy per-row path; the equivalence test suite
+asserts both paths produce identical rows, stats and fingerprints.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Sequence
 
+from repro.core.batch import (
+    batch_select,
+    batch_to_rows,
+    resolve_batch_size,
+    rows_to_batch,
+)
 from repro.core.dataset import NestedDataset
 from repro.core.sample import Fields, ensure_stats, get_field, set_field
 
@@ -22,8 +37,15 @@ class OP:
 
     _name = "op"
 
+    #: whether ``run`` uses the batched columnar path by default
+    _batched = True
+
     def __init__(self, text_key: str = Fields.text, **kwargs: Any):
         self.text_key = text_key
+        # execution tuning, not op semantics: kept out of config() (and
+        # therefore out of cache keys) via the underscore prefix; None means
+        # "unset" so a recipe-level batch_size can still apply
+        self._batch_size: int | None = kwargs.pop("batch_size", None)
         self.extra_params = dict(kwargs)
 
     @property
@@ -40,6 +62,42 @@ class OP:
             if isinstance(value, (bool, int, float, str, list, tuple, dict, type(None))):
                 params[key] = value
         return params
+
+    #: soft bound on text characters per batch; long-document datasets get
+    #: proportionally smaller batches so batch-wide working sets (token
+    #: columns, codepoint buffers) stay a few hundred KB regardless of
+    #: document size.  Results are batch-boundary independent, so this is
+    #: purely a memory/locality knob.
+    TARGET_BATCH_CHARS = 1 << 16
+
+    @property
+    def batch_size(self) -> int:
+        """Rows per batch of the batched execution path."""
+        return resolve_batch_size(self._batch_size)
+
+    def effective_batch_size(self, dataset: NestedDataset) -> int:
+        """Batch size adapted to the dataset's average text length.
+
+        An explicit per-op/recipe ``batch_size`` is honoured as-is; the
+        default shrinks so a batch holds roughly :data:`TARGET_BATCH_CHARS`
+        characters of text.
+        """
+        size = self.batch_size
+        if self._batch_size is not None or len(dataset) == 0:
+            return size
+        column = dataset._columns.get(self.text_key) if "." not in self.text_key else None
+        if not column:
+            return size
+        probe = column[:32]
+        average = sum(len(text) for text in probe if isinstance(text, str)) / len(probe)
+        if average <= 0:
+            return size
+        return max(16, min(size, int(self.TARGET_BATCH_CHARS / average)))
+
+    def set_batch_size(self, batch_size: int | None, override: bool = False) -> None:
+        """Apply a recipe-level batch size; per-op settings win unless ``override``."""
+        if batch_size is not None and (override or self._batch_size is None):
+            self._batch_size = int(batch_size)
 
     def get_text(self, sample: dict) -> str:
         """Return the text of a sample at this OP's text key (empty string if missing)."""
@@ -61,29 +119,46 @@ class OP:
 class Mapper(OP):
     """In-place text editing on single samples (or batched multi-sample editing)."""
 
-    _batched = False
-
     def process(self, sample: dict) -> dict:
         """Transform one sample and return it."""
         raise NotImplementedError
 
-    def process_batched(self, samples: list[dict]) -> list[dict]:
-        """Transform a batch of samples; default maps :meth:`process` over the batch."""
-        return [self.process(sample) for sample in samples]
+    def process_batched(self, samples: dict) -> dict:
+        """Transform a column batch (``dict[str, list]``) and return one.
+
+        The default materialises rows and maps :meth:`process` over them;
+        vectorised mappers override this to operate on whole columns.  The
+        returned batch may have a different length (multi-sample mappers).
+        """
+        rows = [self.process(row) for row in batch_to_rows(samples)]
+        return rows_to_batch(rows, column_order=samples)
 
     def run(
-        self, dataset: NestedDataset, tracer: Any = None, pool: Any = None, **kwargs: Any
+        self,
+        dataset: NestedDataset,
+        tracer: Any = None,
+        pool: Any = None,
+        batched: bool | None = None,
+        **kwargs: Any,
     ) -> NestedDataset:
         """Apply the mapper to every sample of the dataset.
 
+        Batched columnar execution is the default; ``batched=False`` forces
+        the legacy per-row path (the fingerprint is identical either way).
         ``pool`` is an optional :class:`repro.parallel.WorkerPool` handle; when
-        this mapper is resident in the pool the rows are processed by the
-        worker processes in chunks instead of in-process.
+        this mapper is resident in the pool the batches (or rows) are
+        processed by the worker processes instead of in-process.
         """
-        if self._batched:
-            mapped = dataset.map(self.process_batched, batched=True, pool=pool)
+        fingerprint = dataset.derive_fingerprint(self.name, self.config())
+        if self._batched if batched is None else batched:
+            mapped = dataset.map_batches(
+                self.process_batched,
+                batch_size=self.effective_batch_size(dataset),
+                new_fingerprint=fingerprint,
+                pool=pool,
+            )
         else:
-            mapped = dataset.map(self.process, pool=pool)
+            mapped = dataset.map(self.process, pool=pool, new_fingerprint=fingerprint)
         if tracer is not None:
             tracer.trace_mapper(self.name, dataset, mapped, self.text_key)
         return mapped
@@ -106,18 +181,59 @@ class Filter(OP):
         """Return True to keep the sample, False to drop it."""
         raise NotImplementedError
 
+    def compute_stats_batched(self, samples: dict, context: dict | None = None) -> dict:
+        """Compute stats for a column batch, returning the annotated batch.
+
+        ``context`` is an optional batch-level shared store (row-aligned
+        column lists keyed by :class:`repro.core.context.ContextKeys`) that
+        fused execution threads through its members so e.g. tokenisation
+        happens once per batch.  The default materialises rows and maps
+        :meth:`compute_stats`; vectorised filters override it.
+        """
+        del context  # the per-row fallback cannot share batch-level values
+        rows = [self.compute_stats(row) for row in batch_to_rows(samples)]
+        return rows_to_batch(rows, column_order=samples)
+
+    def process_batched(self, samples: dict) -> list[bool]:
+        """Keep/drop decision for every row of a stat-annotated column batch."""
+        return [bool(self.process(row)) for row in batch_to_rows(samples)]
+
+    def filter_batched(self, samples: dict) -> tuple[dict, list[bool]]:
+        """Stats + decision for one batch: ``(surviving_batch, keep_flags)``.
+
+        Subclasses with short-circuit opportunities (``FusedFilter``) override
+        this; rejected rows may then carry partial stats, which is invisible
+        in the output because they are dropped.
+        """
+        samples = self.compute_stats_batched(samples)
+        flags = self.process_batched(samples)
+        if all(flags):
+            return samples, flags
+        kept = batch_select(samples, [i for i, keep in enumerate(flags) if keep])
+        return kept, flags
+
     def run(
-        self, dataset: NestedDataset, tracer: Any = None, pool: Any = None, **kwargs: Any
+        self,
+        dataset: NestedDataset,
+        tracer: Any = None,
+        pool: Any = None,
+        batched: bool | None = None,
+        **kwargs: Any,
     ) -> NestedDataset:
         """Compute stats for every sample, then keep only the passing samples.
 
-        Stats computation and the keep/drop decision happen in one pass over
-        the rows (the decoupled ``compute_stats`` / ``process`` methods are
-        still exposed separately for the Analyzer and for fused execution).
-        With a :class:`repro.parallel.WorkerPool` handle holding this filter,
-        that pass runs chunk-parallel in the worker processes; the resulting
-        rows (and therefore fingerprints and cache keys) are identical.
+        Stats computation and the keep/drop decision happen in one pass (the
+        decoupled ``compute_stats`` / ``process`` methods are still exposed
+        separately for the Analyzer and for fused execution).  The default
+        path is batched columnar; ``batched=False`` forces the legacy per-row
+        loop.  With a :class:`repro.parallel.WorkerPool` handle holding this
+        filter the pass runs chunk-parallel in the worker processes; rows,
+        fingerprints and cache keys are identical for every strategy.
         """
+        fingerprint = dataset.derive_fingerprint(self.name, self.config())
+        use_batched = self._batched if batched is None else batched
+        if use_batched:
+            return self._run_batched(dataset, fingerprint, tracer=tracer, pool=pool)
         if pool is not None and pool.holds(self) and len(dataset) > 1:
             stat_rows, keep_flags = pool.filter_rows(self, dataset.to_list())
         else:
@@ -128,9 +244,53 @@ class Filter(OP):
                 stat_rows.append(row)
                 keep_flags.append(bool(self.process(row)))
         kept_rows = [row for row, keep in zip(stat_rows, keep_flags) if keep]
-        filtered = NestedDataset.from_list(kept_rows)
+        filtered = NestedDataset.from_list(kept_rows, fingerprint=fingerprint)
         if tracer is not None:
             with_stats = NestedDataset.from_list(stat_rows)
+            tracer.trace_filter(self.name, with_stats, filtered)
+        return filtered
+
+    def _run_batched(
+        self,
+        dataset: NestedDataset,
+        fingerprint: str,
+        tracer: Any = None,
+        pool: Any = None,
+    ) -> NestedDataset:
+        """Batched columnar filter pass (optionally dispatched to a pool).
+
+        Without a tracer, batches take the short-circuit
+        :meth:`filter_batched` path that only returns surviving rows; with a
+        tracer, full stats are computed for every row so the trace reflects
+        the rejected rows' statistics, exactly like the per-row path.
+        """
+        full_stats = tracer is not None
+        batch_size = self.effective_batch_size(dataset)
+        if pool is not None and pool.holds(self) and len(dataset) > 1:
+            results = pool.filter_column_batches(
+                self, list(dataset.iter_batches(batch_size)), full_stats=full_stats
+            )
+        else:
+            results = []
+            for batch in dataset.iter_batches(batch_size):
+                if full_stats:
+                    batch = self.compute_stats_batched(batch)
+                    flags = self.process_batched(batch)
+                    results.append((batch, flags))
+                else:
+                    results.append(self.filter_batched(batch))
+        if full_stats:
+            kept_batches = [
+                batch_select(batch, [i for i, keep in enumerate(flags) if keep])
+                for batch, flags in results
+            ]
+            stat_batches = [batch for batch, _flags in results]
+        else:
+            kept_batches = [batch for batch, _flags in results]
+            stat_batches = []
+        filtered = NestedDataset.from_batches(kept_batches, fingerprint=fingerprint)
+        if tracer is not None:
+            with_stats = NestedDataset.from_batches(stat_batches)
             tracer.trace_filter(self.name, with_stats, filtered)
         return filtered
 
@@ -142,13 +302,42 @@ class Deduplicator(OP):
         """Compute and store this deduplicator's hash/signature on the sample."""
         raise NotImplementedError
 
+    def compute_hash_batched(self, samples: dict) -> dict:
+        """Hash a column batch; default maps :meth:`compute_hash` over rows."""
+        rows = [self.compute_hash(row) for row in batch_to_rows(samples)]
+        return rows_to_batch(rows, column_order=samples)
+
     def process(self, dataset: NestedDataset, show_num: int = 0) -> tuple[NestedDataset, list]:
         """Return the deduplicated dataset and up to ``show_num`` duplicate pairs."""
         raise NotImplementedError
 
-    def run(self, dataset: NestedDataset, tracer: Any = None, **kwargs: Any) -> NestedDataset:
-        """Hash every sample and drop duplicates, tracing pairs when requested."""
-        hashed = dataset.map(lambda sample: self.compute_hash(dict(sample)))
+    def run(
+        self,
+        dataset: NestedDataset,
+        tracer: Any = None,
+        pool: Any = None,
+        batched: bool | None = None,
+        **kwargs: Any,
+    ) -> NestedDataset:
+        """Hash every sample and drop duplicates, tracing pairs when requested.
+
+        The hashing stage is sample-level, so a :class:`repro.parallel.
+        WorkerPool` handle parallelises it; the duplicate clustering itself
+        stays global.
+        """
+        hash_fingerprint = dataset.derive_fingerprint(f"{self.name}:hash", self.config())
+        if self._batched if batched is None else batched:
+            hashed = dataset.map_batches(
+                self.compute_hash_batched,
+                batch_size=self.effective_batch_size(dataset),
+                new_fingerprint=hash_fingerprint,
+                pool=pool,
+            )
+        else:
+            hashed = dataset.map(
+                lambda sample: self.compute_hash(dict(sample)),
+                new_fingerprint=hash_fingerprint,
+            )
         show_num = 10 if tracer is not None else 0
         deduped, duplicate_pairs = self.process(hashed, show_num=show_num)
         if tracer is not None:

@@ -1,0 +1,166 @@
+"""Columnar batch representation shared by the batched execution engine.
+
+A *column batch* is a plain ``dict[str, list]`` mapping top-level field names
+to equal-length value lists — a horizontal slice of a
+:class:`~repro.core.dataset.NestedDataset`.  The batched operator paths
+(:meth:`Mapper.process_batched`, :meth:`Filter.compute_stats_batched`, …) hand
+these slices around instead of materialising one dict per row, which removes
+the dominant per-row overhead of the original hot path (dict construction,
+``dict(row)`` copies and per-op ``to_list``/``from_list`` round trips).
+
+Cell objects are shared between a batch and the dataset it was sliced from —
+exactly like the row dicts produced by ``to_list()`` share their cell objects.
+Helpers that modify a batch therefore always replace whole column lists and
+never mutate the sliced lists in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.sample import Fields
+
+#: default number of rows per batch of the batched op path; per-op overrides
+#: come from the ``batch_size`` op parameter / recipe knob
+DEFAULT_BATCH_SIZE = 1000
+
+
+def batch_length(samples: dict[str, list]) -> int:
+    """Number of rows in a column batch (0 for an empty/column-less batch)."""
+    for values in samples.values():
+        return len(values)
+    return 0
+
+
+def batch_to_rows(samples: dict[str, list]) -> list[dict]:
+    """Materialise a column batch as a list of fresh row dicts.
+
+    The row dicts are new objects (safe to mutate key-wise) but share their
+    cell objects with the batch, mirroring ``NestedDataset.to_list``.
+    """
+    keys = list(samples)
+    return [
+        {key: samples[key][index] for key in keys}
+        for index in range(batch_length(samples))
+    ]
+
+
+def rows_to_batch(rows: Sequence[dict], column_order: Iterable[str] | None = None) -> dict[str, list]:
+    """Collect row dicts into a column batch.
+
+    Missing keys are filled with ``None``, matching
+    ``NestedDataset.from_list`` semantics; ``column_order`` seeds the key
+    order (extra keys append in first-seen order).
+    """
+    keys: list[str] = list(column_order or ())
+    seen = set(keys)
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    return {key: [row.get(key) for row in rows] for key in keys}
+
+
+def batch_select(samples: dict[str, list], indices: Sequence[int]) -> dict[str, list]:
+    """Return a new batch containing only the rows at ``indices`` (in order)."""
+    index_list = list(indices)
+    return {key: [values[index] for index in index_list] for key, values in samples.items()}
+
+
+def batch_concat(batches: Sequence[dict[str, list]]) -> dict[str, list]:
+    """Concatenate batches row-wise; the union of columns is used (None-filled)."""
+    keys: list[str] = []
+    seen: set[str] = set()
+    for batch in batches:
+        for key in batch:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    columns: dict[str, list] = {key: [] for key in keys}
+    for batch in batches:
+        length = batch_length(batch)
+        for key in keys:
+            values = batch.get(key)
+            columns[key].extend(values if values is not None else [None] * length)
+    return columns
+
+
+def get_text_column(samples: dict[str, list], text_key: str) -> list[str] | None:
+    """Return the text column of a batch as a list of strings, or ``None``.
+
+    ``None`` signals that the fast path does not apply (nested/dotted text
+    key) and the caller should fall back to the generic per-row path.
+    Missing columns and non-string cells become ``""``, matching
+    :meth:`repro.core.base_op.OP.get_text`.
+    """
+    if "." in text_key:
+        return None
+    values = samples.get(text_key)
+    if values is None:
+        return [""] * batch_length(samples)
+    return [value if isinstance(value, str) else "" for value in values]
+
+
+def set_text_column(samples: dict[str, list], text_key: str, texts: list[str]) -> dict[str, list]:
+    """Replace the text column of a batch, returning the same batch dict.
+
+    Only valid for top-level text keys (callers use :func:`get_text_column`
+    first, which rejects dotted keys).
+    """
+    samples[text_key] = list(texts)
+    return samples
+
+
+def ensure_stats_column(samples: dict[str, list]) -> list[dict]:
+    """Return the per-row stats dicts of a batch, normalising the column.
+
+    Rows whose stats cell is missing or not a dict get a fresh ``{}``; the
+    column list is replaced (never mutated in place) so the parent dataset's
+    column storage is untouched, while existing stats dicts stay shared with
+    the parent — the same aliasing the per-row path produces via shallow
+    ``dict(row)`` copies.
+    """
+    length = batch_length(samples)
+    existing = samples.get(Fields.stats)
+    if existing is None:
+        stats_column: list[dict] = [{} for _ in range(length)]
+    else:
+        stats_column = [cell if isinstance(cell, dict) else {} for cell in existing]
+    samples[Fields.stats] = stats_column
+    return stats_column
+
+
+def stats_column_view(samples: dict[str, list]) -> list[dict]:
+    """Read-only view of the per-row stats dicts (missing cells read as ``{}``).
+
+    Unlike :func:`ensure_stats_column` this never modifies the batch; it is
+    the batched analogue of ``sample.get(Fields.stats, {})`` in the per-row
+    ``process`` implementations.
+    """
+    existing = samples.get(Fields.stats)
+    if existing is None:
+        return [{}] * batch_length(samples)
+    return [cell if isinstance(cell, dict) else {} for cell in existing]
+
+
+def resolve_batch_size(batch_size: int | None) -> int:
+    """Normalise an op/recipe batch-size setting to a positive int."""
+    if batch_size is None:
+        return DEFAULT_BATCH_SIZE
+    return max(1, int(batch_size))
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "batch_concat",
+    "batch_length",
+    "batch_select",
+    "batch_to_rows",
+    "ensure_stats_column",
+    "get_text_column",
+    "resolve_batch_size",
+    "rows_to_batch",
+    "set_text_column",
+    "stats_column_view",
+]

@@ -66,7 +66,10 @@ class CheckpointManager:
                 line = line.strip()
                 if line:
                     rows.append(json.loads(line))
-        dataset = NestedDataset.from_list(rows)
+        # restore the saved fingerprint: with incremental fingerprints the
+        # content probe of from_list could never match what the original run
+        # stamped, and every downstream cache key would miss after a resume
+        dataset = NestedDataset.from_list(rows, fingerprint=state.get("fingerprint"))
         return dataset, int(state["op_index"]), list(state.get("op_names", []))
 
     def clear(self) -> None:

@@ -34,6 +34,9 @@ class RecipeConfig:
     #: number of worker processes; ``np > 1`` routes Mapper/Filter stages
     #: through the persistent :class:`repro.parallel.WorkerPool`
     np: int = 1
+    #: rows per batch of the batched columnar op path; ``None`` keeps each
+    #: op's own setting (execution tuning only — results are identical)
+    batch_size: int | None = None
     process: list = field(default_factory=list)
 
     # optimizations & tooling
@@ -69,6 +72,7 @@ class RecipeConfig:
             "export_path": self.export_path,
             "text_keys": list(self.text_keys),
             "np": self.np,
+            "batch_size": self.batch_size,
             "process": list(self.process),
             "use_cache": self.use_cache,
             "cache_dir": self.cache_dir,
@@ -103,6 +107,12 @@ def validate_config(config: RecipeConfig) -> RecipeConfig:
             raise ConfigError(f"parameters of operator {name!r} must be a mapping")
     if not isinstance(config.np, int) or isinstance(config.np, bool) or config.np < 1:
         raise ConfigError("np (number of worker processes) must be an integer >= 1")
+    if config.batch_size is not None and (
+        not isinstance(config.batch_size, int)
+        or isinstance(config.batch_size, bool)
+        or config.batch_size < 1
+    ):
+        raise ConfigError("batch_size must be an integer >= 1 (or null)")
     return config
 
 

@@ -42,6 +42,25 @@ def get_or_compute(sample: dict, key: str, compute: Callable[[], Any]) -> Any:
     return value
 
 
+def get_or_compute_column(
+    context: dict | None, key: str, compute: Callable[[], list]
+) -> list:
+    """Batch-level analogue of :func:`get_or_compute`.
+
+    ``context`` is a shared store of per-batch column values (``key`` →
+    row-aligned list), threaded through the members of a fused filter by
+    :meth:`repro.core.fusion.FusedFilter.filter_batched` so a batch is
+    tokenised once and the word lists are reused by every member.  ``None``
+    disables sharing (standalone batched execution).
+    """
+    if context is not None and key in context:
+        return context[key]
+    value = compute()
+    if context is not None:
+        context[key] = value
+    return value
+
+
 def enable_context(sample: dict) -> dict:
     """Attach an (empty) context dict to the sample so values get cached."""
     ensure_context(sample)

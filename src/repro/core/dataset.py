@@ -56,11 +56,13 @@ class NestedDataset:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_list(cls, samples: Sequence[dict]) -> "NestedDataset":
+    def from_list(cls, samples: Sequence[dict], fingerprint: str | None = None) -> "NestedDataset":
         """Build a dataset from a list of sample dicts.
 
         Missing keys in individual samples are filled with ``None`` so every
-        column has the same length.
+        column has the same length.  Passing ``fingerprint`` skips the
+        content-probe fingerprint computation — transforms that already know
+        their derived fingerprint use this to avoid re-serialising rows.
         """
         keys: list[str] = []
         seen: set[str] = set()
@@ -70,7 +72,24 @@ class NestedDataset:
                     seen.add(key)
                     keys.append(key)
         columns = {key: [sample.get(key) for sample in samples] for key in keys}
-        return cls(columns)
+        return cls(columns, fingerprint=fingerprint)
+
+    @classmethod
+    def from_batches(
+        cls, batches: Sequence[dict], fingerprint: str | None = None
+    ) -> "NestedDataset":
+        """Build a dataset by concatenating column batches (``dict[str, list]``).
+
+        The union of columns is used with ``None`` fill, mirroring
+        :meth:`from_list`; zero total rows yield a column-less dataset, again
+        matching ``from_list([])``.
+        """
+        from repro.core.batch import batch_concat
+
+        columns = batch_concat([batch for batch in batches if batch])
+        if columns and not any(len(values) for values in columns.values()):
+            columns = {}
+        return cls(columns, fingerprint=fingerprint)
 
     @classmethod
     def from_dict(cls, columns: dict[str, list]) -> "NestedDataset":
@@ -176,6 +195,16 @@ class NestedDataset:
     def _derive_fingerprint(self, transform: str, params: Any = None) -> str:
         return _stable_hash({"parent": self._fingerprint, "transform": transform, "params": params})
 
+    def derive_fingerprint(self, op_name: str, op_config: Any = None) -> str:
+        """Incremental fingerprint of applying an operator to this dataset.
+
+        ``hash(parent_fingerprint, op_name, op_config)`` — the operator runs
+        (serial, batched or pooled) all stamp their output with this value, so
+        cache/checkpoint keys agree across execution strategies without ever
+        re-serialising the payload.
+        """
+        return _stable_hash({"parent": self._fingerprint, "op": op_name, "params": op_config})
+
     # ------------------------------------------------------------------
     # Transforms
     # ------------------------------------------------------------------
@@ -192,19 +221,22 @@ class NestedDataset:
         """Apply ``function`` to every sample and return a new dataset.
 
         With ``batched=True`` the function receives and returns a *list* of
-        samples, enabling multi-sample mappers (e.g. splitting or merging).
-        ``num_proc`` is accepted for interface compatibility with the original
-        system; real parallelism comes from ``pool`` — a
-        :class:`repro.parallel.WorkerPool` handle.  When the pool can execute
-        ``function`` (a method of a pool-resident operator) the rows are
-        dispatched to it in chunks; the derived fingerprint is identical to
-        the serial path, so cache and checkpoint semantics are preserved.
+        samples, enabling multi-sample row functions.  This is the row-dict
+        API for arbitrary callables; operator ``process_batched`` methods use
+        the *columnar* contract (``dict[str, list]``) and must go through
+        :meth:`map_batches` instead.  ``num_proc`` is accepted for interface
+        compatibility with the original system; real parallelism comes from
+        ``pool`` — a :class:`repro.parallel.WorkerPool` handle.  When the
+        pool can execute ``function`` (a per-row method of a pool-resident
+        operator) the rows are dispatched to it in chunks; the derived
+        fingerprint is identical to the serial path, so cache and checkpoint
+        semantics are preserved.
         """
         del num_proc, desc  # kept for API parity with the original system
         rows = self.to_list()
         new_rows: list[dict] = []
         if pool is not None and pool.accepts(function, kind="map", batched=batched) and len(rows) > 1:
-            new_rows = pool.map_rows(rows=rows, function=function, batched=batched, batch_size=batch_size)
+            new_rows = pool.map_rows(function, rows)
             if not isinstance(new_rows, list) or not all(
                 isinstance(row, dict) for row in new_rows
             ):
@@ -225,9 +257,81 @@ class NestedDataset:
         fingerprint = new_fingerprint or self._derive_fingerprint(
             "map", getattr(function, "__qualname__", repr(function))
         )
-        dataset = NestedDataset.from_list(new_rows)
-        dataset._fingerprint = fingerprint
-        return dataset
+        return NestedDataset.from_list(new_rows, fingerprint=fingerprint)
+
+    def iter_batches(self, batch_size: int = 1000) -> Iterator[dict]:
+        """Yield consecutive column batches (``dict[str, list]``) of the dataset.
+
+        Each batch is a fresh dict of fresh column slices; cell objects are
+        shared with this dataset, exactly like the rows of :meth:`to_list`.
+        """
+        if batch_size < 1:
+            raise DatasetError("batch_size must be >= 1")
+        length = len(self)
+        for start in range(0, length, batch_size):
+            stop = start + batch_size
+            yield {key: values[start:stop] for key, values in self._columns.items()}
+
+    def map_batches(
+        self,
+        function: Callable[[dict], dict],
+        batch_size: int = 1000,
+        new_fingerprint: str | None = None,
+        pool: Any = None,
+        desc: str | None = None,
+    ) -> "NestedDataset":
+        """Apply a columnar function to every batch and return a new dataset.
+
+        ``function`` receives a column batch (``dict[str, list]``) and returns
+        one (of any length, so multi-sample ops compose).  This is the hot
+        path of the batched op engine: no per-row dict is ever constructed by
+        the dataset itself.  A :class:`repro.parallel.WorkerPool` handle that
+        accepts ``function`` dispatches the batches to the worker processes;
+        the fingerprint is identical either way.
+        """
+        del desc
+        if pool is not None and pool.accepts(function, kind="map_batches") and len(self) > 1:
+            out_batches = pool.map_column_batches(function, list(self.iter_batches(batch_size)))
+        else:
+            out_batches = [function(batch) for batch in self.iter_batches(batch_size)]
+        for batch in out_batches:
+            if not isinstance(batch, dict):
+                raise DatasetError("batched map function must return a column batch dict")
+        fingerprint = new_fingerprint or self._derive_fingerprint(
+            "map_batches", getattr(function, "__qualname__", repr(function))
+        )
+        return NestedDataset.from_batches(out_batches, fingerprint=fingerprint)
+
+    def filter_batches(
+        self,
+        function: Callable[[dict], Sequence[bool]],
+        batch_size: int = 1000,
+        new_fingerprint: str | None = None,
+        pool: Any = None,
+    ) -> "NestedDataset":
+        """Keep rows whose batch-level predicate flag is True.
+
+        ``function`` receives a column batch and returns one boolean per row.
+        Surviving rows are collected columnar — no row dicts, no re-probing
+        of content for the fingerprint.
+        """
+        from repro.core.batch import batch_select
+
+        if pool is not None and pool.accepts(function, kind="filter_batches") and len(self) > 1:
+            flag_batches = pool.flag_column_batches(function, list(self.iter_batches(batch_size)))
+            kept = [
+                batch_select(batch, [i for i, keep in enumerate(flags) if keep])
+                for batch, flags in zip(self.iter_batches(batch_size), flag_batches)
+            ]
+        else:
+            kept = []
+            for batch in self.iter_batches(batch_size):
+                flags = function(batch)
+                kept.append(batch_select(batch, [i for i, keep in enumerate(flags) if keep]))
+        fingerprint = new_fingerprint or self._derive_fingerprint(
+            "filter_batches", getattr(function, "__qualname__", repr(function))
+        )
+        return NestedDataset.from_batches(kept, fingerprint=fingerprint)
 
     def filter(
         self,
@@ -266,9 +370,7 @@ class NestedDataset:
             key: [values[index] for index in index_list]
             for key, values in self._columns.items()
         }
-        dataset = NestedDataset(columns)
-        dataset._fingerprint = self._derive_fingerprint("select", index_list[:64])
-        return dataset
+        return NestedDataset(columns, fingerprint=self._derive_fingerprint("select", index_list[:64]))
 
     def add_column(self, name: str, values: Sequence[Any]) -> "NestedDataset":
         """Return a new dataset with an extra column."""
@@ -278,9 +380,7 @@ class NestedDataset:
             )
         columns = self.to_dict()
         columns[name] = list(values)
-        dataset = NestedDataset(columns)
-        dataset._fingerprint = self._derive_fingerprint("add_column", name)
-        return dataset
+        return NestedDataset(columns, fingerprint=self._derive_fingerprint("add_column", name))
 
     def remove_columns(self, names: str | Sequence[str]) -> "NestedDataset":
         """Return a new dataset without the given column(s); missing names are ignored."""
@@ -288,9 +388,9 @@ class NestedDataset:
             names = [names]
         drop = set(names)
         columns = {key: values for key, values in self.to_dict().items() if key not in drop}
-        dataset = NestedDataset(columns)
-        dataset._fingerprint = self._derive_fingerprint("remove_columns", sorted(drop))
-        return dataset
+        return NestedDataset(
+            columns, fingerprint=self._derive_fingerprint("remove_columns", sorted(drop))
+        )
 
     def rename_column(self, old: str, new: str) -> "NestedDataset":
         """Return a new dataset with column ``old`` renamed to ``new``."""
@@ -299,9 +399,9 @@ class NestedDataset:
         columns = {}
         for key, values in self.to_dict().items():
             columns[new if key == old else key] = values
-        dataset = NestedDataset(columns)
-        dataset._fingerprint = self._derive_fingerprint("rename_column", [old, new])
-        return dataset
+        return NestedDataset(
+            columns, fingerprint=self._derive_fingerprint("rename_column", [old, new])
+        )
 
     def shuffle(self, seed: int = 0) -> "NestedDataset":
         """Return a deterministically shuffled copy of the dataset."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
-from repro.core.base_op import Filter, Mapper
+from repro.core.base_op import Deduplicator, Filter, Mapper
 from repro.core.cache import CacheManager
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import RecipeConfig, load_config
@@ -60,7 +60,9 @@ class Executor:
             checkpoint_dir=self.cfg.checkpoint_dir or (work_dir / "checkpoint"),
             enabled=self.cfg.use_checkpoint,
         )
-        self.ops = build_ops(self.cfg.process, op_fusion=self.cfg.op_fusion)
+        self.ops = build_ops(
+            self.cfg.process, op_fusion=self.cfg.op_fusion, batch_size=self.cfg.batch_size
+        )
         self.plan = describe_plan(self.ops)
         self.last_report: dict[str, Any] = {}
         self._pool: WorkerPool | None = None
@@ -127,9 +129,11 @@ class Executor:
                 if cached is not None:
                     current = cached
                     continue
-                if isinstance(op, (Mapper, Filter)):
+                if isinstance(op, (Mapper, Filter, Deduplicator)):
                     # pool creation is deferred to the first actually-executed
-                    # sample-level op, so fully cache-hit runs never fork workers
+                    # op with a sample-level stage, so fully cache-hit runs
+                    # never fork workers (a Deduplicator's hashing stage is
+                    # sample-level; its clustering stays global)
                     current = op.run(current, tracer=self.tracer, pool=self._ensure_pool())
                 else:
                     current = op.run(current, tracer=self.tracer)
@@ -153,6 +157,7 @@ class Executor:
             "trace": self.tracer.summary() if self.tracer else [],
             "parallel": {
                 "np": self.cfg.np,
+                "batch_size": self.cfg.batch_size,
                 # None when no pool was needed (np=1, or every stage cache-hit)
                 "start_method": self._pool.start_method if self._pool is not None else None,
             },

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.base_op import Deduplicator, Filter, Mapper, Selector
+from repro.core.batch import batch_length, batch_select
 from repro.core.context import enable_context
 from repro.core.dataset import NestedDataset
 from repro.core.sample import clear_context
@@ -30,6 +31,24 @@ class FusedFilter(Filter):
             raise ValueError("FusedFilter needs at least one member filter")
         self.fused_filters = list(fused_filters)
         self._name = "fused_filter(" + ",".join(op.name for op in self.fused_filters) + ")"
+        # inherit the members' batch-size tuning (first explicit setting wins)
+        for member in self.fused_filters:
+            if member._batch_size is not None:
+                self._batch_size = member._batch_size
+                break
+
+    def config(self) -> dict:
+        """Constructor parameters, with every member's own config embedded.
+
+        The generic :meth:`OP.config` would serialise the member list via
+        param-less ``repr``s, making fused plans with different member
+        thresholds indistinguishable to fingerprints and cache keys.
+        """
+        params = super().config()
+        params["fused_filters"] = [
+            {"name": member.name, "config": member.config()} for member in self.fused_filters
+        ]
+        return params
 
     def compute_stats(self, sample: dict, context: bool = True) -> dict:
         """Compute every member's stats, sharing the per-sample context."""
@@ -42,6 +61,56 @@ class FusedFilter(Filter):
     def process(self, sample: dict) -> bool:
         """Keep the sample only when every member filter keeps it."""
         return all(member.process(sample) for member in self.fused_filters)
+
+    def compute_stats_batched(self, samples: dict, context: dict | None = None) -> dict:
+        """Compute every member's stats for a batch, sharing a batch context.
+
+        The shared store holds row-aligned column values (e.g. the tokenised
+        word lists), so the batch is tokenised once and every member reuses
+        the result — the batched analogue of the per-sample context.
+        """
+        shared = {} if context is None else context
+        for member in self.fused_filters:
+            samples = member.compute_stats_batched(samples, context=shared)
+        return samples
+
+    def process_batched(self, samples: dict) -> list[bool]:
+        """AND of every member's flags over a fully stat-annotated batch."""
+        flags = [True] * batch_length(samples)
+        for member in self.fused_filters:
+            member_flags = member.process_batched(samples)
+            flags = [a and b for a, b in zip(flags, member_flags)]
+        return flags
+
+    def filter_batched(self, samples: dict) -> tuple[dict, list[bool]]:
+        """Member-interleaved batch pass with early short-circuit.
+
+        Each member computes its stats and decides on the rows still alive;
+        rejected rows are removed from the working batch (and from the shared
+        context columns) before the next — typically more expensive — member
+        runs.  Surviving rows end up with every member's stats, identical to
+        the per-row path; rejected rows may carry partial stats but are
+        dropped from the output either way.
+        """
+        total = batch_length(samples)
+        flags = [True] * total
+        alive = list(range(total))
+        context: dict = {}
+        current = samples
+        for member in self.fused_filters:
+            if not alive:
+                break
+            current = member.compute_stats_batched(current, context=context)
+            member_flags = member.process_batched(current)
+            if not all(member_flags):
+                keep_local = [i for i, keep in enumerate(member_flags) if keep]
+                for local, keep in enumerate(member_flags):
+                    if not keep:
+                        flags[alive[local]] = False
+                current = batch_select(current, keep_local)
+                context = {key: [values[i] for i in keep_local] for key, values in context.items()}
+                alive = [alive[i] for i in keep_local]
+        return current, flags
 
 
 def _share_context(left: Filter, right: Filter) -> bool:

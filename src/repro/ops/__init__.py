@@ -42,15 +42,24 @@ def load_ops(process_list: list[dict | str]) -> list:
     return ops
 
 
-def build_ops(process_list: list[dict | str], op_fusion: bool = False) -> list:
+def build_ops(
+    process_list: list[dict | str],
+    op_fusion: bool = False,
+    batch_size: int | None = None,
+) -> list:
     """Instantiate a recipe's operator list, optionally fusing it.
 
     The single construction path shared by the Executor, the parent side of
     :class:`repro.parallel.WorkerPool` and the spawn-mode worker initializer.
     These must produce *index-identical* op lists — parallel tasks address
     operators by position — so none of them may build the list by hand.
+    ``batch_size`` applies a recipe-level batch size to every op that did not
+    set its own (an execution knob; results and fingerprints are unaffected).
     """
     ops = load_ops(process_list)
+    if batch_size is not None:
+        for op in ops:
+            op.set_batch_size(batch_size)
     if op_fusion:
         from repro.core.fusion import fuse_operators
 

@@ -23,18 +23,31 @@ def get_words_from_text(text: str, lowercase: bool = False) -> list[str]:
 
     CJK characters are emitted as single-character tokens (approximating a
     character-level tokenizer for Chinese-like text); other scripts are split
-    on word boundaries.
+    on word boundaries.  Texts without any CJK characters — the overwhelmingly
+    common case — take a single-pass ``findall`` fast path instead of probing
+    every token.
     """
     if lowercase:
         text = text.lower()
+    if not _CJK_PATTERN.search(text):
+        return _WORD_PATTERN.findall(text)
     tokens: list[str] = []
-    for match in _WORD_PATTERN.finditer(text):
-        token = match.group(0)
+    for token in _WORD_PATTERN.findall(text):
         if _CJK_PATTERN.search(token):
-            tokens.extend(list(token))
+            tokens.extend(token)
         else:
             tokens.append(token)
     return tokens
+
+
+_DEFAULT_STRIP_CHARS = string.punctuation + string.whitespace
+
+#: memoised default refinement (lowercase + strip) per distinct token; text
+#: vocabularies are zipfian, so most tokens hit the cache.  ``None`` marks
+#: tokens that refine to nothing.  Bounded against adversarial vocabularies.
+_REFINE_CACHE: dict[str, str | None] = {}
+_REFINE_CACHE_MAX = 1 << 17
+_MISSING = object()
 
 
 def words_refinement(
@@ -48,7 +61,28 @@ def words_refinement(
     ``use_words_aug`` additionally merges very short tokens with neighbours to
     approximate the word-augmentation used for languages without spaces.
     """
-    strip_chars = strip_chars if strip_chars is not None else string.punctuation + string.whitespace
+    if strip_chars is None and lower_case:
+        # memoised fast path for the default refinement settings: classify
+        # unseen tokens once, then map + filter run entirely at C level
+        cache = _REFINE_CACHE
+        unknown = set(words).difference(cache)
+        if unknown and len(cache) + len(unknown) <= _REFINE_CACHE_MAX:
+            for word in unknown:
+                cache[word] = word.lower().strip(_DEFAULT_STRIP_CHARS) or None
+            unknown = ()
+        if not unknown:
+            refined = list(filter(None, map(cache.__getitem__, words)))
+            return _merge_short_tokens(refined) if use_words_aug else refined
+        # cache is full: refine uncached tokens inline, reuse cached ones
+        refined = []
+        for word in words:
+            cached = cache.get(word, _MISSING)
+            if cached is _MISSING:
+                cached = word.lower().strip(_DEFAULT_STRIP_CHARS) or None
+            if cached is not None:
+                refined.append(cached)
+        return _merge_short_tokens(refined) if use_words_aug else refined
+    strip_chars = strip_chars if strip_chars is not None else _DEFAULT_STRIP_CHARS
     refined = []
     for word in words:
         if lower_case:
@@ -57,20 +91,25 @@ def words_refinement(
         if word:
             refined.append(word)
     if use_words_aug:
-        merged: list[str] = []
-        buffer = ""
-        for word in refined:
-            if len(word) == 1:
-                buffer += word
-            else:
-                if buffer:
-                    merged.append(buffer)
-                    buffer = ""
-                merged.append(word)
-        if buffer:
-            merged.append(buffer)
-        refined = merged
+        refined = _merge_short_tokens(refined)
     return refined
+
+
+def _merge_short_tokens(refined: Sequence[str]) -> list[str]:
+    """Merge single-character tokens with neighbours (words-aug approximation)."""
+    merged: list[str] = []
+    buffer = ""
+    for word in refined:
+        if len(word) == 1:
+            buffer += word
+        else:
+            if buffer:
+                merged.append(buffer)
+                buffer = ""
+            merged.append(word)
+    if buffer:
+        merged.append(buffer)
+    return merged
 
 
 def split_sentences(text: str) -> list[str]:
@@ -91,12 +130,16 @@ def split_lines(text: str) -> list[str]:
 
 
 def get_ngrams(tokens: Sequence, n: int) -> list[tuple]:
-    """Return the list of n-grams (as tuples) of a token sequence."""
+    """Return the list of n-grams (as tuples) of a token sequence.
+
+    Built with ``zip`` over shifted slices, so the tuples materialise at C
+    speed instead of one Python-level slice+tuple per position.
+    """
     if n <= 0:
         raise ValueError("n must be positive")
     if len(tokens) < n:
         return []
-    return [tuple(tokens[index:index + n]) for index in range(len(tokens) - n + 1)]
+    return list(zip(*(tokens[index:] for index in range(n))))
 
 
 def get_char_ngrams(text: str, n: int) -> list[str]:
@@ -121,6 +164,23 @@ def ngram_repetition_ratio(items: Sequence, n: int) -> float:
     counts = Counter(grams)
     repeated = sum(count for count in counts.values() if count > 1)
     return repeated / len(grams)
+
+
+def char_ngram_repetition_ratio(text: str, n: int) -> float:
+    """Fast variant of :func:`ngram_repetition_ratio` for character n-grams.
+
+    Counts substrings instead of character tuples; substrings of fixed length
+    are in bijection with the corresponding tuples, so the resulting ratio is
+    identical while skipping the ``list(text)`` + tuple materialisation.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    total = len(text) - n + 1
+    if total <= 0:
+        return 0.0
+    counts = Counter(text[index:index + n] for index in range(total))
+    repeated = sum(count for count in counts.values() if count > 1)
+    return repeated / total
 
 
 def ratio_of(predicate_count: int, total: int) -> float:

@@ -33,8 +33,29 @@ def is_special_character(char: str) -> bool:
     return not (char.isalnum() or char.isspace())
 
 
+#: memoised per-character classification; real-world text draws from a small
+#: alphabet, so the unicode category checks run once per distinct character.
+#: Bounded so adversarial inputs cannot grow it without limit.
+_CLASS_CACHE: dict[str, bool] = {}
+_CLASS_CACHE_MAX = 1 << 16
+
+
+def special_character_count(text: str) -> int:
+    """Number of special characters in the text (memoised per character)."""
+    cache = _CLASS_CACHE
+    count = 0
+    for char in text:
+        flag = cache.get(char)
+        if flag is None:
+            flag = is_special_character(char)
+            if len(cache) < _CLASS_CACHE_MAX:
+                cache[char] = flag
+        count += flag
+    return count
+
+
 def special_character_ratio(text: str) -> float:
     """Fraction of characters that are special characters."""
     if not text:
         return 0.0
-    return sum(1 for char in text if is_special_character(char)) / len(text)
+    return special_character_count(text) / len(text)

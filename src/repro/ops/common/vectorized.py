@@ -1,0 +1,351 @@
+"""Vectorised text kernels backing the batched op implementations.
+
+Every function here is a drop-in, *bit-identical* replacement for the pure
+Python helper it accelerates — the batched/per-row equivalence suite asserts
+exactly that.  The kernels operate on whole batches (lists of texts / token
+lists) so the numpy import and any table setup are amortised across rows.
+
+All kernels degrade gracefully to the pure Python helpers when numpy is
+unavailable, so the batched path never *requires* the accelerator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ops.common.helper_funcs import (
+    char_ngram_repetition_ratio,
+    ngram_repetition_ratio,
+)
+from repro.ops.common.special_characters import is_special_character, special_character_count
+
+try:  # numpy is an optional accelerator, not a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+
+def _codepoints(text: str):
+    """The text as a uint32 codepoint array (one cell per character).
+
+    Raises :class:`UnicodeEncodeError` for strings containing unpaired
+    surrogates (legal in Python strings, e.g. from JSON ``\\ud800`` escapes);
+    callers catch it and fall back to the pure-Python helpers.
+    """
+    return _np.frombuffer(text.encode("utf-32-le"), dtype=_np.uint32)
+
+
+def _repeated_in_sorted_keys(key) -> int:
+    """Occurrences belonging to duplicated values of a sorted key array."""
+    total = key.size
+    distinct = _np.empty(total, dtype=bool)
+    distinct[0] = True
+    _np.not_equal(key[1:], key[:-1], out=distinct[1:])
+    starts = _np.flatnonzero(distinct)
+    lengths = _np.diff(_np.append(starts, total))
+    return int(lengths[lengths > 1].sum())
+
+
+def _pack_window_keys(ids, width: int, bits: int):
+    """uint64 keys of all ``width``-windows of a dense-id array, by doubling.
+
+    ``key[i] = ids[i] << bits*(width-1) | … | ids[i+width-1]`` for every
+    position, computed with ~2·log2(width) whole-array shift/or passes
+    instead of ``width`` per-column passes.  Requires ``width*bits <= 64``.
+    """
+    powers = {1: ids}
+    span = 1
+    key = ids
+    while span * 2 <= width:
+        shift = _np.uint64(bits * span)
+        key = (key[:-span] << shift) | key[span:]
+        span *= 2
+        powers[span] = key
+    # greedy binary composition of the remaining width
+    acc = None
+    acc_span = 0
+    for span in sorted(powers, reverse=True):
+        if acc_span + span > width:
+            continue
+        piece = powers[span]
+        if acc is None:
+            acc = piece
+        else:
+            length = min(acc.size, piece.size - acc_span)
+            acc = (acc[:length] << _np.uint64(bits * span)) | piece[acc_span:acc_span + length]
+        acc_span += span
+        if acc_span == width:
+            break
+    return acc[: ids.size - width + 1]
+
+
+def _repetition_ratio_from_ids(ids, num_ids: int, n: int) -> float:
+    """Fraction of duplicated n-gram occurrences over a dense-id sequence.
+
+    Consecutive ids are bit-packed into one uint64 sort key per window —
+    callers guarantee ``bits_per_id * n <= 64`` — sorted, and duplicate
+    windows counted via run lengths.  Packing is bijective, so the ratio is
+    identical to the tuple-Counter helper.
+    """
+    total = int(ids.size) - n + 1
+    if total <= 0:
+        return 0.0
+    bits = max(1, (num_ids - 1).bit_length())
+    if bits * n > 64:
+        raise ValueError(f"{n}-grams of a {num_ids}-id alphabet do not fit one sort key")
+    key = _pack_window_keys(ids, n, bits)
+    return _repeated_in_sorted_keys(_np.sort(key)) / total
+
+
+# ----------------------------------------------------------------------
+# Grouped char-repetition kernel
+# ----------------------------------------------------------------------
+#: global codepoint -> dense id table for the grouped kernel; id 0 means
+#: "unassigned", real ids are 1..GROUP_ALPHABET_MAX (7 bits)
+_DENSE_ID_BITS = 7
+_DENSE_ID_MAX = (1 << _DENSE_ID_BITS) - 1
+_DENSE_IDS = None
+_DENSE_NEXT = 1
+
+
+def _assign_dense_ids(codepoints) -> None:
+    """Assign dense alphabet ids to any unassigned codepoints (id 0) seen.
+
+    Stops silently at the 7-bit budget; codepoints left at id 0 route their
+    documents to the per-document fallback.
+    """
+    global _DENSE_IDS, _DENSE_NEXT
+    if _DENSE_IDS is None:
+        _DENSE_IDS = _np.zeros(0x110000, dtype=_np.uint8)
+    for codepoint in codepoints:
+        if _DENSE_NEXT > _DENSE_ID_MAX:
+            return
+        _DENSE_IDS[codepoint] = _DENSE_NEXT
+        _DENSE_NEXT += 1
+
+
+def _segment_sums(values, starts, lengths):
+    """Per-segment True counts of a bool array (vectorised).
+
+    Binary-searches the match positions instead of materialising a full
+    cumulative sum — the match sets of the ratio filters are sparse, so this
+    touches far less memory.
+    """
+    positions = _np.flatnonzero(values)
+    return _np.searchsorted(positions, starts + lengths) - _np.searchsorted(positions, starts)
+
+
+def _grouped_char_repetition(ids, starts, lengths, n: int):
+    """One-sort-per-group repetition ratios over a concatenated id array.
+
+    Each group's windows are packed into uint64 keys carrying the document
+    index in the high bits, sorted together, and per-document duplicate
+    counts recovered with a single ``bincount`` over the run lengths — the
+    per-document numpy call overhead collapses into ~a dozen calls per group
+    of up to 256 documents.  ``ids`` stays uint8; every wide transient (the
+    uint64 casts, keys, sort buffer) is allocated per group, so peak memory
+    is bounded by the group span, not the batch.
+    """
+    runs = _np.maximum(lengths - n + 1, 0)
+    doc_shift = _np.uint64(_DENSE_ID_BITS * n)
+    group = 1 << (64 - _DENSE_ID_BITS * n)
+    num_docs = starts.size
+    ratios = _np.zeros(num_docs, dtype=_np.float64)
+    for first_doc in range(0, num_docs, group):
+        last_doc = min(first_doc + group, num_docs)
+        doc_slice = slice(first_doc, last_doc)
+        chunk_runs = runs[doc_slice]
+        total_valid = int(chunk_runs.sum())
+        if total_valid == 0:
+            continue
+        char_start = int(starts[first_doc])
+        char_end = int(starts[last_doc - 1] + lengths[last_doc - 1])
+        keys = _pack_window_keys(
+            ids[char_start:char_end].astype(_np.uint64), n, _DENSE_ID_BITS
+        )
+        doc_index = _np.repeat(
+            _np.arange(chunk_runs.size, dtype=_np.uint64), chunk_runs
+        )
+        window_start = _np.repeat(starts[doc_slice] - char_start, chunk_runs) + (
+            _np.arange(total_valid, dtype=_np.int64)
+            - _np.repeat(_np.cumsum(chunk_runs) - chunk_runs, chunk_runs)
+        )
+        combined = (doc_index << doc_shift) | keys[window_start]
+        combined.sort()
+        distinct = _np.empty(total_valid, dtype=bool)
+        distinct[0] = True
+        _np.not_equal(combined[1:], combined[:-1], out=distinct[1:])
+        run_starts = _np.flatnonzero(distinct)
+        run_lengths = _np.diff(_np.append(run_starts, total_valid))
+        dup = run_lengths > 1
+        repeated = _np.bincount(
+            (combined[run_starts[dup]] >> doc_shift).astype(_np.int64),
+            weights=run_lengths[dup],
+            minlength=chunk_runs.size,
+        )
+        ratios[doc_slice] = repeated / _np.maximum(chunk_runs, 1)
+    return ratios
+
+
+#: documents longer than this skip the grouped kernel: per-row overhead is
+#: negligible for them anyway, and keeping them out bounds the grouped
+#: kernel's transient allocations (long-document workloads stay lean)
+_GROUPED_MAX_DOC_CHARS = 2048
+
+
+def char_repetition_ratios(texts: Sequence[str], n: int) -> list[float]:
+    """Char n-gram repetition ratio per text (vectorised Counter replacement).
+
+    Short/medium texts whose characters fit the shared 7-bit dense alphabet
+    are encoded once and processed by the grouped kernel (hundreds of
+    documents per sort).  Long texts and alphabet overflows fall back to a
+    per-document kernel (dense remap via ``np.unique``), and when even one
+    key cannot hold an n-gram, to the substring Counter.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if _np is None or not texts:
+        return [char_ngram_repetition_ratio(text, n) for text in texts]
+    grouped_ok = _DENSE_ID_BITS * n <= 56  # >= 8 doc bits for the group kernel
+    results: list = [None] * len(texts)
+    grouped_at: list[int] = []
+    grouped_texts: list[str] = []
+    for index, text in enumerate(texts):
+        if len(text) < n:
+            results[index] = 0.0
+        elif not grouped_ok or len(text) > _GROUPED_MAX_DOC_CHARS:
+            results[index] = _char_repetition_fallback(text, n)
+        else:
+            grouped_at.append(index)
+            grouped_texts.append(text)
+    if not grouped_texts:
+        return results
+    global _DENSE_IDS
+    if _DENSE_IDS is None:
+        _DENSE_IDS = _np.zeros(0x110000, dtype=_np.uint8)
+    try:
+        codepoints = _codepoints("\x00".join(grouped_texts))
+    except UnicodeEncodeError:
+        # unpaired surrogates somewhere in the batch: count in pure Python
+        for index, text in zip(grouped_at, grouped_texts):
+            results[index] = char_ngram_repetition_ratio(text, n)
+        return results
+    ids = _DENSE_IDS[codepoints]
+    unassigned = codepoints[ids == 0]
+    if unassigned.size:
+        # "\x00" stays id 0 — separator windows are never selected anyway
+        _assign_dense_ids(
+            cp for cp in _np.unique(unassigned).tolist() if cp != 0
+        )
+        ids = _DENSE_IDS[codepoints]
+    lengths = _np.fromiter(
+        (len(text) for text in grouped_texts), dtype=_np.int64, count=len(grouped_texts)
+    )
+    starts = _np.empty(len(grouped_texts), dtype=_np.int64)
+    starts[0] = 0
+    _np.cumsum(lengths[:-1] + 1, out=starts[1:])
+    # documents still holding id-0 characters overflowed the alphabet budget
+    zero_per_doc = _segment_sums(ids == 0, starts, lengths)
+    ratios = _grouped_char_repetition(ids, starts, lengths, n)
+    for position, index in enumerate(grouped_at):
+        if zero_per_doc[position] > 0:
+            results[index] = _char_repetition_fallback(grouped_texts[position], n)
+        else:
+            results[index] = float(ratios[position])
+    return results
+
+
+def _char_repetition_fallback(text: str, n: int) -> float:
+    """Per-document kernel for texts outside the shared dense alphabet."""
+    if len(text) < n:
+        return 0.0
+    try:
+        codepoints = _codepoints(text)
+    except UnicodeEncodeError:
+        return char_ngram_repetition_ratio(text, n)
+    unique, inverse = _np.unique(codepoints, return_inverse=True)
+    bits = max(1, (int(unique.size) - 1).bit_length())
+    if bits * n <= 64:
+        return _repetition_ratio_from_ids(inverse.astype(_np.uint64), int(unique.size), n)
+    return char_ngram_repetition_ratio(text, n)
+
+
+def token_repetition_ratios(token_lists: Sequence[Sequence[str]], n: int) -> list[float]:
+    """Token n-gram repetition ratio per token list.
+
+    Unlike characters, tokens would first need per-document interning to
+    dense ids — a per-token Python loop that costs as much as the tuple
+    Counter it would replace (measured at 50-400 tokens/doc) — so this simply
+    maps the shared helper; the batched win for word-level filters comes from
+    tokenising each batch once, not from the counting kernel.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [ngram_repetition_ratio(tokens, n) for tokens in token_lists]
+
+
+# ----------------------------------------------------------------------
+# Per-character predicate counting via lazily-filled codepoint class tables
+# ----------------------------------------------------------------------
+#: predicate name -> class table (0 = unclassified, 1 = match, 2 = no match;
+#: one byte per codepoint, filled lazily from the Python predicate)
+_CLASS_TABLES: dict[str, object] = {}
+
+
+def char_predicate_counts(texts: Sequence[str], name: str, predicate) -> list[int]:
+    """Count characters matching ``predicate`` per text, via a codepoint table.
+
+    The whole batch is encoded once (``\\x00``-joined), classified with one
+    table load, and per-text counts recovered with a single ``reduceat`` —
+    the Python predicate runs exactly once per distinct codepoint per
+    process.  Bit-identical to ``sum(1 for c in text if predicate(c))``.
+    """
+    if _np is None:
+        return [sum(1 for char in text if predicate(char)) for text in texts]
+    if not texts:
+        return []
+    table = _CLASS_TABLES.get(name)
+    if table is None:
+        table = _CLASS_TABLES[name] = _np.zeros(0x110000, dtype=_np.uint8)
+    try:
+        codepoints = _codepoints("\x00".join(texts))
+    except UnicodeEncodeError:
+        # unpaired surrogates somewhere in the batch: count in pure Python
+        return [sum(1 for char in text if predicate(char)) for text in texts]
+    classes = table[codepoints] if codepoints.size else _np.empty(0, _np.uint8)
+    if not classes.all():
+        for codepoint in _np.unique(codepoints[classes == 0]).tolist():
+            table[codepoint] = 1 if predicate(chr(codepoint)) else 2
+        classes = table[codepoints]
+    lengths = _np.fromiter((len(text) for text in texts), dtype=_np.int64, count=len(texts))
+    starts = _np.empty(len(texts), dtype=_np.int64)
+    starts[0] = 0
+    _np.cumsum(lengths[:-1] + 1, out=starts[1:])
+    return _segment_sums(classes == 1, starts, lengths).tolist()
+
+
+def special_character_counts(texts: Sequence[str]) -> list[int]:
+    """Special-character count per text (see :func:`char_predicate_counts`)."""
+    if _np is None:
+        return [special_character_count(text) for text in texts]
+    return char_predicate_counts(texts, "special", is_special_character)
+
+
+def digit_counts(texts: Sequence[str]) -> list[int]:
+    """Digit-character count per text (``str.isdigit`` semantics)."""
+    return char_predicate_counts(texts, "digit", str.isdigit)
+
+
+def whitespace_counts(texts: Sequence[str]) -> list[int]:
+    """Whitespace-character count per text (``str.isspace`` semantics)."""
+    return char_predicate_counts(texts, "whitespace", str.isspace)
+
+
+__all__ = [
+    "char_predicate_counts",
+    "char_repetition_ratios",
+    "digit_counts",
+    "special_character_counts",
+    "token_repetition_ratios",
+    "whitespace_counts",
+]

@@ -6,10 +6,11 @@ import hashlib
 import struct
 
 from repro.core.base_op import Deduplicator
+from repro.core.batch import get_text_column
 from repro.core.dataset import NestedDataset
 from repro.core.registry import OPERATORS
 from repro.core.sample import HashKeys
-from repro.ops.common.helper_funcs import get_ngrams, get_words_from_text, words_refinement
+from repro.ops.common.helper_funcs import get_words_from_text, words_refinement
 
 _MERSENNE_PRIME = (1 << 61) - 1
 _MAX_HASH = (1 << 32) - 1
@@ -18,6 +19,20 @@ _MAX_HASH = (1 << 32) - 1
 def _shingle_hash(shingle: tuple[str, ...]) -> int:
     digest = hashlib.md5(" ".join(shingle).encode("utf-8")).digest()
     return struct.unpack("<I", digest[:4])[0]
+
+
+def _bulk_shingle_hashes(keys: list[str]):
+    """Hash many joined shingles in one pass, returning a uint64 numpy array.
+
+    Equivalent to ``[_shingle_hash(...)]`` per shingle (same md5, same 4
+    little-endian lead bytes) but the digests are concatenated and decoded
+    with a single ``np.frombuffer`` instead of one ``struct.unpack`` each.
+    """
+    import numpy as np
+
+    md5 = hashlib.md5
+    blob = b"".join(md5(key.encode("utf-8")).digest()[:4] for key in keys)
+    return np.frombuffer(blob, dtype="<u4").astype(np.uint64)
 
 
 class _UnionFind:
@@ -83,27 +98,96 @@ class DocumentMinhashDeduplicator(Deduplicator):
             for _ in range(self.num_permutations)
         ]
 
-    def _signature(self, text: str) -> list[int]:
-        import numpy as np
+    def _shingle_keys(self, text: str) -> list[str]:
+        """Joined word shingles of a text (empty when the text has no words).
 
+        Builds the space-joined keys directly from word slices — identical to
+        ``" ".join`` over :func:`get_ngrams` tuples, without materialising the
+        tuples.
+        """
         words = words_refinement(
             get_words_from_text(text, lowercase=self.lowercase), lower_case=self.lowercase
         )
-        shingles = get_ngrams(words, self.ngram_size) or [tuple(words)] if words else []
-        if not shingles:
-            return [_MAX_HASH] * self.num_permutations
-        hashes = np.array([_shingle_hash(shingle) for shingle in shingles], dtype=np.uint64)
-        coeff_a = np.array([a for a, _ in self._permutations], dtype=np.uint64)
-        coeff_b = np.array([b for _, b in self._permutations], dtype=np.uint64)
-        # (P, S) matrix of permuted hashes, reduced to the row-wise minimum
+        if not words:
+            return []
+        total = len(words) - self.ngram_size + 1
+        if total <= 0:
+            return [" ".join(words)]
+        join = " ".join
+        size = self.ngram_size
+        return [join(words[index:index + size]) for index in range(total)]
+
+    #: unique-shingle cap per signature group; bounds the (U, P) permuted
+    #: matrix to a few MB regardless of the caller's batch size
+    _MAX_GROUP_SHINGLES = 1 << 11
+
+    def _signatures_batched(self, texts: list[str]) -> list[list[int]]:
+        """MinHash signatures for many texts with a bulk-hash pass per group.
+
+        All distinct shingles of a group of documents are md5-hashed once
+        (duplicate shingles — common in repetitive web text — are hashed a
+        single time), then each document's signature reduces its shingle-hash
+        vector under the shared permutations.  Signatures are bit-identical
+        to the per-shingle ``_shingle_hash`` loop this replaces.
+        """
+        signatures: list[list[int]] = []
+        group: list[list[str]] = []
+        unique: dict[str, int] = {}
+        for text in texts:
+            keys = self._shingle_keys(text)
+            group.append(keys)
+            for key in keys:
+                if key not in unique:
+                    unique[key] = len(unique)
+            if len(unique) >= self._MAX_GROUP_SHINGLES:
+                signatures.extend(self._signatures_group(group, unique))
+                group, unique = [], {}
+        if group:
+            signatures.extend(self._signatures_group(group, unique))
+        return signatures
+
+    def _signatures_group(self, doc_keys: list[list[str]], unique: dict[str, int]) -> list[list[int]]:
+        import numpy as np
+
+        hashes = _bulk_shingle_hashes(list(unique))
+        coeff_a = np.array([a for a, _ in self._permutations], dtype=np.uint64)[None, :]
+        coeff_b = np.array([b for _, b in self._permutations], dtype=np.uint64)[None, :]
+        # permute every *unique* shingle hash once for the whole group (row
+        # chunks bound the multiply temporaries); layout is (U, P) so a
+        # document's gather reads contiguous rows
+        permuted = np.empty((hashes.size, self.num_permutations), dtype=np.uint64)
+        chunk = 1 << 9
         with np.errstate(over="ignore"):
-            permuted = (coeff_a[:, None] * hashes[None, :] + coeff_b[:, None]) % _MERSENNE_PRIME
-        signature = (permuted.min(axis=1) & np.uint64(_MAX_HASH)).astype(np.uint64)
-        return [int(value) for value in signature]
+            for start in range(0, hashes.size, chunk):
+                stop = start + chunk
+                permuted[start:stop] = (
+                    hashes[start:stop, None] * coeff_a + coeff_b
+                ) % _MERSENNE_PRIME
+        mask = np.uint64(_MAX_HASH)
+        empty = [_MAX_HASH] * self.num_permutations
+        signatures: list[list[int]] = []
+        for keys in doc_keys:
+            if not keys:
+                signatures.append(list(empty))
+                continue
+            indices = np.fromiter((unique[key] for key in keys), dtype=np.intp, count=len(keys))
+            signature = (permuted[indices].min(axis=0) & mask).astype(np.uint64)
+            signatures.append([int(value) for value in signature])
+        return signatures
+
+    def _signature(self, text: str) -> list[int]:
+        return self._signatures_batched([text])[0]
 
     def compute_hash(self, sample: dict) -> dict:
         sample[HashKeys.minhash] = self._signature(self.get_text(sample))
         return sample
+
+    def compute_hash_batched(self, samples: dict) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().compute_hash_batched(samples)
+        samples[HashKeys.minhash] = self._signatures_batched(texts)
+        return samples
 
     @staticmethod
     def _estimated_jaccard(sig_a: list[int], sig_b: list[int]) -> float:

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from repro.core.base_op import Filter
+from repro.core.batch import ensure_stats_column, get_text_column, stats_column_view
 from repro.core.registry import OPERATORS
 from repro.core.sample import StatsKeys, ensure_stats
 from repro.ops.common.helper_funcs import ngram_repetition_ratio
+from repro.ops.common.vectorized import char_repetition_ratios
 
 
 @OPERATORS.register_module("character_repetition_filter")
@@ -38,6 +40,23 @@ class CharacterRepetitionFilter(Filter):
         text = self.get_text(sample)
         stats[StatsKeys.char_rep_ratio] = ngram_repetition_ratio(text, self.rep_len)
         return sample
+
+    def compute_stats_batched(self, samples: dict, context: dict | None = None) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().compute_stats_batched(samples, context=context)
+        ratios = char_repetition_ratios(texts, self.rep_len)
+        for stats, ratio in zip(ensure_stats_column(samples), ratios):
+            if StatsKeys.char_rep_ratio not in stats:
+                stats[StatsKeys.char_rep_ratio] = ratio
+        return samples
+
+    def process_batched(self, samples: dict) -> list[bool]:
+        min_ratio, max_ratio = self.min_ratio, self.max_ratio
+        return [
+            min_ratio <= stats.get(StatsKeys.char_rep_ratio, 0.0) <= max_ratio
+            for stats in stats_column_view(samples)
+        ]
 
     def process(self, sample: dict) -> bool:
         value = sample.get("__stats__", {}).get(StatsKeys.char_rep_ratio, 0.0)

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from repro.core.base_op import Filter
+from repro.core.batch import ensure_stats_column, get_text_column, stats_column_view
 from repro.core.registry import OPERATORS
 from repro.core.sample import StatsKeys, ensure_stats
+from repro.ops.common.vectorized import digit_counts
 
 
 @OPERATORS.register_module("digit_ratio_filter")
@@ -35,6 +37,23 @@ class DigitRatioFilter(Filter):
         digits = sum(1 for char in text if char.isdigit())
         stats[StatsKeys.digit_ratio] = digits / len(text) if text else 0.0
         return sample
+
+    def compute_stats_batched(self, samples: dict, context: dict | None = None) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().compute_stats_batched(samples, context=context)
+        counts = digit_counts(texts)
+        for stats, text, count in zip(ensure_stats_column(samples), texts, counts):
+            if StatsKeys.digit_ratio not in stats:
+                stats[StatsKeys.digit_ratio] = count / len(text) if text else 0.0
+        return samples
+
+    def process_batched(self, samples: dict) -> list[bool]:
+        min_ratio, max_ratio = self.min_ratio, self.max_ratio
+        return [
+            min_ratio <= stats.get(StatsKeys.digit_ratio, 0.0) <= max_ratio
+            for stats in stats_column_view(samples)
+        ]
 
     def process(self, sample: dict) -> bool:
         value = sample.get("__stats__", {}).get(StatsKeys.digit_ratio, 0.0)

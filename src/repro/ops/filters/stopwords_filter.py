@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from repro.core.base_op import Filter
-from repro.core.context import ContextKeys, get_or_compute
+from repro.core.batch import ensure_stats_column, get_text_column, stats_column_view
+from repro.core.context import ContextKeys, get_or_compute, get_or_compute_column
 from repro.core.registry import OPERATORS
 from repro.core.sample import StatsKeys, ensure_stats
 from repro.ops.common.helper_funcs import get_words_from_text, words_refinement
@@ -45,6 +46,31 @@ class StopwordsFilter(Filter):
         hits = sum(1 for word in refined if word in self.stopwords)
         stats[StatsKeys.stopwords_ratio] = hits / len(refined) if refined else 0.0
         return sample
+
+    def compute_stats_batched(self, samples: dict, context: dict | None = None) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().compute_stats_batched(samples, context=context)
+        words_column = get_or_compute_column(
+            context, ContextKeys.words, lambda: [get_words_from_text(t) for t in texts]
+        )
+        refined_column = get_or_compute_column(
+            context, ContextKeys.refined_words, lambda: [words_refinement(w) for w in words_column]
+        )
+        contains = self.stopwords.__contains__
+        for stats, refined in zip(ensure_stats_column(samples), refined_column):
+            if StatsKeys.stopwords_ratio in stats:
+                continue
+            hits = sum(map(contains, refined))
+            stats[StatsKeys.stopwords_ratio] = hits / len(refined) if refined else 0.0
+        return samples
+
+    def process_batched(self, samples: dict) -> list[bool]:
+        min_ratio = self.min_ratio
+        return [
+            stats.get(StatsKeys.stopwords_ratio, 0.0) >= min_ratio
+            for stats in stats_column_view(samples)
+        ]
 
     def process(self, sample: dict) -> bool:
         value = sample.get("__stats__", {}).get(StatsKeys.stopwords_ratio, 0.0)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import sys
 
 from repro.core.base_op import Filter
+from repro.core.batch import ensure_stats_column, get_text_column, stats_column_view
 from repro.core.registry import OPERATORS
 from repro.core.sample import StatsKeys, ensure_stats
 
@@ -30,6 +31,22 @@ class TextLengthFilter(Filter):
             return sample
         stats[StatsKeys.text_len] = len(self.get_text(sample))
         return sample
+
+    def compute_stats_batched(self, samples: dict, context: dict | None = None) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().compute_stats_batched(samples, context=context)
+        for stats, text in zip(ensure_stats_column(samples), texts):
+            if StatsKeys.text_len not in stats:
+                stats[StatsKeys.text_len] = len(text)
+        return samples
+
+    def process_batched(self, samples: dict) -> list[bool]:
+        min_len, max_len = self.min_len, self.max_len
+        return [
+            min_len <= stats.get(StatsKeys.text_len, 0) <= max_len
+            for stats in stats_column_view(samples)
+        ]
 
     def process(self, sample: dict) -> bool:
         value = sample.get("__stats__", {}).get(StatsKeys.text_len, 0)

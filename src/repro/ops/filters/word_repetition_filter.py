@@ -3,10 +3,16 @@
 from __future__ import annotations
 
 from repro.core.base_op import Filter
-from repro.core.context import ContextKeys, get_or_compute
+from repro.core.batch import ensure_stats_column, get_text_column, stats_column_view
+from repro.core.context import ContextKeys, get_or_compute, get_or_compute_column
 from repro.core.registry import OPERATORS
 from repro.core.sample import StatsKeys, ensure_stats
-from repro.ops.common.helper_funcs import get_words_from_text, ngram_repetition_ratio, words_refinement
+from repro.ops.common.helper_funcs import (
+    get_words_from_text,
+    ngram_repetition_ratio,
+    words_refinement,
+)
+from repro.ops.common.vectorized import token_repetition_ratios
 
 
 @OPERATORS.register_module("word_repetition_filter")
@@ -41,6 +47,29 @@ class WordRepetitionFilter(Filter):
         )
         stats[StatsKeys.word_rep_ratio] = ngram_repetition_ratio(refined, self.rep_len)
         return sample
+
+    def compute_stats_batched(self, samples: dict, context: dict | None = None) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().compute_stats_batched(samples, context=context)
+        words_column = get_or_compute_column(
+            context, ContextKeys.words, lambda: [get_words_from_text(t) for t in texts]
+        )
+        refined_column = get_or_compute_column(
+            context, ContextKeys.refined_words, lambda: [words_refinement(w) for w in words_column]
+        )
+        ratios = token_repetition_ratios(refined_column, self.rep_len)
+        for stats, ratio in zip(ensure_stats_column(samples), ratios):
+            if StatsKeys.word_rep_ratio not in stats:
+                stats[StatsKeys.word_rep_ratio] = ratio
+        return samples
+
+    def process_batched(self, samples: dict) -> list[bool]:
+        min_ratio, max_ratio = self.min_ratio, self.max_ratio
+        return [
+            min_ratio <= stats.get(StatsKeys.word_rep_ratio, 0.0) <= max_ratio
+            for stats in stats_column_view(samples)
+        ]
 
     def process(self, sample: dict) -> bool:
         value = sample.get("__stats__", {}).get(StatsKeys.word_rep_ratio, 0.0)

@@ -5,7 +5,8 @@ from __future__ import annotations
 import sys
 
 from repro.core.base_op import Filter
-from repro.core.context import ContextKeys, get_or_compute
+from repro.core.batch import ensure_stats_column, get_text_column, stats_column_view
+from repro.core.context import ContextKeys, get_or_compute, get_or_compute_column
 from repro.core.registry import OPERATORS
 from repro.core.sample import StatsKeys, ensure_stats
 from repro.ops.common.helper_funcs import get_words_from_text, words_refinement
@@ -39,6 +40,29 @@ class WordsNumFilter(Filter):
         )
         stats[StatsKeys.num_words] = len(refined)
         return sample
+
+    def compute_stats_batched(self, samples: dict, context: dict | None = None) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().compute_stats_batched(samples, context=context)
+        # the batch is tokenised once; fused members reuse the shared columns
+        words_column = get_or_compute_column(
+            context, ContextKeys.words, lambda: [get_words_from_text(t) for t in texts]
+        )
+        refined_column = get_or_compute_column(
+            context, ContextKeys.refined_words, lambda: [words_refinement(w) for w in words_column]
+        )
+        for stats, refined in zip(ensure_stats_column(samples), refined_column):
+            if StatsKeys.num_words not in stats:
+                stats[StatsKeys.num_words] = len(refined)
+        return samples
+
+    def process_batched(self, samples: dict) -> list[bool]:
+        min_num, max_num = self.min_num, self.max_num
+        return [
+            min_num <= stats.get(StatsKeys.num_words, 0) <= max_num
+            for stats in stats_column_view(samples)
+        ]
 
     def process(self, sample: dict) -> bool:
         value = sample.get("__stats__", {}).get(StatsKeys.num_words, 0)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import unicodedata
 
 from repro.core.base_op import Mapper
+from repro.core.batch import get_text_column, set_text_column
 from repro.core.registry import OPERATORS
 
 # Common mojibake sequences produced by decoding UTF-8 bytes as latin-1.
@@ -13,6 +14,18 @@ MOJIBAKE_MAP = {
     "â€¦": "...", "Ã©": "é", "Ã¨": "è", "Ã¼": "ü", "Ã¶": "ö", "Ã¤": "ä",
     "Ã±": "ñ", "Ã§": "ç", "Â ": " ", "Â·": "·", "â€˜": "'",
 }
+
+#: every mojibake sequence starts with one of these lead bytes-as-latin-1
+#: characters; clean texts skip the replacement loop entirely
+_MOJIBAKE_LEADS = tuple({broken[0] for broken in MOJIBAKE_MAP})
+
+
+def _fix_text(text: str, normalization: str) -> str:
+    if any(lead in text for lead in _MOJIBAKE_LEADS):
+        for broken, fixed in MOJIBAKE_MAP.items():
+            if broken in text:
+                text = text.replace(broken, fixed)
+    return unicodedata.normalize(normalization, text)
 
 
 @OPERATORS.register_module("fix_unicode_mapper")
@@ -32,9 +45,13 @@ class FixUnicodeMapper(Mapper):
         self.normalization = normalization
 
     def process(self, sample: dict) -> dict:
-        text = self.get_text(sample)
-        for broken, fixed in MOJIBAKE_MAP.items():
-            if broken in text:
-                text = text.replace(broken, fixed)
-        text = unicodedata.normalize(self.normalization, text)
-        return self.set_text(sample, text)
+        return self.set_text(sample, _fix_text(self.get_text(sample), self.normalization))
+
+    def process_batched(self, samples: dict) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().process_batched(samples)
+        normalization = self.normalization
+        return set_text_column(
+            samples, self.text_key, [_fix_text(text, normalization) for text in texts]
+        )

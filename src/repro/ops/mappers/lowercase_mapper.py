@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.core.base_op import Mapper
+from repro.core.batch import get_text_column, set_text_column
 from repro.core.registry import OPERATORS
 
 
@@ -15,3 +16,9 @@ class LowercaseMapper(Mapper):
 
     def process(self, sample: dict) -> dict:
         return self.set_text(sample, self.get_text(sample).lower())
+
+    def process_batched(self, samples: dict) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().process_batched(samples)
+        return set_text_column(samples, self.text_key, [text.lower() for text in texts])

@@ -3,8 +3,14 @@
 from __future__ import annotations
 
 from repro.core.base_op import Mapper
+from repro.core.batch import get_text_column, set_text_column
 from repro.core.registry import OPERATORS
 from repro.ops.common.special_characters import VARIOUS_WHITESPACES
+
+#: single-pass translation table equivalent to the per-character replacement
+_WHITESPACE_TABLE = str.maketrans(
+    {char: " " for char in VARIOUS_WHITESPACES if char != "\n"}
+)
 
 
 @OPERATORS.register_module("whitespace_normalization_mapper")
@@ -21,7 +27,13 @@ class WhitespaceNormalizationMapper(Mapper):
 
     def process(self, sample: dict) -> dict:
         text = self.get_text(sample)
-        normalized = "".join(
-            " " if char in VARIOUS_WHITESPACES and char != "\n" else char for char in text
+        return self.set_text(sample, text.translate(_WHITESPACE_TABLE).strip())
+
+    def process_batched(self, samples: dict) -> dict:
+        texts = get_text_column(samples, self.text_key)
+        if texts is None:
+            return super().process_batched(samples)
+        table = _WHITESPACE_TABLE
+        return set_text_column(
+            samples, self.text_key, [text.translate(table).strip() for text in texts]
         )
-        return self.set_text(sample, normalized.strip())

@@ -150,33 +150,62 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+    def _resolve(self, op: Any) -> int | tuple | None:
+        """Worker-side reference for ``op``: its index, or the member-index
+        tuple of a :class:`~repro.core.fusion.FusedFilter` whose members are
+        all pool-resident (fused plans assembled *after* pool construction,
+        e.g. by ``fuse_operators`` over a shared pool's op list)."""
+        index = self._op_index.get(id(op))
+        if index is not None:
+            return index
+        from repro.core.fusion import FusedFilter
+
+        if isinstance(op, FusedFilter):
+            members = [self._op_index.get(id(member)) for member in op.fused_filters]
+            if members and all(index is not None for index in members):
+                return tuple(members)
+        return None
+
     def holds(self, op: Any) -> bool:
-        """True when ``op`` is resident in this (open) pool."""
-        return not self._closed and id(op) in self._op_index
+        """True when ``op`` is resident in this (open) pool.
+
+        A ``FusedFilter`` counts as resident when every member filter is —
+        workers assemble (and cache) an equivalent fused op over their own
+        resident members, so post-fusion plans never silently fall back to
+        in-process serial execution.
+        """
+        return not self._closed and self._resolve(op) is not None
 
     def accepts(self, function: Callable, kind: str = "map", batched: bool = False) -> bool:
         """True when ``function`` can be dispatched to the pool as ``kind``.
 
         ``kind`` is the caller's dispatch intent — ``"map"`` (row transform or
-        stats annotation, served by :meth:`map_rows`) or ``"filter"`` (boolean
-        keep/drop decision, served by :meth:`flag_rows`) — and ``batched``
-        mirrors the caller's ``batched=`` flag.  Both matter: approving a
-        method for the wrong intent (or a per-sample method for a batched
-        call) would make the pool execute *different* worker code than the
-        serial path runs for the same call, so mismatches fall back to serial.
+        stats annotation, served by :meth:`map_rows`), ``"filter"`` (boolean
+        keep/drop decision, served by :meth:`flag_rows`), ``"map_batches"``
+        (columnar batch transform, served by :meth:`map_column_batches`) or
+        ``"filter_batches"`` (columnar keep flags, served by
+        :meth:`flag_column_batches`) — and ``batched`` mirrors the caller's
+        ``batched=`` flag on the row-oriented kinds.  Intent and method must
+        agree: approving a method for the wrong intent would make the pool
+        execute *different* worker code than the serial path runs for the
+        same call, so mismatches fall back to serial.
         """
         owner = getattr(function, "__self__", None)
-        if self._closed or owner is None or id(owner) not in self._op_index:
+        if self._closed or owner is None or self._resolve(owner) is None:
             return False
         name = getattr(function, "__name__", "")
         if kind == "filter":
             return not batched and isinstance(owner, Filter) and name == "process"
         if kind == "map":
-            if name == "process_batched":
-                return batched
             if name == "compute_stats":
                 return not batched
             return not batched and name == "process" and isinstance(owner, Mapper)
+        if kind == "map_batches":
+            if name == "process_batched":
+                return isinstance(owner, Mapper)
+            return name in ("compute_stats_batched", "compute_hash_batched")
+        if kind == "filter_batches":
+            return isinstance(owner, Filter) and name == "process_batched"
         return False
 
     def _dispatch(self, tasks: list[tuple[str, int, list[dict]]]) -> list[tuple[Any, float]]:
@@ -193,51 +222,94 @@ class WorkerPool:
         size = chunk_size or self.chunk_size or default_chunk_size(len(rows), self.num_workers)
         return chunk_rows(rows, size)
 
-    def map_rows(
-        self,
-        function: Callable,
-        rows: list[dict],
-        batched: bool = False,
-        batch_size: int = 1000,
-    ) -> list[dict]:
-        """Run a Mapper method (or ``compute_stats``) over rows via the pool.
+    def map_rows(self, function: Callable, rows: list[dict]) -> list[dict]:
+        """Run a per-row Mapper method (or ``compute_stats``) over rows via the pool.
 
-        The task kind is derived from the bound method itself — never from
-        the ``batched`` flag — so the workers always execute the same method
-        the serial path would; a flag that contradicts the method is an error.
-        Chunks preserve row order; for batched mappers the chunk size equals
-        ``batch_size`` so batch boundaries match the serial execution exactly.
+        The task kind is derived from the bound method itself, so the workers
+        always execute the same method the serial path would (columnar
+        ``process_batched`` dispatch is served by :meth:`map_column_batches`
+        instead).  Chunks preserve row order.
         """
         owner = getattr(function, "__self__", None)
-        index = self._op_index.get(id(owner))
-        if index is None:
-            raise ValueError(f"{function!r} is not a method of a pool-resident op")
+        if owner is None:
+            raise ValueError(f"{function!r} is not a bound op method")
+        op_ref = self._resolve_or_raise(owner)
         method = getattr(function, "__name__", "")
-        if method == "process_batched":
-            if not batched:
-                raise ValueError("process_batched requires batched=True")
-            kind, chunks = "map_batched", chunk_rows(rows, max(1, batch_size))
-        elif batched:
-            raise ValueError(f"batched map requires process_batched, got {method!r}")
-        elif method == "compute_stats":
+        if method == "compute_stats":
             kind, chunks = "stats", self._chunks(rows)
         elif method == "process" and isinstance(owner, Mapper):
             kind, chunks = "map", self._chunks(rows)
         else:
             raise ValueError(f"cannot map {method!r} of {type(owner).__name__} over rows")
         merged: list[dict] = []
-        for payload, _cpu in self._dispatch([(kind, index, chunk) for chunk in chunks]):
+        for payload, _cpu in self._dispatch([(kind, op_ref, chunk) for chunk in chunks]):
             merged.extend(payload)
         return merged
+
+    def _resolve_or_raise(self, op: Any) -> int | tuple:
+        op_ref = self._resolve(op)
+        if op_ref is None:
+            raise ValueError(f"{op!r} is not resident in this pool")
+        return op_ref
+
+    def map_column_batches(self, function: Callable, batches: list[dict]) -> list[dict]:
+        """Run a columnar batch method over pre-sliced column batches.
+
+        ``function`` must be a pool-resident op's ``process_batched``,
+        ``compute_stats_batched`` or ``compute_hash_batched`` bound method;
+        each batch becomes one task, so the batch boundaries are exactly the
+        caller's (serial-path) boundaries.  Returns the transformed batches
+        in order.
+        """
+        owner = getattr(function, "__self__", None)
+        if owner is None:
+            raise ValueError(f"{function!r} is not a bound op method")
+        op_ref = self._resolve_or_raise(owner)
+        method = getattr(function, "__name__", "")
+        kinds = {
+            "process_batched": "map_cols",
+            "compute_stats_batched": "stats_cols",
+            "compute_hash_batched": "hash_cols",
+        }
+        if method not in kinds or (method == "process_batched" and not isinstance(owner, Mapper)):
+            raise ValueError(f"cannot dispatch {method!r} of {type(owner).__name__} as a column map")
+        tasks = [(kinds[method], op_ref, batch) for batch in batches]
+        return [payload for payload, _cpu in self._dispatch(tasks)]
+
+    def flag_column_batches(self, function: Callable, batches: list[dict]) -> list[list[bool]]:
+        """Evaluate a Filter's batched keep/drop flags over column batches."""
+        owner = getattr(function, "__self__", None)
+        if owner is None or not isinstance(owner, Filter):
+            raise ValueError(f"{function!r} is not a method of a pool-resident Filter")
+        op_ref = self._resolve_or_raise(owner)
+        if getattr(function, "__name__", "") != "process_batched":
+            raise ValueError("flag_column_batches dispatches process_batched only")
+        tasks = [("flags_cols", op_ref, batch) for batch in batches]
+        return [payload for payload, _cpu in self._dispatch(tasks)]
+
+    def filter_column_batches(
+        self, op: Filter, batches: list[dict], full_stats: bool = False
+    ) -> list[tuple[dict, list[bool]]]:
+        """Run a Filter's batched stats + decision over column batches.
+
+        Returns one ``(batch, keep_flags)`` pair per input batch.  With
+        ``full_stats`` the batch contains *every* row stat-annotated (for
+        tracing); otherwise only the surviving rows come back
+        (short-circuiting ``filter_batched``, the fast path).
+        """
+        op_ref = self._resolve_or_raise(op)
+        kind = "filter_cols_full" if full_stats else "filter_cols"
+        tasks = [(kind, op_ref, batch) for batch in batches]
+        return [payload for payload, _cpu in self._dispatch(tasks)]
 
     def flag_rows(self, function: Callable, rows: list[dict]) -> list[bool]:
         """Evaluate a Filter's boolean ``process`` over rows via the pool."""
         owner = getattr(function, "__self__", None)
-        index = self._op_index.get(id(owner))
-        if index is None or not isinstance(owner, Filter):
+        if owner is None or not isinstance(owner, Filter):
             raise ValueError(f"{function!r} is not a method of a pool-resident Filter")
+        op_ref = self._resolve_or_raise(owner)
         flags: list[bool] = []
-        for payload, _cpu in self._dispatch([("flags", index, chunk) for chunk in self._chunks(rows)]):
+        for payload, _cpu in self._dispatch([("flags", op_ref, chunk) for chunk in self._chunks(rows)]):
             flags.extend(payload)
         return flags
 
@@ -247,12 +319,10 @@ class WorkerPool:
         Returns the stat-annotated rows and the parallel list of keep flags,
         mirroring the serial :meth:`repro.core.base_op.Filter.run` loop.
         """
-        index = self._op_index.get(id(op))
-        if index is None:
-            raise ValueError(f"{op!r} is not resident in this pool")
+        op_ref = self._resolve_or_raise(op)
         stat_rows: list[dict] = []
         keep_flags: list[bool] = []
-        for payload, _cpu in self._dispatch([("filter", index, chunk) for chunk in self._chunks(rows)]):
+        for payload, _cpu in self._dispatch([("filter", op_ref, chunk) for chunk in self._chunks(rows)]):
             chunk_stats, chunk_flags = payload
             stat_rows.extend(chunk_stats)
             keep_flags.extend(chunk_flags)
@@ -300,28 +370,36 @@ _SHARED_POOLS: "OrderedDict[tuple, WorkerPool]" = OrderedDict()
 MAX_SHARED_POOLS = 8
 
 
-def _pool_key(num_workers: int, process_list: list, start_method: str) -> tuple:
+def _pool_key(num_workers: int, process_list: list, start_method: str, op_fusion: bool) -> tuple:
     signature = json.dumps(process_list, sort_keys=True, default=repr)
-    return (num_workers, start_method, signature)
+    return (num_workers, start_method, op_fusion, signature)
 
 
 def get_shared_pool(
-    num_workers: int, process_list: list, start_method: str | None = None
+    num_workers: int,
+    process_list: list,
+    start_method: str | None = None,
+    op_fusion: bool = False,
 ) -> WorkerPool:
     """Return a live shared pool for ``(num_workers, process_list)``, creating it once.
 
     Repeated callers with the same recipe and worker count — e.g. every run of
     a scalability sweep, or the Ray-like and Beam-like runners on the same
     recipe — reuse the same worker processes instead of forking fresh ones.
+    ``op_fusion`` registers the post-fusion plan, so a caller executing a
+    fused op list gets a pool whose residents are the fused operators.
     The registry keeps at most :data:`MAX_SHARED_POOLS` live pools, closing
     the least recently used one when a new pool would exceed the bound.
     """
     method = resolve_start_method(start_method)
-    key = _pool_key(num_workers, process_list, method)
+    key = _pool_key(num_workers, process_list, method, op_fusion)
     pool = _SHARED_POOLS.get(key)
     if pool is None or not pool.alive:
         pool = WorkerPool(
-            num_workers, process_list=list(process_list), start_method=method
+            num_workers,
+            process_list=list(process_list),
+            op_fusion=op_fusion,
+            start_method=method,
         )
         _SHARED_POOLS[key] = pool
     _SHARED_POOLS.move_to_end(key)

@@ -7,10 +7,17 @@ unigram LM) exactly once, at pool start-up, instead of once per dispatched
 task — the root cause of the Figure-10 regression in the original fork-per-run
 implementation.
 
-Tasks are small tuples ``(kind, op_index, rows)``; operators are referenced by
-index into the worker-resident list, so only row chunks cross the process
-boundary.  Every task returns ``(payload, cpu_seconds, pid)`` where
-``cpu_seconds`` is the CPU time this worker spent executing the operator code
+Tasks are small tuples ``(kind, op_ref, payload)``; operators are referenced
+by index into the worker-resident list — or, for fused filters assembled
+after pool construction, by a *tuple* of member indices (the worker builds
+and caches an equivalent ``FusedFilter`` over its resident members).  Row
+tasks carry row-dict chunks; the batched column tasks (``map_cols``,
+``stats_cols``, ``hash_cols``, ``filter_cols``…) carry column batches
+(``dict[str, list]``), so the per-row dict construction never happens on
+either side of the process boundary.
+
+Every task returns ``(payload, cpu_seconds, pid)`` where ``cpu_seconds`` is
+the CPU time this worker spent executing the operator code
 (:func:`time.process_time`), excluding IPC serialisation, and ``pid`` is the
 process id of the worker that actually executed the task.  Callers use the
 CPU time to attribute cost to simulated cluster nodes independently of how
@@ -26,14 +33,13 @@ import time
 from typing import Any, Sequence
 
 from repro.core.base_op import Filter, Mapper
+from repro.core.batch import batch_to_rows, rows_to_batch
 
 #: operator list of this worker process, set once by :func:`initialize_worker`
 _WORKER_OPS: list | None = None
 
-#: batch size for batched Mappers inside :func:`apply_sample_ops`; matches
-#: the default ``batch_size`` of :meth:`repro.core.dataset.NestedDataset.map`
-#: so batch boundaries line up with the serial Executor path within a chunk
-DEFAULT_BATCH_SIZE = 1000
+#: worker-side cache of FusedFilters referenced by member-index tuples
+_FUSED_CACHE: dict[tuple, Any] = {}
 
 
 def initialize_worker(ops: Sequence | None, process_list: list | None, op_fusion: bool) -> None:
@@ -53,6 +59,7 @@ def initialize_worker(ops: Sequence | None, process_list: list | None, op_fusion
 
         ops = build_ops(process_list, op_fusion=op_fusion)
     _WORKER_OPS = list(ops)
+    _FUSED_CACHE.clear()
     # warm the shared assets (word lists, unigram LM) so the first dispatched
     # chunk is not billed for lazy loading — see ops.common.preload_assets
     from repro.ops.common import preload_assets
@@ -77,72 +84,97 @@ def chunk_rows(rows: Sequence[dict], chunk_size: int) -> list[list[dict]]:
 def apply_sample_ops(ops: Sequence, rows: list[dict]) -> list[dict]:
     """Run a list of sample-level ops over rows in a single fused pass.
 
-    Mappers transform rows; Filters compute stats and drop rejected rows
-    immediately.  This is the common code path of the inline (``np=1`` /
-    single-node) execution and the worker-side ``pipeline`` task.  Output
-    equivalence with the serial Executor is guaranteed for per-sample ops.
-    Batched Mappers are fed :data:`DEFAULT_BATCH_SIZE`-row batches *local to
-    this chunk*, so their batch boundaries coincide with the serial path only
-    up to chunk/partition edges — a batched mapper whose output depends on
-    batch composition is not safe to run partitioned.
+    The rows are converted to one column batch, every op executes its batched
+    path over it (Mappers transform, Filters compute stats and drop rejected
+    rows immediately via the short-circuiting ``filter_batched``), and the
+    surviving batch is materialised back to rows.  This is the common code
+    path of the inline (``np=1`` / single-node) execution and the worker-side
+    ``pipeline`` task.  Output equivalence with the serial Executor is
+    guaranteed for per-sample ops; a batched op whose output depends on batch
+    composition is not safe to run partitioned, because here the batch spans
+    the whole chunk rather than the op's own ``batch_size``.
     """
-    current = [dict(row) for row in rows]
+    batch = rows_to_batch(rows)
     for op in ops:
         if isinstance(op, Mapper):
-            if op._batched:
-                batched: list[dict] = []
-                for start in range(0, len(current), DEFAULT_BATCH_SIZE):
-                    batched.extend(op.process_batched(current[start:start + DEFAULT_BATCH_SIZE]))
-                current = batched
-            else:
-                current = [op.process(sample) for sample in current]
+            batch = op.process_batched(batch)
         elif isinstance(op, Filter):
-            surviving = []
-            for sample in current:
-                sample = op.compute_stats(sample)
-                if op.process(sample):
-                    surviving.append(sample)
-            current = surviving
+            batch, _flags = op.filter_batched(batch)
         else:
             raise TypeError(f"apply_sample_ops only handles Mappers/Filters, got {op!r}")
-    return current
+    return batch_to_rows(batch)
 
 
-def run_task(task: tuple[str, int, list[dict]]) -> tuple[Any, float, int]:
+def _resolve_worker_op(op_ref: int | tuple) -> Any:
+    """Look up a task's operator: an index, or a member-index tuple (fused)."""
+    assert _WORKER_OPS is not None
+    if isinstance(op_ref, tuple):
+        fused = _FUSED_CACHE.get(op_ref)
+        if fused is None:
+            from repro.core.fusion import FusedFilter
+
+            fused = FusedFilter([_WORKER_OPS[index] for index in op_ref])
+            _FUSED_CACHE[op_ref] = fused
+        return fused
+    return _WORKER_OPS[op_ref]
+
+
+def run_task(task: tuple[str, Any, Any]) -> tuple[Any, float, int]:
     """Execute one dispatched task against the worker-resident operator list.
 
-    Supported kinds:
+    Row-chunk kinds (payload: list of row dicts):
 
     * ``"map"`` — ``op.process`` over each row; payload: transformed rows.
-    * ``"map_batched"`` — ``op.process_batched`` over the chunk as one batch.
     * ``"stats"`` — ``op.compute_stats`` over each row; payload: stat rows.
     * ``"flags"`` — ``bool(op.process(row))`` per row; payload: keep flags.
     * ``"filter"`` — stats then decision; payload: ``(stat_rows, keep_flags)``.
     * ``"pipeline"`` — the full worker op list via :func:`apply_sample_ops`
-      (``op_index`` is ignored); payload: surviving rows.
+      (``op_ref`` is ignored); payload: surviving rows.
+
+    Column-batch kinds (payload: ``dict[str, list]``):
+
+    * ``"map_cols"`` — ``op.process_batched``; payload: the mapped batch.
+    * ``"stats_cols"`` — ``op.compute_stats_batched``; payload: stat batch.
+    * ``"hash_cols"`` — ``op.compute_hash_batched``; payload: hashed batch.
+    * ``"filter_cols"`` — ``op.filter_batched`` (short-circuit); payload:
+      ``(surviving_batch, keep_flags)``.
+    * ``"filter_cols_full"`` — stats for *every* row then decision; payload:
+      ``(stat_batch, keep_flags)`` (used when a tracer needs rejected rows).
+    * ``"flags_cols"`` — ``op.process_batched`` flags only; payload: flags.
 
     Returns ``(payload, cpu_seconds, pid)``; the pid identifies the worker
     process that served the task.
     """
-    kind, op_index, rows = task
+    kind, op_ref, payload_in = task
     if _WORKER_OPS is None:
         raise RuntimeError("worker not initialized; WorkerPool must set the op list")
     start_cpu = time.process_time()
     if kind == "pipeline":
-        payload: Any = apply_sample_ops(_WORKER_OPS, rows)
+        payload: Any = apply_sample_ops(_WORKER_OPS, payload_in)
     else:
-        op = _WORKER_OPS[op_index]
+        op = _resolve_worker_op(op_ref)
         if kind == "map":
-            payload = [op.process(dict(row)) for row in rows]
-        elif kind == "map_batched":
-            payload = op.process_batched([dict(row) for row in rows])
+            payload = [op.process(dict(row)) for row in payload_in]
         elif kind == "stats":
-            payload = [op.compute_stats(dict(row)) for row in rows]
+            payload = [op.compute_stats(dict(row)) for row in payload_in]
         elif kind == "flags":
-            payload = [bool(op.process(dict(row))) for row in rows]
+            payload = [bool(op.process(dict(row))) for row in payload_in]
         elif kind == "filter":
-            stat_rows = [op.compute_stats(dict(row)) for row in rows]
+            stat_rows = [op.compute_stats(dict(row)) for row in payload_in]
             payload = (stat_rows, [bool(op.process(row)) for row in stat_rows])
+        elif kind == "map_cols":
+            payload = op.process_batched(dict(payload_in))
+        elif kind == "stats_cols":
+            payload = op.compute_stats_batched(dict(payload_in))
+        elif kind == "hash_cols":
+            payload = op.compute_hash_batched(dict(payload_in))
+        elif kind == "filter_cols":
+            payload = op.filter_batched(dict(payload_in))
+        elif kind == "filter_cols_full":
+            batch = op.compute_stats_batched(dict(payload_in))
+            payload = (batch, op.process_batched(batch))
+        elif kind == "flags_cols":
+            payload = [bool(flag) for flag in op.process_batched(dict(payload_in))]
         else:
             raise ValueError(f"unknown task kind {kind!r}")
     return payload, time.process_time() - start_cpu, os.getpid()

@@ -173,6 +173,87 @@ class TestFingerprint:
         assert make_dataset(3).num_bytes() > 0
 
 
+class TestColumnBatches:
+    def test_iter_batches_slices_in_order(self):
+        dataset = make_dataset(7)
+        batches = list(dataset.iter_batches(3))
+        assert [len(next(iter(batch.values()))) for batch in batches] == [3, 3, 1]
+        from repro.core.batch import batch_concat
+
+        assert batch_concat(batches) == dataset.to_dict()
+
+    def test_iter_batches_rejects_bad_size(self):
+        with pytest.raises(DatasetError):
+            list(make_dataset(3).iter_batches(0))
+
+    def test_from_batches_unions_columns_with_none_fill(self):
+        merged = NestedDataset.from_batches(
+            [{"text": ["a", "b"]}, {"text": ["c"], "extra": [1]}]
+        )
+        assert merged.to_list() == [
+            {"text": "a", "extra": None},
+            {"text": "b", "extra": None},
+            {"text": "c", "extra": 1},
+        ]
+
+    def test_from_batches_zero_rows_matches_from_list_empty(self):
+        assert NestedDataset.from_batches([{"text": []}]).to_dict() == {}
+        assert NestedDataset.from_batches([]).to_dict() == {}
+
+    def test_map_batches_matches_map(self):
+        dataset = make_dataset(10)
+        def upper_batch(batch):
+            batch["text"] = [text.upper() for text in batch["text"]]
+            return batch
+
+        fingerprint = "shared-fp"
+        batched = dataset.map_batches(upper_batch, batch_size=4, new_fingerprint=fingerprint)
+        per_row = dataset.map(
+            lambda row: dict(row, text=row["text"].upper()), new_fingerprint=fingerprint
+        )
+        assert batched.to_list() == per_row.to_list()
+        assert batched.fingerprint == per_row.fingerprint
+
+    def test_map_batches_can_change_row_count(self):
+        dataset = make_dataset(4)
+        halved = dataset.map_batches(
+            lambda batch: {key: values[:1] for key, values in batch.items()}, batch_size=2
+        )
+        assert len(halved) == 2
+
+    def test_map_batches_rejects_non_dict_result(self):
+        with pytest.raises(DatasetError):
+            make_dataset(3).map_batches(lambda batch: [batch])
+
+    def test_filter_batches_matches_filter(self):
+        dataset = make_dataset(9)
+        keep = lambda text: len(text) % 2 == 0
+        fingerprint = "shared-fp"
+        batched = dataset.filter_batches(
+            lambda batch: [keep(text) for text in batch["text"]],
+            batch_size=4,
+            new_fingerprint=fingerprint,
+        )
+        per_row = dataset.filter(lambda row: keep(row["text"]), new_fingerprint=fingerprint)
+        assert batched.to_list() == per_row.to_list()
+        assert batched.fingerprint == per_row.fingerprint
+
+    def test_batches_share_cells_but_not_columns(self):
+        dataset = make_dataset(4)
+        batch = next(dataset.iter_batches(4))
+        batch["text"] = ["changed"] * 4
+        assert dataset[0]["text"] != "changed"
+
+    def test_derive_fingerprint_is_incremental_and_stable(self):
+        dataset = make_dataset(5)
+        first = dataset.derive_fingerprint("some_op", {"a": 1})
+        assert first == dataset.derive_fingerprint("some_op", {"a": 1})
+        assert first != dataset.derive_fingerprint("some_op", {"a": 2})
+        assert first != dataset.derive_fingerprint("other_op", {"a": 1})
+        other = NestedDataset.from_list([{"text": "entirely different"}])
+        assert first != other.derive_fingerprint("some_op", {"a": 1})
+
+
 # ----------------------------------------------------------------------
 # Property-based tests
 # ----------------------------------------------------------------------

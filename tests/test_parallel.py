@@ -223,9 +223,13 @@ class TestDatasetPoolHandle:
             assert pool.accepts(mapper.process, kind="map")
             assert pool.accepts(text_filter.compute_stats, kind="map")
             assert not pool.accepts(text_filter.process, kind="map")
-            # the batched flag must agree with the bound method
-            assert pool.accepts(mapper.process_batched, kind="map", batched=True)
-            assert not pool.accepts(mapper.process_batched, kind="map", batched=False)
+            # columnar batch methods dispatch via the *_batches kinds only
+            assert pool.accepts(mapper.process_batched, kind="map_batches")
+            assert pool.accepts(text_filter.compute_stats_batched, kind="map_batches")
+            assert not pool.accepts(mapper.process_batched, kind="map")
+            assert not pool.accepts(mapper.process, kind="map_batches")
+            assert pool.accepts(text_filter.process_batched, kind="filter_batches")
+            assert not pool.accepts(mapper.process_batched, kind="filter_batches")
             assert not pool.accepts(mapper.process, kind="map", batched=True)
             assert pool.holds(text_filter) and not pool.holds(object())
 
@@ -238,6 +242,93 @@ class TestDatasetPoolHandle:
             pooled = corpus.filter(text_filter.compute_stats, pool=pool)
         serial = corpus.filter(text_filter.compute_stats)
         assert pooled.to_list() == serial.to_list()
+
+
+class TestBatchedPoolDispatch:
+    def test_map_column_batches_matches_serial(self, corpus):
+        ops = load_ops(PROCESS)
+        mapper = ops[0]
+        serial = mapper.run(corpus)
+        with WorkerPool(2, ops=ops) as pool:
+            pooled = mapper.run(corpus, pool=pool)
+            assert pool.last_served_pids  # really executed out-of-process
+        assert pooled.to_list() == serial.to_list()
+        assert pooled.fingerprint == serial.fingerprint
+
+    def test_filter_column_batches_matches_serial(self, corpus):
+        ops = load_ops(PROCESS)
+        text_filter = ops[2]
+        serial = text_filter.run(corpus)
+        with WorkerPool(2, ops=ops) as pool:
+            pooled = text_filter.run(corpus, pool=pool)
+            assert pool.last_served_pids
+        assert pooled.to_list() == serial.to_list()
+        assert pooled.fingerprint == serial.fingerprint
+
+    def test_fused_filter_over_resident_members_uses_pool(self, corpus):
+        """Regression: a FusedFilter assembled *after* pool construction used
+        to fail the identity check in pool.holds() and silently fall back to
+        in-process serial execution."""
+        from repro.core.fusion import FusedFilter, fuse_operators
+
+        ops = load_ops(
+            PROCESS + [{"stopwords_filter": {"min_ratio": 0.0}}, {"flagged_words_filter": {"max_ratio": 1.0}}]
+        )
+        fused_plan = fuse_operators(ops)
+        fused = next(op for op in fused_plan if isinstance(op, FusedFilter))
+        serial = fused.run(corpus)
+        with WorkerPool(2, ops=ops) as pool:  # pool holds the UNfused seed list
+            assert pool.holds(fused)
+            pooled = fused.run(corpus, pool=pool)
+            assert pool.last_served_pids  # dispatched, not the serial fallback
+        assert pooled.to_list() == serial.to_list()
+        assert pooled.fingerprint == serial.fingerprint
+
+    def test_fused_filter_per_row_methods_dispatch_too(self, corpus):
+        """accepts() approving a fused method must mean row dispatch succeeds."""
+        from repro.core.fusion import FusedFilter, fuse_operators
+
+        ops = load_ops(
+            PROCESS + [{"stopwords_filter": {"min_ratio": 0.0}}, {"flagged_words_filter": {"max_ratio": 1.0}}]
+        )
+        fused = next(op for op in fuse_operators(ops) if isinstance(op, FusedFilter))
+        with WorkerPool(2, ops=ops) as pool:
+            assert pool.accepts(fused.compute_stats, kind="map")
+            pooled = corpus.map(fused.compute_stats, pool=pool)
+            assert pool.last_served_pids
+            assert pool.accepts(fused.process, kind="filter")
+            corpus.filter(fused.process, pool=pool)
+            assert pool.last_served_pids
+        serial = corpus.map(fused.compute_stats)
+        assert pooled.to_list() == serial.to_list()
+
+    def test_deduplicator_hash_stage_uses_pool(self, corpus):
+        ops = load_ops([{"document_minhash_deduplicator": {}}])
+        dedup = ops[0]
+        serial = dedup.run(corpus)
+        with WorkerPool(2, ops=ops) as pool:
+            pooled = dedup.run(corpus, pool=pool)
+            assert pool.last_served_pids  # hashing ran in the workers
+        assert pooled.to_list() == serial.to_list()
+        assert pooled.fingerprint == serial.fingerprint
+
+    def test_fused_filter_with_foreign_members_not_held(self):
+        from repro.core.fusion import FusedFilter
+
+        resident = load_ops(PROCESS)
+        foreign = load_ops([{"stopwords_filter": {}}, {"flagged_words_filter": {}}])
+        with WorkerPool(2, ops=resident) as pool:
+            assert not pool.holds(FusedFilter(foreign))
+
+    def test_shared_pool_registers_post_fusion_plan(self):
+        process = PROCESS + [
+            {"stopwords_filter": {"min_ratio": 0.0}},
+            {"flagged_words_filter": {"max_ratio": 1.0}},
+        ]
+        fused_pool = get_shared_pool(2, process, op_fusion=True)
+        plain_pool = get_shared_pool(2, process, op_fusion=False)
+        assert fused_pool is not plain_pool
+        assert get_shared_pool(2, process, op_fusion=True) is fused_pool
 
 
 def test_preload_assets_is_idempotent():
