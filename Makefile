@@ -5,10 +5,11 @@
 #   make benchmarks  paper figure/table reproductions only (benchmarks/)
 #   make fig10       the Figure-10 scalability reproduction with its table
 #   make bench-batch batched-engine throughput suite; refreshes BENCH_batch_engine.json
+#   make bench-stream streaming-engine memory suite; refreshes BENCH_stream.json
 
 PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
 
-.PHONY: smoke test unit benchmarks fig10 bench-batch
+.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream
 
 smoke:
 	$(PYTEST) -x -q
@@ -26,3 +27,6 @@ fig10:
 
 bench-batch:
 	$(PYTEST) -x -q -s benchmarks/test_batch_throughput.py
+
+bench-stream:
+	$(PYTEST) -x -q -s benchmarks/test_stream_memory.py

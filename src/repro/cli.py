@@ -68,12 +68,26 @@ def cmd_process(args: argparse.Namespace) -> int:
         recipe["np"] = args.np
     if args.batch_size is not None:
         recipe["batch_size"] = args.batch_size
+    if args.stream:
+        recipe["stream"] = True
+    if args.max_shard_rows is not None:
+        recipe["max_shard_rows"] = args.max_shard_rows
+    if args.max_shard_chars is not None:
+        recipe["max_shard_chars"] = args.max_shard_chars
+    if args.shard_output and not recipe.get("stream"):
+        raise SystemExit("--shard-output requires --stream (or a recipe with stream: true)")
     with Executor(recipe) as executor:
-        result = executor.run()
-        report = executor.last_report
-    print(f"processed {args.dataset}: kept {len(result)} samples")
+        if executor.cfg.stream:
+            report = executor.run_streaming(shard_output=args.shard_output)
+            kept = report["num_output_samples"]
+        else:
+            result = executor.run()
+            report = executor.last_report
+            kept = len(result)
+    print(f"processed {args.dataset}: kept {kept} samples")
     if args.export:
-        print(f"exported to {args.export}")
+        exported = report.get("export_paths") or [args.export]
+        print(f"exported to {', '.join(str(path) for path in exported)}")
     print(json.dumps(report.get("resources", {}), indent=2))
     return 0
 
@@ -129,6 +143,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="rows per batch of the batched columnar op path (overrides the recipe's batch_size)",
+    )
+    process.add_argument(
+        "--stream",
+        action="store_true",
+        help="run out-of-core: process the dataset shard by shard with bounded memory",
+    )
+    process.add_argument(
+        "--max-shard-rows",
+        type=int,
+        default=None,
+        help="streaming shard budget: close a shard after this many rows",
+    )
+    process.add_argument(
+        "--max-shard-chars",
+        type=int,
+        default=None,
+        help="streaming shard budget: close a shard after this many text characters",
+    )
+    process.add_argument(
+        "--shard-output",
+        action="store_true",
+        help="with --stream: write size-capped numbered output shards (out-00001.jsonl.gz, ...)",
     )
     process.set_defaults(func=cmd_process)
 

@@ -380,29 +380,42 @@ class Formatter:
         """Load and unify the source into a :class:`NestedDataset`."""
         raise NotImplementedError
 
+    def iter_records(self) -> "Iterable[dict]":
+        """Lazily yield unified samples, one at a time.
+
+        The streaming executor consumes this instead of :meth:`load_dataset`
+        so the full corpus is never materialised.  File-backed formatters
+        (see :class:`repro.formats.sharded.ShardedFileFormatter`) stream
+        shard by shard; this default falls back to the materialised dataset
+        for formatters that only implement :meth:`load_dataset`.
+        """
+        yield from self.load_dataset()
+
     @staticmethod
-    def unify_samples(samples: Iterable[dict], text_keys: Sequence[str]) -> list[dict]:
-        """Unify raw records: ensure a ``text`` field exists and stats start empty.
+    def unify_sample(record: dict, text_keys: Sequence[str]) -> dict:
+        """Unify one raw record: ensure a ``text`` field exists and stats start empty.
 
         When the configured text keys are missing, any string field is
-        promoted to ``text``; non-text payloads are serialised.
+        promoted to ``text``; records without any string field get ``""``.
         """
-        unified: list[dict] = []
-        for record in samples:
-            sample = dict(record)
-            if Fields.text not in sample:
-                text_value = None
-                for key in text_keys:
-                    value = get_field(sample, key)
+        sample = dict(record)
+        if Fields.text not in sample:
+            text_value = None
+            for key in text_keys:
+                value = get_field(sample, key)
+                if isinstance(value, str):
+                    text_value = value
+                    break
+            if text_value is None:
+                for key, value in sample.items():
                     if isinstance(value, str):
                         text_value = value
                         break
-                if text_value is None:
-                    for key, value in sample.items():
-                        if isinstance(value, str):
-                            text_value = value
-                            break
-                sample[Fields.text] = text_value if text_value is not None else ""
-            ensure_stats(sample)
-            unified.append(sample)
-        return unified
+            sample[Fields.text] = text_value if text_value is not None else ""
+        ensure_stats(sample)
+        return sample
+
+    @classmethod
+    def unify_samples(cls, samples: Iterable[dict], text_keys: Sequence[str]) -> list[dict]:
+        """Unify raw records in bulk (list view of :meth:`unify_sample`)."""
+        return [cls.unify_sample(record, text_keys) for record in samples]

@@ -3,6 +3,19 @@
 The paper's checkpoint mechanism (Sec. 4.1.1) stores the whole dataset plus the
 index of the last completed operator so a failed or interrupted run can resume
 from the most recent state instead of re-executing the whole recipe.
+
+Two granularities are supported:
+
+* **run-level** (``save`` / ``load``): the classic whole-dataset checkpoint
+  written after every completed operator.  The state records a per-op
+  *config hash* besides the op name, so editing an operator's parameters
+  invalidates the resume instead of silently reusing data produced by the
+  old configuration.
+* **shard-level** (``stream_dir`` / ``*_stream_state``): the streaming run
+  mode spills every processed shard under ``<checkpoint_dir>/stream`` (see
+  :class:`repro.core.stream.ShardStore`), so a crash resumes mid-corpus.
+  The manager owns the persistent directory and the state file that guards
+  it against recipe / shard-budget changes.
 """
 
 from __future__ import annotations
@@ -12,6 +25,7 @@ from pathlib import Path
 
 from repro.core.dataset import NestedDataset
 from repro.core.errors import CheckpointError
+from repro.core.serialization import JsonSanitizer
 
 
 class CheckpointManager:
@@ -19,11 +33,15 @@ class CheckpointManager:
 
     STATE_FILE = "checkpoint_state.json"
     DATA_FILE = "checkpoint_data.jsonl"
+    STREAM_STATE_FILE = "stream_state.json"
+    STREAM_DIR = "stream"
 
     def __init__(self, checkpoint_dir: str | Path, enabled: bool = True):
         self.checkpoint_dir = Path(checkpoint_dir)
         self.enabled = enabled
 
+    # ------------------------------------------------------------------
+    # Run-level checkpoints
     # ------------------------------------------------------------------
     def exists(self) -> bool:
         """Return True when a complete checkpoint is present on disk."""
@@ -33,24 +51,46 @@ class CheckpointManager:
             and (self.checkpoint_dir / self.DATA_FILE).exists()
         )
 
-    def save(self, dataset: NestedDataset, op_index: int, op_names: list[str]) -> None:
-        """Persist the dataset and the index of the last completed operator."""
+    def save(
+        self,
+        dataset: NestedDataset,
+        op_index: int,
+        op_names: list[str],
+        op_hashes: list[str] | None = None,
+    ) -> None:
+        """Persist the dataset and the index of the last completed operator.
+
+        ``op_hashes`` are per-op digests of each operator's ``config()``;
+        a later resume is only honoured when the hash prefix still matches,
+        so re-running after editing an op's parameters re-executes instead
+        of silently reusing stale data.
+        """
         if not self.enabled:
             return
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         data_path = self.checkpoint_dir / self.DATA_FILE
+        sanitizer = JsonSanitizer()
         with data_path.open("w", encoding="utf-8") as handle:
             for row in dataset:
-                handle.write(json.dumps(row, ensure_ascii=False, default=repr) + "\n")
+                handle.write(sanitizer.dumps(row, ensure_ascii=False) + "\n")
+        sanitizer.warn(f"checkpoint {data_path}")
         state = {
             "op_index": op_index,
             "op_names": op_names,
+            "op_hashes": list(op_hashes) if op_hashes is not None else None,
             "num_rows": len(dataset),
             "fingerprint": dataset.fingerprint,
         }
         (self.checkpoint_dir / self.STATE_FILE).write_text(
             json.dumps(state, indent=2), encoding="utf-8"
         )
+
+    def read_state(self) -> dict | None:
+        """Return the saved checkpoint state dict, or ``None`` when absent."""
+        path = self.checkpoint_dir / self.STATE_FILE
+        if not (self.enabled and path.exists()):
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
 
     def load(self) -> tuple[NestedDataset, int, list[str]]:
         """Load the checkpointed dataset and pipeline position.
@@ -73,8 +113,46 @@ class CheckpointManager:
         return dataset, int(state["op_index"]), list(state.get("op_names", []))
 
     def clear(self) -> None:
-        """Remove any existing checkpoint files."""
+        """Remove any existing run-level checkpoint files."""
         for name in (self.STATE_FILE, self.DATA_FILE):
             path = self.checkpoint_dir / name
             if path.exists():
                 path.unlink()
+
+    # ------------------------------------------------------------------
+    # Shard-level (streaming) checkpoints
+    # ------------------------------------------------------------------
+    @property
+    def stream_dir(self) -> Path:
+        """Directory holding the streaming run's spilled shards."""
+        return self.checkpoint_dir / self.STREAM_DIR
+
+    def load_stream_state(self) -> dict | None:
+        """Return the persisted streaming state, or ``None`` when absent."""
+        path = self.checkpoint_dir / self.STREAM_STATE_FILE
+        if not (self.enabled and path.exists()):
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            return None
+
+    def save_stream_state(self, state: dict) -> None:
+        """Persist the streaming state (op hashes, shard budget, progress)."""
+        if not self.enabled:
+            return
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        (self.checkpoint_dir / self.STREAM_STATE_FILE).write_text(
+            json.dumps(state, indent=2), encoding="utf-8"
+        )
+
+    def clear_stream(self) -> None:
+        """Drop the streaming state file and every spilled shard."""
+        from repro.core.stream import ShardStore
+
+        path = self.checkpoint_dir / self.STREAM_STATE_FILE
+        if path.exists():
+            path.unlink()
+        if self.stream_dir.exists():
+            ShardStore(self.stream_dir).clear()
+            self.stream_dir.rmdir()

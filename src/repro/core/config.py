@@ -37,6 +37,15 @@ class RecipeConfig:
     #: rows per batch of the batched columnar op path; ``None`` keeps each
     #: op's own setting (execution tuning only — results are identical)
     batch_size: int | None = None
+    #: run the pipeline shard-by-shard with bounded memory (``Executor.
+    #: run_streaming`` / CLI ``--stream``); results match the in-memory path
+    stream: bool = False
+    #: shard budget of the streaming run mode: a shard closes when it reaches
+    #: ``max_shard_rows`` rows or ``max_shard_chars`` text characters,
+    #: whichever comes first (``None`` = unset; when both are unset the
+    #: streaming engine applies its default row budget)
+    max_shard_rows: int | None = None
+    max_shard_chars: int | None = None
     process: list = field(default_factory=list)
 
     # optimizations & tooling
@@ -73,6 +82,9 @@ class RecipeConfig:
             "text_keys": list(self.text_keys),
             "np": self.np,
             "batch_size": self.batch_size,
+            "stream": self.stream,
+            "max_shard_rows": self.max_shard_rows,
+            "max_shard_chars": self.max_shard_chars,
             "process": list(self.process),
             "use_cache": self.use_cache,
             "cache_dir": self.cache_dir,
@@ -113,6 +125,14 @@ def validate_config(config: RecipeConfig) -> RecipeConfig:
         or config.batch_size < 1
     ):
         raise ConfigError("batch_size must be an integer >= 1 (or null)")
+    for knob in ("max_shard_rows", "max_shard_chars"):
+        value = getattr(config, knob)
+        if value is not None and (
+            not isinstance(value, int) or isinstance(value, bool) or value < 1
+        ):
+            raise ConfigError(f"{knob} must be an integer >= 1 (or null)")
+    if not isinstance(config.stream, bool):
+        raise ConfigError("stream must be a boolean")
     return config
 
 

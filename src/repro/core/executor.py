@@ -15,8 +15,9 @@ context manager) to shut the workers down.
 
 from __future__ import annotations
 
+import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 from repro.core.base_op import Deduplicator, Filter, Mapper
 from repro.core.cache import CacheManager
@@ -26,6 +27,18 @@ from repro.core.dataset import NestedDataset
 from repro.core.exporter import Exporter
 from repro.core.fusion import describe_plan
 from repro.core.monitor import ResourceMonitor
+from repro.core.sample import Fields
+from repro.core.stream import (
+    ROW_ID_COLUMN,
+    ShardStore,
+    apply_keep_mask,
+    iter_record_shards,
+    op_config_hash,
+    plan_segments,
+    resolve_global_keep,
+    run_sample_ops,
+    signature_column_names,
+)
 from repro.core.tracer import Tracer
 from repro.parallel import WorkerPool
 
@@ -110,11 +123,23 @@ class Executor:
             current = self._load_input(dataset)
             start_index = 0
             op_names = [op.name for op in self.ops]
+            op_hashes = [op_config_hash(op) for op in self.ops]
 
             if self.checkpoint.enabled and self.checkpoint.exists():
-                restored, op_index, saved_names = self.checkpoint.load()
-                # Resume only when the recipe prefix matches the saved state.
-                if saved_names[:op_index] == op_names[:op_index]:
+                # Validate the cheap state file before parsing the (possibly
+                # huge) checkpointed dataset: resume only when both the
+                # op-name prefix *and* the per-op config hashes match — a
+                # recipe whose parameters changed must re-execute instead of
+                # silently reusing data produced by the old configuration.
+                state = self.checkpoint.read_state() or {}
+                op_index = int(state.get("op_index", 0))
+                saved_names = list(state.get("op_names", []))
+                saved_hashes = state.get("op_hashes") or []
+                if (
+                    saved_names[:op_index] == op_names[:op_index]
+                    and saved_hashes[:op_index] == op_hashes[:op_index]
+                ):
+                    restored, op_index, _names = self.checkpoint.load()
                     current, start_index = restored, op_index
 
             # index one past the last op whose result the checkpoint holds;
@@ -138,12 +163,12 @@ class Executor:
                 else:
                     current = op.run(current, tracer=self.tracer)
                 self.cache.save(cache_key, current)
-                self.checkpoint.save(current, index + 1, op_names)
+                self.checkpoint.save(current, index + 1, op_names, op_hashes)
                 saved_index = index + 1
             if saved_index < len(self.ops):
                 # the run ended on a cache-hit streak: persist the final state
                 # once so a later resume restarts past it, not at a stale index
-                self.checkpoint.save(current, len(self.ops), op_names)
+                self.checkpoint.save(current, len(self.ops), op_names, op_hashes)
 
             if self.cfg.export_path:
                 Exporter(
@@ -163,3 +188,280 @@ class Executor:
             },
         }
         return current
+
+    # ------------------------------------------------------------------
+    # Streaming (out-of-core) execution
+    # ------------------------------------------------------------------
+    def _input_formatter(self) -> Any:
+        """Build the input formatter once per streaming run (one path walk)."""
+        from repro.formats.load import load_formatter
+
+        if not self.cfg.dataset_path:
+            raise ValueError("no dataset given and no dataset_path configured")
+        return load_formatter(self.cfg.dataset_path, text_keys=tuple(self.cfg.text_keys))
+
+    def _input_signature(self, dataset: NestedDataset | None, formatter: Any) -> dict:
+        """Identity of the streaming input, guarding shard-checkpoint reuse.
+
+        For file inputs the signature digests the resolved shard list with
+        each file's size and mtime, so editing (or re-sharding) the input
+        invalidates the spilled shards instead of silently resuming over
+        stale data.
+        """
+        from repro.core.dataset import _stable_hash
+
+        if dataset is not None:
+            return {"fingerprint": dataset.fingerprint}
+        files = []
+        for path in getattr(formatter, "resolve_paths", lambda: [])():
+            stat = path.stat()
+            files.append([str(path), stat.st_size, stat.st_mtime_ns])
+        return {
+            "dataset_path": str(self.cfg.dataset_path),
+            "text_keys": list(self.cfg.text_keys),
+            "files_digest": _stable_hash(files),
+        }
+
+    def _input_shards(
+        self,
+        dataset: NestedDataset | None,
+        formatter: Any,
+        shard_rows: int | None,
+        shard_chars: int | None,
+    ) -> Iterator[list[dict]]:
+        """Lazily chunk the input into bounded shards, never materialising it."""
+        records: Any = iter(dataset) if dataset is not None else formatter.iter_records()
+        return iter_record_shards(
+            records, max_rows=shard_rows, max_chars=shard_chars, text_key=Fields.text
+        )
+
+    def run_streaming(
+        self, dataset: NestedDataset | None = None, shard_output: bool = False
+    ) -> dict[str, Any]:
+        """Execute the pipeline shard-by-shard with bounded memory.
+
+        The input is streamed into shards capped by the recipe's
+        ``max_shard_rows`` / ``max_shard_chars`` budget; Mappers and Filters
+        run shard-local on the batched columnar engine (worker-pool dispatch
+        included), while Deduplicators and Selectors resolve globally via the
+        two-pass signature strategy (see :mod:`repro.core.stream`).  Output
+        rows stream straight into the :class:`Exporter` — with
+        ``shard_output`` they are written as size-capped output shards.
+
+        Every processed shard is spilled to disk; with ``use_checkpoint``
+        the spill persists under the checkpoint directory, so an interrupted
+        run resumes mid-corpus, skipping every shard already processed.
+        Results are row-identical to :meth:`run` (byte-identical exports);
+        the op cache and tracer, whose units are whole datasets, are
+        bypassed in this mode.
+
+        Returns the run report (also stored as ``last_report``) instead of a
+        materialised dataset.
+        """
+        monitor = ResourceMonitor()
+        with monitor:
+            segments = plan_segments(self.ops)
+            op_hashes = [op_config_hash(op) for op in self.ops]
+            shard_rows, shard_chars = self.cfg.max_shard_rows, self.cfg.max_shard_chars
+            progress = {"input_shards": 0, "resumed_shards": 0, "executed_shards": 0}
+            formatter = self._input_formatter() if dataset is None else None
+
+            persistent = self.checkpoint.enabled
+            if persistent:
+                store = ShardStore(self.checkpoint.stream_dir)
+                expected_state = {
+                    "op_hashes": op_hashes,
+                    "max_shard_rows": shard_rows,
+                    "max_shard_chars": shard_chars,
+                    "input": self._input_signature(dataset, formatter),
+                }
+                if self.checkpoint.load_stream_state() != expected_state:
+                    # recipe, shard budget or input changed: the spilled
+                    # shards describe a different run and must not be reused
+                    self.checkpoint.clear_stream()
+                    self.checkpoint.save_stream_state(expected_state)
+            else:
+                # per-run unique spill directory: concurrent non-checkpointed
+                # runs sharing a work_dir must not clear or read each other's
+                # shards
+                spill_root = Path(self.cfg.work_dir) / "stream-spill"
+                spill_root.mkdir(parents=True, exist_ok=True)
+                store = ShardStore(tempfile.mkdtemp(prefix="run-", dir=spill_root))
+
+            try:
+                source = self._count_shards(
+                    self._input_shards(dataset, formatter, shard_rows, shard_chars), progress
+                )
+                for stage, segment in enumerate(segments):
+                    if segment.global_op is None:
+                        # only the final segment can lack a global op; its
+                        # shards flow straight through (spilled when
+                        # checkpointing, so a crash during export still
+                        # resumes mid-corpus)
+                        if persistent:
+                            source = self._spilled_stage(
+                                stage, segment.sample_ops, source, store, progress
+                            )
+                        else:
+                            source = self._transformed_stage(segment.sample_ops, source)
+                    else:
+                        source = self._resolved_stage(stage, segment, source, store, progress)
+
+                total_rows = 0
+                export_paths: list[str] = []
+
+                def final_rows() -> Iterator[dict]:
+                    nonlocal total_rows
+                    for shard in source:
+                        total_rows += len(shard)
+                        yield from shard
+
+                if self.cfg.export_path:
+                    # a shard-output request with no explicit budget still
+                    # shards, at the same default the input chunker applies
+                    export_rows, export_chars = shard_rows, shard_chars
+                    if shard_output and export_rows is None and export_chars is None:
+                        from repro.core.stream import DEFAULT_SHARD_ROWS
+
+                        export_rows = DEFAULT_SHARD_ROWS
+                    exporter = Exporter(
+                        self.cfg.export_path,
+                        keep_stats=self.cfg.keep_stats_in_export,
+                        shard_rows=export_rows if shard_output else None,
+                        shard_chars=export_chars if shard_output else None,
+                    )
+                    export_paths = [str(path) for path in exporter.export_stream(final_rows())]
+                else:
+                    for _row in final_rows():
+                        pass
+            finally:
+                if not persistent:
+                    # failed runs must not leak a pickled copy of the corpus
+                    store.clear()
+                    store.root.rmdir()
+
+        self.last_report = {
+            "plan": self.plan,
+            "mode": "streaming",
+            "num_output_samples": total_rows,
+            "segments": len(segments),
+            "shards": dict(progress),
+            "shard_budget": {"max_shard_rows": shard_rows, "max_shard_chars": shard_chars},
+            "export_paths": export_paths,
+            "resources": monitor.report.as_dict() if monitor.report else {},
+            "cache": {"hits": 0, "misses": 0},
+            "trace": [],
+            "parallel": {
+                "np": self.cfg.np,
+                "batch_size": self.cfg.batch_size,
+                "start_method": self._pool.start_method if self._pool is not None else None,
+            },
+        }
+        return self.last_report
+
+    @staticmethod
+    def _count_shards(
+        shards: Iterator[list[dict]], progress: dict[str, int]
+    ) -> Iterator[list[dict]]:
+        for shard in shards:
+            progress["input_shards"] += 1
+            yield shard
+
+    def _run_segment_ops(self, rows: list[dict], segment_ops: list) -> NestedDataset:
+        return run_sample_ops(rows, segment_ops, pool_factory=self._ensure_pool)
+
+    def _transformed_stage(
+        self, segment_ops: list, source: Iterator[list[dict]]
+    ) -> Iterator[list[dict]]:
+        """Shard-local transform with no spill (checkpointing disabled)."""
+        for rows in source:
+            yield self._run_segment_ops(rows, segment_ops).to_list()
+
+    def _spilled_stage(
+        self,
+        stage: int,
+        segment_ops: list,
+        source: Iterator[list[dict]],
+        store: ShardStore,
+        progress: dict[str, int],
+    ) -> Iterator[list[dict]]:
+        """Shard-local transform that spills (and resumes) every shard."""
+        for index, rows in enumerate(source):
+            if store.has_shard(stage, index):
+                progress["resumed_shards"] += 1
+                yield store.read_shard_rows(stage, index)
+                continue
+            out_rows = self._run_segment_ops(rows, segment_ops).to_list()
+            store.write_shard(stage, index, out_rows)
+            progress["executed_shards"] += 1
+            yield out_rows
+
+    def _resolved_stage(
+        self,
+        stage: int,
+        segment: Any,
+        source: Iterator[list[dict]],
+        store: ShardStore,
+        progress: dict[str, int],
+    ) -> Iterator[list[dict]]:
+        """Two-pass execution of a segment closed by a dataset-level op.
+
+        Pass one runs eagerly: each shard is transformed, hashed (for
+        Deduplicators), spilled, and its skinny signature rows accumulated.
+        The global op then resolves once over the signatures, and the
+        returned iterator streams the spilled shards back out with the keep
+        mask applied.
+        """
+        global_op = segment.global_op
+        signature_rows: list[dict] = []
+        shard_row_counts: list[int] = []
+
+        for index, rows in enumerate(source):
+            if store.has_shard(stage, index):
+                progress["resumed_shards"] += 1
+                out_rows = store.read_shard_rows(stage, index)
+            else:
+                shard = self._run_segment_ops(rows, segment.sample_ops)
+                if isinstance(global_op, Deduplicator):
+                    # the per-sample hashing stage runs shard-local (and
+                    # pool-parallel); only the clustering is global
+                    shard = shard.map_batches(
+                        global_op.compute_hash_batched,
+                        batch_size=global_op.effective_batch_size(shard),
+                        new_fingerprint=shard.derive_fingerprint(
+                            f"{global_op.name}:hash", global_op.config()
+                        ),
+                        pool=self._ensure_pool(),
+                    )
+                out_rows = shard.to_list()
+                store.write_shard(stage, index, out_rows)
+                progress["executed_shards"] += 1
+            shard_row_counts.append(len(out_rows))
+            if out_rows:
+                # every row of a shard carries the same keys (to_list unions
+                # columns shard-wide); keys differing *across* shards are
+                # None-filled by the signature from_list, exactly like the
+                # in-memory dataset's global column union
+                columns = signature_column_names(
+                    global_op, list(out_rows[0].keys()), getattr(global_op, "text_key", Fields.text)
+                )
+                base_id = len(signature_rows)
+                for offset, row in enumerate(out_rows):
+                    skinny = {name: row.get(name) for name in columns}
+                    skinny[ROW_ID_COLUMN] = base_id + offset
+                    signature_rows.append(skinny)
+
+        signature = NestedDataset.from_list(signature_rows)
+        keep_mask, dropped_columns = resolve_global_keep(global_op, signature)
+        del signature, signature_rows
+
+        def masked_shards() -> Iterator[list[dict]]:
+            offset = 0
+            for index, count in enumerate(shard_row_counts):
+                rows = store.read_shard_rows(stage, index)
+                yield apply_keep_mask(
+                    rows, keep_mask[offset:offset + count], dropped_columns
+                )
+                offset += count
+
+        return masked_shards()

@@ -1,0 +1,99 @@
+"""Explicit JSON sanitization for rows written to disk.
+
+Exports, checkpoints and streaming spill shards all persist sample rows as
+JSON.  Serialising unexpected payloads with ``json.dumps(..., default=repr)``
+would silently replace them with their ``repr`` string, so a checkpoint
+round-trip (or an export) could corrupt data without anyone noticing.  The
+:class:`JsonSanitizer` here makes that conversion *explicit*: clean rows take
+a zero-copy fast path, dirty rows are deep-sanitised, and every writer emits
+exactly one warning naming the offending key paths.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from typing import Any
+
+
+class SerializationWarning(UserWarning):
+    """Warns that non-JSON values were converted to strings on write."""
+
+
+#: key paths reported per warning before truncating with an ellipsis
+_MAX_REPORTED_KEYS = 8
+
+
+class JsonSanitizer:
+    """Serialise rows to JSON, tracking keys whose values are not JSON-safe.
+
+    ``dumps`` is the hot path: it first tries a plain ``json.dumps`` (no
+    ``default`` hook), which succeeds for the overwhelming majority of rows
+    without any extra allocation.  Only rows that fail are walked and
+    sanitised — non-JSON leaves become their ``repr`` string and the dotted
+    key path is recorded in :attr:`offending`.  Call :meth:`warn` once per
+    write operation to surface everything that was converted.
+    """
+
+    def __init__(self) -> None:
+        #: dotted key path -> type name of the first offending value seen there
+        self.offending: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def dumps(self, row: dict, **kwargs: Any) -> str:
+        """Return the JSON encoding of ``row``, sanitising only when needed."""
+        try:
+            return json.dumps(row, **kwargs)
+        except (TypeError, ValueError):
+            return json.dumps(self.sanitize_row(row), **kwargs)
+
+    def sanitize_row(self, row: dict) -> dict:
+        """Return a deep-sanitised copy of ``row`` (JSON-safe leaves only)."""
+        return self._sanitize(row, "")
+
+    def _sanitize(self, value: Any, path: str) -> Any:
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, dict):
+            sanitized = {}
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    self._record(f"{path}.{key!r}" if path else repr(key), type(key))
+                    key = str(key)
+                child = f"{path}.{key}" if path else key
+                sanitized[key] = self._sanitize(item, child)
+            return sanitized
+        if isinstance(value, (list, tuple)):
+            return [self._sanitize(item, f"{path}[]") for item in value]
+        self._record(path or "<root>", type(value))
+        return repr(value)
+
+    def _record(self, path: str, value_type: type) -> None:
+        self.offending.setdefault(path, value_type.__name__)
+
+    # ------------------------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        """True when at least one value had to be converted."""
+        return bool(self.offending)
+
+    def warn(self, where: str) -> None:
+        """Emit one :class:`SerializationWarning` naming the offending keys."""
+        if not self.offending:
+            return
+        keys = sorted(self.offending)
+        shown = ", ".join(
+            f"{key} ({self.offending[key]})" for key in keys[:_MAX_REPORTED_KEYS]
+        )
+        if len(keys) > _MAX_REPORTED_KEYS:
+            shown += f", … ({len(keys) - _MAX_REPORTED_KEYS} more)"
+        warnings.warn(
+            f"{where}: non-JSON values at keys [{shown}] were written as their "
+            "repr() string; reading the file back will not restore the original objects",
+            SerializationWarning,
+            stacklevel=3,
+        )
+        self.offending.clear()
+
+
+__all__ = ["JsonSanitizer", "SerializationWarning"]

@@ -1,0 +1,291 @@
+"""Out-of-core streaming execution: shard chunking, spill store, global resolve.
+
+The streaming run mode (``Executor.run_streaming`` / CLI ``--stream``) never
+holds the whole corpus in memory.  Records are drawn lazily from a formatter,
+chunked into bounded *shards* (:func:`iter_record_shards`), and each shard is
+driven through the existing batched columnar engine one at a time.
+
+Sample-level operators (Mappers, Filters) are embarrassingly shard-parallel.
+Dataset-level operators (Deduplicators, Selectors) use a **two-pass**
+strategy, in the spirit of O(1)-round massively-parallel processing: no pass
+ever holds more than one shard of payload.
+
+1. *Signature pass* — every shard is transformed by the pending sample ops,
+   the global op's per-sample stage (hashing) runs shard-wise, and the shard
+   is spilled to disk (:class:`ShardStore`).  Only the op's small *signature
+   columns* (hashes, the selection field, stats — never the text payload) are
+   accumulated in memory, each row tagged with a global row id.
+2. *Global resolve* — the op's unmodified ``process`` runs once over the
+   skinny signature dataset (:func:`resolve_global_keep`), yielding a keep
+   mask over global row ids.  Because every built-in Deduplicator/Selector
+   preserves input order, the mask reproduces the in-memory result exactly.
+3. *Mask pass* — spilled shards are streamed back out with the mask applied
+   (and the op's hash columns dropped), feeding the next pipeline segment.
+
+Shard spilling doubles as **shard-granular checkpointing**: with
+``use_checkpoint`` the spill directory lives under the checkpoint manager and
+survives crashes, so a resumed run skips every shard already processed.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.base_op import OP, Deduplicator, Filter, Mapper, Selector
+from repro.core.dataset import NestedDataset, _stable_hash
+from repro.core.errors import DatasetError
+from repro.core.sample import Fields, HashKeys
+
+#: default shard budget when neither ``max_shard_rows`` nor
+#: ``max_shard_chars`` is configured
+DEFAULT_SHARD_ROWS = 4096
+
+#: transient column tagging every signature row with its global position
+ROW_ID_COLUMN = "__row_id__"
+
+
+def op_config_hash(op: OP) -> str:
+    """Digest of an operator's identity *and* parameters.
+
+    Used by both checkpoint granularities to detect that a recipe edit
+    changed what an operator would produce — a resume is only valid while
+    every already-applied op hashes the same.
+    """
+    return _stable_hash({"name": op.name, "config": op.config()})
+
+
+# ----------------------------------------------------------------------
+# Shard chunking
+# ----------------------------------------------------------------------
+def iter_record_shards(
+    records: Iterable[dict],
+    max_rows: int | None = None,
+    max_chars: int | None = None,
+    text_key: str = Fields.text,
+) -> Iterator[list[dict]]:
+    """Chunk a lazy record stream into bounded shards.
+
+    A shard closes when it holds ``max_rows`` rows or at least
+    ``max_chars`` characters of text, whichever comes first; with neither
+    budget set, :data:`DEFAULT_SHARD_ROWS` applies.  Shard boundaries are a
+    pure memory knob — the batched operator engine is boundary-independent,
+    so results do not depend on them.
+    """
+    if max_rows is None and max_chars is None:
+        max_rows = DEFAULT_SHARD_ROWS
+    if (max_rows is not None and max_rows < 1) or (max_chars is not None and max_chars < 1):
+        raise DatasetError("shard budgets must be >= 1")
+    shard: list[dict] = []
+    chars = 0
+    for record in records:
+        shard.append(record)
+        if max_chars is not None:
+            value = record.get(text_key)
+            chars += len(value) if isinstance(value, str) else 0
+        if (max_rows is not None and len(shard) >= max_rows) or (
+            max_chars is not None and chars >= max_chars
+        ):
+            yield shard
+            shard, chars = [], 0
+    if shard:
+        yield shard
+
+
+# ----------------------------------------------------------------------
+# Pipeline segmentation
+# ----------------------------------------------------------------------
+@dataclass
+class StreamSegment:
+    """A run of shard-local ops, optionally closed by one dataset-level op."""
+
+    sample_ops: list = field(default_factory=list)
+    global_op: Any = None
+
+
+def plan_segments(ops: Iterable[OP]) -> list[StreamSegment]:
+    """Split an op list into streamable segments.
+
+    Mappers and Filters are shard-local; Deduplicators and Selectors close
+    their segment and are resolved globally between passes.  Any other
+    dataset-level operator fails fast — the global resolve only sees the
+    skinny signature columns (never the text payload), so an op category it
+    does not understand could silently produce different rows than the
+    in-memory path.  The returned list always contains at least one segment,
+    and only its last segment may lack a global op.
+    """
+    segments: list[StreamSegment] = []
+    current = StreamSegment()
+    for op in ops:
+        if isinstance(op, (Mapper, Filter)):
+            current.sample_ops.append(op)
+        elif isinstance(op, (Deduplicator, Selector)):
+            current.global_op = op
+            segments.append(current)
+            current = StreamSegment()
+        else:
+            raise DatasetError(
+                f"streaming mode cannot execute dataset-level op {op.name!r}: "
+                "only Mappers, Filters, Deduplicators and Selectors are supported"
+            )
+    if current.sample_ops or not segments:
+        segments.append(current)
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Spill store (doubles as the shard-granular checkpoint)
+# ----------------------------------------------------------------------
+class ShardStore:
+    """A directory of spilled shard files, organised per pipeline stage.
+
+    Shards are internal temporaries (never user-facing), so they are stored
+    as pickles: several times faster than JSON on the spill-heavy two-pass
+    path and lossless for every Python payload (tuples stay tuples, so a
+    spill round-trip can never change what the in-memory path would have
+    produced).  Writes are atomic (temp file + rename), so a shard that
+    exists is a shard that was written completely — the property crash
+    recovery relies on.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def stage_dir(self, stage: int) -> Path:
+        return self.root / f"stage-{stage:02d}"
+
+    def shard_path(self, stage: int, index: int) -> Path:
+        return self.stage_dir(stage) / f"shard-{index:05d}.pkl"
+
+    def has_shard(self, stage: int, index: int) -> bool:
+        return self.shard_path(stage, index).exists()
+
+    def write_shard(self, stage: int, index: int, rows: list[dict]) -> Path:
+        path = self.shard_path(stage, index)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_suffix(".tmp")
+        with temp.open("wb") as handle:
+            pickle.dump(rows, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        temp.replace(path)
+        return path
+
+    def read_shard_rows(self, stage: int, index: int) -> list[dict]:
+        with self.shard_path(stage, index).open("rb") as handle:
+            return pickle.load(handle)
+
+    def clear(self) -> None:
+        """Remove every spilled shard and manifest."""
+        if not self.root.exists():
+            return
+        for child in sorted(self.root.rglob("*"), reverse=True):
+            if child.is_file():
+                child.unlink()
+            else:
+                child.rmdir()
+
+
+# ----------------------------------------------------------------------
+# Global (two-pass) resolution of dataset-level ops
+# ----------------------------------------------------------------------
+_HASH_COLUMNS = (HashKeys.hash, HashKeys.minhash, HashKeys.simhash)
+
+
+def signature_column_names(op: Any, column_names: list[str], text_key: str) -> list[str]:
+    """Columns the global resolve needs — everything *except* the payload.
+
+    Deduplicators only read their hash columns.  Selectors read whatever
+    field they rank on (plus stats/meta, which are small); the text column is
+    excluded unless the selector explicitly selects on it.
+    """
+    if isinstance(op, Deduplicator):
+        columns = [name for name in column_names if name in _HASH_COLUMNS]
+        if not columns:
+            # fail fast: resolving with no hash column would read None for
+            # every row and silently collapse the corpus to one "duplicate"
+            raise DatasetError(
+                f"deduplicator {op.name!r} stores its signature outside the "
+                f"standard hash columns {_HASH_COLUMNS}; streaming mode cannot "
+                "resolve it globally"
+            )
+        return columns
+    keep = [name for name in column_names if name != text_key]
+    field_key = getattr(op, "field_key", None)
+    if isinstance(field_key, str) and field_key:
+        top = field_key.split(".", 1)[0]
+        if top in column_names and top not in keep:
+            keep.append(top)
+    return keep
+
+
+def resolve_global_keep(op: Any, signature: NestedDataset) -> tuple[list[bool], set[str]]:
+    """Run a dataset-level op over the skinny signature dataset.
+
+    ``signature`` must carry a :data:`ROW_ID_COLUMN`.  Returns the keep mask
+    over global row ids plus the columns the op removed (a deduplicator
+    drops its own hash column), which the mask pass then strips from the
+    spilled rows.  Exact because every built-in Deduplicator/Selector keeps
+    surviving rows in input order.
+    """
+    if len(signature) == 0:
+        return [], set()
+    if isinstance(op, Deduplicator):
+        result, _pairs = op.process(signature, show_num=0)
+    elif isinstance(op, Selector):
+        result = op.process(signature)
+    else:
+        raise DatasetError(
+            f"cannot resolve dataset-level op {getattr(op, 'name', op)!r} globally"
+        )
+    surviving = set(result.column(ROW_ID_COLUMN))
+    mask = [row_id in surviving for row_id in signature.column(ROW_ID_COLUMN)]
+    dropped = set(signature.column_names) - set(result.column_names)
+    dropped.discard(ROW_ID_COLUMN)
+    return mask, dropped
+
+
+def apply_keep_mask(
+    rows: list[dict], mask: list[bool], drop_columns: set[str]
+) -> list[dict]:
+    """Keep the masked rows of one shard, stripping resolved hash columns."""
+    if drop_columns:
+        return [
+            {key: value for key, value in row.items() if key not in drop_columns}
+            for row, keep in zip(rows, mask)
+            if keep
+        ]
+    return [row for row, keep in zip(rows, mask) if keep]
+
+
+def run_sample_ops(
+    rows: list[dict],
+    sample_ops: list,
+    pool_factory: Callable[[], Any] | None = None,
+) -> NestedDataset:
+    """Drive one shard through a run of Mappers/Filters (batched engine).
+
+    ``pool_factory`` lazily provides a :class:`repro.parallel.WorkerPool`
+    handle exactly like the in-memory executor — the pool is only created
+    when an op actually executes.
+    """
+    dataset = NestedDataset.from_list(rows)
+    for op in sample_ops:
+        pool = pool_factory() if pool_factory is not None else None
+        dataset = op.run(dataset, pool=pool)
+    return dataset
+
+
+__all__ = [
+    "DEFAULT_SHARD_ROWS",
+    "ROW_ID_COLUMN",
+    "ShardStore",
+    "StreamSegment",
+    "apply_keep_mask",
+    "iter_record_shards",
+    "op_config_hash",
+    "plan_segments",
+    "resolve_global_keep",
+    "run_sample_ops",
+    "signature_column_names",
+]

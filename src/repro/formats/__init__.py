@@ -5,6 +5,12 @@ from repro.formats.csv_formatter import CsvFormatter, TsvFormatter
 from repro.formats.jsonl_formatter import JsonFormatter, JsonlFormatter
 from repro.formats.load import load_dataset, load_formatter
 from repro.formats.mixture_formatter import MixtureFormatter, mix_datasets
+from repro.formats.sharded import (
+    ShardedFileFormatter,
+    ShardedSource,
+    effective_suffix,
+    open_shard,
+)
 from repro.formats.text_formatter import (
     CodeFormatter,
     HtmlFormatter,
@@ -21,9 +27,13 @@ __all__ = [
     "JsonlFormatter",
     "MarkdownFormatter",
     "MixtureFormatter",
+    "ShardedFileFormatter",
+    "ShardedSource",
     "TextFormatter",
     "TsvFormatter",
+    "effective_suffix",
     "load_dataset",
     "load_formatter",
     "mix_datasets",
+    "open_shard",
 ]

@@ -1,36 +1,32 @@
-"""Formatters for CSV and TSV files."""
+"""Formatters for CSV and TSV files (plain or gzip-compressed)."""
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import Iterator
 
-from repro.core.base_op import Formatter
-from repro.core.dataset import NestedDataset
 from repro.core.errors import FormatError
 from repro.core.registry import FORMATTERS
 from repro.core.sample import Fields
+from repro.formats.sharded import ShardedFileFormatter, effective_suffix, open_shard
 
 
-class _DelimitedFormatter(Formatter):
-    """Shared implementation for delimiter-separated files with a header row."""
+class _DelimitedFormatter(ShardedFileFormatter):
+    """Shared implementation for delimiter-separated shards with a header row."""
 
     delimiter = ","
 
-    def load_dataset(self) -> NestedDataset:
-        path = Path(self.dataset_path)
-        if not path.exists():
-            raise FormatError(f"file not found: {path}")
-        records = []
-        with path.open("r", encoding="utf-8", newline="") as handle:
+    def iter_file_records(self, path: Path) -> Iterator[dict]:
+        suffix = effective_suffix(path)
+        with open_shard(path, newline="") as handle:
             reader = csv.DictReader(handle, delimiter=self.delimiter)
             if reader.fieldnames is None:
                 raise FormatError(f"{path}: missing header row")
             for row in reader:
                 record = {key: value for key, value in row.items() if key is not None}
-                record[Fields.suffix] = path.suffix
-                records.append(record)
-        return NestedDataset.from_list(self.unify_samples(records, self.text_keys))
+                record[Fields.suffix] = suffix
+                yield record
 
 
 @FORMATTERS.register_module("csv_formatter")

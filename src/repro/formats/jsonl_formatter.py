@@ -1,29 +1,31 @@
-"""Formatters for JSON-lines and JSON array files."""
+"""Formatters for JSON-lines and JSON array files (plain or gzip-compressed)."""
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterator
 
-from repro.core.base_op import Formatter
-from repro.core.dataset import NestedDataset
 from repro.core.errors import FormatError
 from repro.core.registry import FORMATTERS
 from repro.core.sample import Fields
+from repro.formats.sharded import ShardedFileFormatter, effective_suffix, open_shard
 
 
 @FORMATTERS.register_module("jsonl_formatter")
-class JsonlFormatter(Formatter):
-    """Load ``.jsonl`` files: one JSON object per line, unified to the text schema."""
+class JsonlFormatter(ShardedFileFormatter):
+    """Load ``.jsonl`` shards: one JSON object per line, unified to the text schema.
+
+    The dataset path may be a single file, a directory or a glob; every
+    matching shard (including ``.jsonl.gz``) is streamed line by line in
+    sorted path order.
+    """
 
     SUFFIXES = (".jsonl", ".ndjson")
 
-    def load_dataset(self) -> NestedDataset:
-        path = Path(self.dataset_path)
-        if not path.exists():
-            raise FormatError(f"jsonl file not found: {path}")
-        records = []
-        with path.open("r", encoding="utf-8") as handle:
+    def iter_file_records(self, path: Path) -> Iterator[dict]:
+        suffix = effective_suffix(path)
+        with open_shard(path) as handle:
             for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
@@ -34,33 +36,33 @@ class JsonlFormatter(Formatter):
                     raise FormatError(f"{path}:{line_number}: invalid JSON: {error}") from error
                 if not isinstance(record, dict):
                     record = {Fields.text: str(record)}
-                record[Fields.suffix] = path.suffix
-                records.append(record)
-        return NestedDataset.from_list(self.unify_samples(records, self.text_keys))
+                record[Fields.suffix] = suffix
+                yield record
 
 
 @FORMATTERS.register_module("json_formatter")
-class JsonFormatter(Formatter):
-    """Load ``.json`` files containing a list of records (or a single record)."""
+class JsonFormatter(ShardedFileFormatter):
+    """Load ``.json`` files containing a list of records (or a single record).
+
+    Each file is parsed whole (a JSON array is one document), but multi-file
+    inputs still stream file by file.
+    """
 
     SUFFIXES = (".json",)
 
-    def load_dataset(self) -> NestedDataset:
-        path = Path(self.dataset_path)
-        if not path.exists():
-            raise FormatError(f"json file not found: {path}")
+    def iter_file_records(self, path: Path) -> Iterator[dict]:
+        suffix = effective_suffix(path)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            with open_shard(path) as handle:
+                payload = json.load(handle)
         except json.JSONDecodeError as error:
             raise FormatError(f"{path}: invalid JSON: {error}") from error
         if isinstance(payload, dict):
             payload = [payload]
         if not isinstance(payload, list):
             raise FormatError(f"{path}: expected a JSON list or object at top level")
-        records = []
         for record in payload:
             if not isinstance(record, dict):
                 record = {Fields.text: str(record)}
-            record[Fields.suffix] = path.suffix
-            records.append(record)
-        return NestedDataset.from_list(self.unify_samples(records, self.text_keys))
+            record[Fields.suffix] = suffix
+            yield record

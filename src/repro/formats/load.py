@@ -1,4 +1,4 @@
-"""Dispatch helper choosing the right formatter for a path or suffix."""
+"""Dispatch helper choosing the right formatter for a path, directory or glob."""
 
 from __future__ import annotations
 
@@ -8,30 +8,53 @@ from repro.core.base_op import Formatter
 from repro.core.dataset import NestedDataset
 from repro.core.errors import FormatError
 from repro.core.registry import FORMATTERS
+from repro.formats.sharded import ShardedSource, effective_suffix, is_glob
+
+
+def _formatter_for_suffix(suffix: str):
+    """Return the registered formatter class accepting ``suffix``, or ``None``."""
+    for name in FORMATTERS.list():
+        formatter_cls = FORMATTERS.get(name)
+        if suffix in getattr(formatter_cls, "SUFFIXES", ()):
+            return formatter_cls
+    return None
 
 
 def load_formatter(dataset_path: str, text_keys=("text",), **kwargs) -> Formatter:
     """Return the formatter instance able to load ``dataset_path``.
 
-    Dispatch is by file suffix; directories are probed for their most common
-    loadable suffix.
+    Dispatch is by *effective* file suffix (``.gz`` envelopes are
+    transparent, so ``shard.jsonl.gz`` dispatches as ``.jsonl``).  A
+    directory or glob pattern is probed for its most common **loadable**
+    suffix — files no formatter understands never win the vote — and the
+    chosen formatter then loads and concatenates every matching file.
     """
     path = Path(dataset_path)
-    suffix = path.suffix
-    if path.is_dir():
-        counts: dict[str, int] = {}
-        for child in path.rglob("*"):
-            if child.is_file():
-                counts[child.suffix] = counts.get(child.suffix, 0) + 1
-        if not counts:
-            raise FormatError(f"no files found under directory {path}")
-        suffix = max(counts, key=counts.get)
-
-    for name in FORMATTERS.list():
-        formatter_cls = FORMATTERS.get(name)
-        if suffix in getattr(formatter_cls, "SUFFIXES", ()):
-            return formatter_cls(dataset_path=dataset_path, text_keys=text_keys, **kwargs)
-    raise FormatError(f"no formatter registered for suffix {suffix!r} (path {dataset_path})")
+    if path.is_file():
+        suffix = effective_suffix(path)
+        formatter_cls = _formatter_for_suffix(suffix)
+        if formatter_cls is None:
+            raise FormatError(
+                f"no formatter registered for suffix {suffix!r} (path {dataset_path})"
+            )
+        return formatter_cls(dataset_path=dataset_path, text_keys=text_keys, **kwargs)
+    if path.is_dir() or is_glob(str(dataset_path)):
+        counts = ShardedSource(dataset_path).suffix_counts()
+        loadable = {
+            suffix: count
+            for suffix, count in counts.items()
+            if _formatter_for_suffix(suffix) is not None
+        }
+        if not loadable:
+            raise FormatError(
+                f"no loadable files under {dataset_path}; "
+                f"found suffixes {sorted(counts)} but no formatter accepts any of them"
+            )
+        # most common loadable suffix; ties break deterministically by name
+        suffix = max(sorted(loadable), key=loadable.get)
+        formatter_cls = _formatter_for_suffix(suffix)
+        return formatter_cls(dataset_path=dataset_path, text_keys=text_keys, **kwargs)
+    raise FormatError(f"path not found: {dataset_path}")
 
 
 def load_dataset(dataset_path: str, text_keys=("text",), **kwargs) -> NestedDataset:

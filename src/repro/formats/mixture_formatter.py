@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.base_op import Formatter
 from repro.core.dataset import NestedDataset
@@ -12,14 +13,45 @@ from repro.core.registry import FORMATTERS
 from repro.core.sample import Fields
 
 
+def largest_remainder_allocation(total: int, weights: Sequence[float], capacities: Sequence[int]) -> list[int]:
+    """Apportion ``total`` samples over sources by weight, never overshooting.
+
+    Independent per-source rounding (``int(round(total * w))``) can overshoot
+    the target — weights ``[.5, .5]`` with ``total=7`` round to ``4 + 4 = 8``.
+    The largest-remainder method allocates floors first and hands the missing
+    units to the largest fractional remainders, so the quotas sum to exactly
+    ``total``.  Each quota is then capped by its source's capacity — weights
+    stay *sampling proportions* (a small source under-fills its quota rather
+    than spilling it to the other sources), so the result never exceeds
+    ``total`` and equals it whenever every source can fill its quota.
+    """
+    weight_sum = sum(weights)
+    if weight_sum <= 0 or total <= 0:
+        return [0] * len(weights)
+    exact = [total * weight / weight_sum for weight in weights]
+    quotas = [int(math.floor(value)) for value in exact]
+    leftover = total - sum(quotas)
+    by_remainder = sorted(
+        range(len(weights)),
+        key=lambda index: (-(exact[index] - math.floor(exact[index])), index),
+    )
+    for index in by_remainder[:leftover]:
+        quotas[index] += 1
+    return [min(quota, capacity) for quota, capacity in zip(quotas, capacities)]
+
+
 @FORMATTERS.register_module("mixture_formatter")
 class MixtureFormatter(Formatter):
     """Build a mixture dataset from several already-loaded datasets.
 
     ``weights`` are per-source sampling proportions (they need not sum to 1;
-    they are normalised).  ``max_samples`` bounds the size of the mixture.
-    Each sample is tagged with its source name under ``__source__`` so recipes
-    and analyzers can report per-component statistics (Table 7 of the paper).
+    they are normalised).  ``max_samples`` bounds the size of the mixture;
+    per-source takes are apportioned with the largest-remainder method so
+    they sum to exactly the target (never overshooting — a source smaller
+    than its quota under-fills it, keeping the weights true proportions).
+    Each sample is tagged with its source name under ``__source__`` so
+    recipes and analyzers can report per-component statistics (Table 7 of
+    the paper).
     """
 
     def __init__(
@@ -36,7 +68,12 @@ class MixtureFormatter(Formatter):
         self.max_samples = max_samples
         self.seed = seed
 
-    def load_dataset(self) -> NestedDataset:
+    def _plan(self) -> list[tuple[str, int]]:
+        """Deterministic shuffled pick list of ``(source_name, row_index)`` pairs.
+
+        Only indices are materialised here — the row payloads are fetched
+        lazily by :meth:`iter_records`, keeping the mixture path streamable.
+        """
         if not self.datasets:
             raise FormatError("mixture_formatter requires at least one source dataset")
         names = list(self.datasets)
@@ -46,21 +83,28 @@ class MixtureFormatter(Formatter):
             raise FormatError("mixture weights must contain at least one positive value")
         normalized = [weight / total_weight for weight in raw_weights]
 
-        total_available = sum(len(dataset) for dataset in self.datasets.values())
+        capacities = [len(self.datasets[name]) for name in names]
+        total_available = sum(capacities)
         target_total = min(self.max_samples or total_available, total_available)
 
+        takes = largest_remainder_allocation(target_total, normalized, capacities)
         rng = random.Random(self.seed)
-        mixed_rows: list[dict] = []
-        for name, weight in zip(names, normalized):
-            dataset = self.datasets[name]
-            take = min(len(dataset), int(round(target_total * weight)))
-            indices = rng.sample(range(len(dataset)), take) if take < len(dataset) else list(range(len(dataset)))
-            for index in sorted(indices):
-                row = dict(dataset[index])
-                row[Fields.source] = name
-                mixed_rows.append(row)
-        rng.shuffle(mixed_rows)
-        return NestedDataset.from_list(self.unify_samples(mixed_rows, self.text_keys))
+        picks: list[tuple[str, int]] = []
+        for name, take, capacity in zip(names, takes, capacities):
+            indices = rng.sample(range(capacity), take) if take < capacity else list(range(capacity))
+            picks.extend((name, index) for index in sorted(indices))
+        rng.shuffle(picks)
+        return picks
+
+    def iter_records(self) -> Iterator[dict]:
+        """Lazily yield the mixed samples (payloads fetched one at a time)."""
+        for name, index in self._plan():
+            row = dict(self.datasets[name][index])
+            row[Fields.source] = name
+            yield self.unify_sample(row, self.text_keys)
+
+    def load_dataset(self) -> NestedDataset:
+        return NestedDataset.from_list(list(self.iter_records()))
 
     @staticmethod
     def mix(

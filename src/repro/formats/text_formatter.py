@@ -3,44 +3,28 @@
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Iterator
 
-from repro.core.base_op import Formatter
-from repro.core.dataset import NestedDataset
-from repro.core.errors import FormatError
 from repro.core.registry import FORMATTERS
 from repro.core.sample import Fields
+from repro.formats.sharded import ShardedFileFormatter, effective_suffix, open_shard
 
 
-class _FileFormatter(Formatter):
-    """Shared implementation: one sample per file (or per paragraph for txt)."""
+class _FileFormatter(ShardedFileFormatter):
+    """Shared implementation: one sample per file, streamed in path order.
 
-    split_paragraphs = False
+    Directory, glob and ``.gz``-compressed inputs all resolve through
+    :class:`~repro.formats.sharded.ShardedSource`.
+    """
 
-    def _paths(self) -> list[Path]:
-        root = Path(self.dataset_path)
-        if root.is_dir():
-            paths = sorted(
-                path for path in root.rglob("*") if path.is_file() and path.suffix in self.SUFFIXES
-            )
-        elif root.is_file():
-            paths = [root]
-        else:
-            raise FormatError(f"path not found: {root}")
-        if not paths:
-            raise FormatError(f"no files with suffixes {self.SUFFIXES} under {root}")
-        return paths
-
-    def load_dataset(self) -> NestedDataset:
-        records = []
-        for path in self._paths():
-            content = path.read_text(encoding="utf-8", errors="replace")
-            record = {
-                Fields.text: content,
-                Fields.meta: {"source_file": str(path)},
-                Fields.suffix: path.suffix,
-            }
-            records.append(record)
-        return NestedDataset.from_list(self.unify_samples(records, self.text_keys))
+    def iter_file_records(self, path: Path) -> Iterator[dict]:
+        with open_shard(path, errors="replace") as handle:
+            content = handle.read()
+        yield {
+            Fields.text: content,
+            Fields.meta: {"source_file": str(path)},
+            Fields.suffix: effective_suffix(path),
+        }
 
 
 @FORMATTERS.register_module("text_formatter")

@@ -251,6 +251,15 @@ BUILT_IN_RECIPES: dict[str, dict] = {
         [{"clean_copyright_mapper": {}}, {"remove_non_printable_mapper": {}}],
         op_fusion=False,
     ),
+    # --- out-of-core variant: the Common-Crawl refinement in streaming mode,
+    # sized so one shard stays a few MB of text regardless of corpus scale ---
+    "pretrain-common-crawl-stream-en": _recipe(
+        "pretrain-common-crawl-stream-en",
+        _COMMON_CLEANING + _WEB_FILTERING + _DEDUP,
+        stream=True,
+        max_shard_rows=4096,
+        max_shard_chars=4_000_000,
+    ),
 }
 
 

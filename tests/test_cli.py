@@ -47,6 +47,36 @@ class TestProcess:
         assert len(export.read_text().splitlines()) == 2  # duplicate removed
         assert "kept 2 samples" in capsys.readouterr().out
 
+    def test_process_stream_matches_in_memory(self, dataset_file, tmp_path, capsys):
+        memory_export = tmp_path / "memory.jsonl"
+        stream_export = tmp_path / "stream.jsonl"
+        common = ["process", "--dataset", str(dataset_file), "--recipe", "dedup-only-exact"]
+        assert main(common + ["--export", str(memory_export), "--work-dir", str(tmp_path / "wm")]) == 0
+        code = main(
+            common
+            + [
+                "--export", str(stream_export),
+                "--work-dir", str(tmp_path / "ws"),
+                "--stream", "--max-shard-rows", "2",
+            ]
+        )
+        assert code == 0
+        assert "kept 2 samples" in capsys.readouterr().out
+        assert stream_export.read_bytes() == memory_export.read_bytes()
+
+    def test_shard_output_requires_stream(self, dataset_file, tmp_path):
+        with pytest.raises(SystemExit, match="requires --stream"):
+            main(
+                [
+                    "process",
+                    "--dataset", str(dataset_file),
+                    "--recipe", "dedup-only-exact",
+                    "--export", str(tmp_path / "out.jsonl"),
+                    "--work-dir", str(tmp_path / "work"),
+                    "--shard-output",
+                ]
+            )
+
     def test_process_with_recipe_file(self, dataset_file, tmp_path):
         recipe_path = tmp_path / "recipe.json"
         recipe_path.write_text(

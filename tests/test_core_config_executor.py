@@ -173,3 +173,38 @@ class TestExecutor:
         executor = Executor({"process": PROCESS, "op_fusion": False})
         categories = [entry["category"] for entry in executor.plan]
         assert categories == ["mapper", "mapper", "filter", "deduplicator"]
+
+    def test_stale_checkpoint_not_resumed_after_config_change(self, tmp_path):
+        """Regression: resume used to match on op *names* only, so editing a
+        filter's threshold silently reused data produced by the old config."""
+        data = NestedDataset.from_list(
+            [{"text": "short doc here padd"}, {"text": "a much longer document " * 4}]
+        )
+        base = {
+            "process": [{"text_length_filter": {"min_len": 10}}],
+            "use_checkpoint": True,
+            "checkpoint_dir": str(tmp_path / "ckpt"),
+        }
+        first = Executor(base).run(data)
+        assert len(first) == 2
+
+        # same op name, different threshold: the checkpoint must be ignored
+        edited = dict(base)
+        edited["process"] = [{"text_length_filter": {"min_len": 50}}]
+        second = Executor(edited).run(data)
+        assert len(second) == 1
+
+        # unchanged config still resumes from the completed checkpoint
+        third = Executor(edited).run(data)
+        assert len(third) == 1
+
+    def test_checkpoint_state_records_op_hashes(self, tmp_path):
+        config = {
+            "process": PROCESS,
+            "use_checkpoint": True,
+            "checkpoint_dir": str(tmp_path / "ckpt"),
+        }
+        executor = Executor(config)
+        executor.run(NestedDataset.from_list(sample_rows()))
+        state = executor.checkpoint.read_state()
+        assert len(state["op_hashes"]) == len(PROCESS)

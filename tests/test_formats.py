@@ -1,5 +1,6 @@
 """Tests for formatters: jsonl/json/csv/tsv/text/code loading, dispatch and mixing."""
 
+import gzip
 import json
 
 import pytest
@@ -9,8 +10,9 @@ from repro.core.sample import Fields
 from repro.formats.csv_formatter import CsvFormatter, TsvFormatter
 from repro.formats.jsonl_formatter import JsonFormatter, JsonlFormatter
 from repro.formats.load import load_dataset, load_formatter
-from repro.formats.mixture_formatter import MixtureFormatter, mix_datasets
-from repro.formats.text_formatter import CodeFormatter, TextFormatter
+from repro.formats.mixture_formatter import MixtureFormatter, largest_remainder_allocation, mix_datasets
+from repro.formats.sharded import ShardedSource, effective_suffix, open_shard
+from repro.formats.text_formatter import CodeFormatter, MarkdownFormatter, TextFormatter
 from repro.synth import wikipedia_like
 
 
@@ -125,6 +127,155 @@ class TestDispatch:
             load_formatter(str(path))
 
 
+class TestShardedSource:
+    def test_effective_suffix_strips_gz(self):
+        assert effective_suffix("shard.jsonl.gz") == ".jsonl"
+        assert effective_suffix("shard.jsonl") == ".jsonl"
+        assert effective_suffix("bare.gz") == ".gz"
+
+    def test_directory_resolution_is_sorted_and_filtered(self, tmp_path):
+        (tmp_path / "b.jsonl").write_text('{"text": "b"}\n')
+        (tmp_path / "a.jsonl").write_text('{"text": "a"}\n')
+        (tmp_path / "skip.bin").write_text("x")
+        files = ShardedSource(tmp_path, suffixes=(".jsonl",)).files()
+        assert [path.name for path in files] == ["a.jsonl", "b.jsonl"]
+
+    def test_glob_resolution(self, tmp_path):
+        (tmp_path / "shard-1.jsonl").write_text('{"text": "1"}\n')
+        (tmp_path / "shard-2.jsonl").write_text('{"text": "2"}\n')
+        (tmp_path / "other.jsonl").write_text('{"text": "o"}\n')
+        files = ShardedSource(str(tmp_path / "shard-*.jsonl")).files()
+        assert [path.name for path in files] == ["shard-1.jsonl", "shard-2.jsonl"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FormatError, match="not found"):
+            ShardedSource(tmp_path / "missing").files()
+
+    def test_no_matching_suffix_raises(self, tmp_path):
+        (tmp_path / "a.bin").write_text("x")
+        with pytest.raises(FormatError):
+            ShardedSource(tmp_path, suffixes=(".jsonl",)).files()
+
+    def test_open_shard_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "data.jsonl.gz"
+        with open_shard(path, "w") as handle:
+            handle.write("hello\n")
+        with open_shard(path) as handle:
+            assert handle.read() == "hello\n"
+
+    def test_gzip_bytes_are_deterministic(self, tmp_path):
+        first, second = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        for path in (first, second):
+            with open_shard(path, "w") as handle:
+                handle.write("same content\n")
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestShardedRoundTrips:
+    """Every formatter loads directory, glob and gzip inputs (satellite task)."""
+
+    def _expect_texts(self, dataset, texts):
+        assert [row[Fields.text] for row in dataset] == texts
+
+    def test_jsonl_directory_glob_and_gzip(self, tmp_path):
+        (tmp_path / "a.jsonl").write_text('{"text": "alpha"}\n')
+        with gzip.open(tmp_path / "b.jsonl.gz", "wt", encoding="utf-8") as handle:
+            handle.write('{"text": "beta"}\n')
+        directory = JsonlFormatter(dataset_path=str(tmp_path)).load_dataset()
+        self._expect_texts(directory, ["alpha", "beta"])
+        assert directory[1][Fields.suffix] == ".jsonl"  # .gz envelope is transparent
+        glob_ds = JsonlFormatter(dataset_path=str(tmp_path / "*.jsonl*")).load_dataset()
+        self._expect_texts(glob_ds, ["alpha", "beta"])
+        gz_only = JsonlFormatter(dataset_path=str(tmp_path / "b.jsonl.gz")).load_dataset()
+        self._expect_texts(gz_only, ["beta"])
+
+    def test_json_directory_glob_and_gzip(self, tmp_path):
+        (tmp_path / "a.json").write_text(json.dumps([{"text": "one"}, {"text": "two"}]))
+        with gzip.open(tmp_path / "b.json.gz", "wt", encoding="utf-8") as handle:
+            handle.write(json.dumps({"text": "three"}))
+        directory = JsonFormatter(dataset_path=str(tmp_path)).load_dataset()
+        self._expect_texts(directory, ["one", "two", "three"])
+        glob_ds = JsonFormatter(dataset_path=str(tmp_path / "*.json*")).load_dataset()
+        assert len(glob_ds) == 3
+
+    def test_csv_and_tsv_directory_glob_and_gzip(self, tmp_path):
+        (tmp_path / "a.csv").write_text("text,label\nfirst,1\n")
+        with gzip.open(tmp_path / "b.csv.gz", "wt", encoding="utf-8") as handle:
+            handle.write("text,label\nsecond,2\n")
+        directory = CsvFormatter(dataset_path=str(tmp_path)).load_dataset()
+        self._expect_texts(directory, ["first", "second"])
+        glob_ds = CsvFormatter(dataset_path=str(tmp_path / "*.csv*")).load_dataset()
+        assert len(glob_ds) == 2
+
+        tsv_dir = tmp_path / "tsv"
+        tsv_dir.mkdir()
+        (tsv_dir / "a.tsv").write_text("text\tlabel\nalpha\t1\n")
+        with gzip.open(tsv_dir / "b.tsv.gz", "wt", encoding="utf-8") as handle:
+            handle.write("text\tlabel\nbeta\t2\n")
+        self._expect_texts(TsvFormatter(dataset_path=str(tsv_dir)).load_dataset(), ["alpha", "beta"])
+
+    def test_text_markdown_code_directory_glob_and_gzip(self, tmp_path):
+        (tmp_path / "a.txt").write_text("plain one")
+        with gzip.open(tmp_path / "b.txt.gz", "wt", encoding="utf-8") as handle:
+            handle.write("plain two")
+        directory = TextFormatter(dataset_path=str(tmp_path)).load_dataset()
+        self._expect_texts(directory, ["plain one", "plain two"])
+        glob_ds = TextFormatter(dataset_path=str(tmp_path / "*.txt*")).load_dataset()
+        assert len(glob_ds) == 2
+
+        (tmp_path / "doc.md").write_text("# heading")
+        self._expect_texts(
+            MarkdownFormatter(dataset_path=str(tmp_path)).load_dataset(), ["# heading"]
+        )
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        self._expect_texts(CodeFormatter(dataset_path=str(tmp_path)).load_dataset(), ["x = 1\n"])
+
+    def test_iter_records_is_lazy(self, tmp_path):
+        (tmp_path / "a.jsonl").write_text('{"text": "ok"}\n{not json}\n')
+        iterator = JsonlFormatter(dataset_path=str(tmp_path / "a.jsonl")).iter_records()
+        first = next(iterator)
+        assert first[Fields.text] == "ok"
+        with pytest.raises(FormatError, match="invalid JSON"):
+            next(iterator)
+
+
+class TestDirectoryDispatch:
+    def test_directory_of_jsonl_loads_end_to_end(self, tmp_path):
+        """Regression: directories used to crash with a raw IsADirectoryError."""
+        (tmp_path / "a.jsonl").write_text('{"text": "alpha"}\n')
+        (tmp_path / "b.jsonl").write_text('{"text": "beta"}\n')
+        dataset = load_dataset(str(tmp_path))
+        assert sorted(row[Fields.text] for row in dataset) == ["alpha", "beta"]
+
+    def test_majority_unloadable_suffix_does_not_win(self, tmp_path):
+        """Regression: the most common suffix used to win even when unloadable."""
+        (tmp_path / "a.parquet").write_text("binary-ish")
+        (tmp_path / "b.parquet").write_text("binary-ish")
+        (tmp_path / "c.parquet").write_text("binary-ish")
+        (tmp_path / "d.jsonl").write_text('{"text": "only loadable"}\n')
+        dataset = load_dataset(str(tmp_path))
+        assert len(dataset) == 1
+        assert dataset[0][Fields.text] == "only loadable"
+
+    def test_no_loadable_suffix_raises_format_error(self, tmp_path):
+        (tmp_path / "a.parquet").write_text("x")
+        with pytest.raises(FormatError, match="no loadable files"):
+            load_formatter(str(tmp_path))
+
+    def test_glob_dispatch(self, tmp_path):
+        (tmp_path / "s1.jsonl").write_text('{"text": "a"}\n')
+        (tmp_path / "s2.jsonl.gz").write_bytes(
+            gzip.compress(b'{"text": "b"}\n')
+        )
+        dataset = load_dataset(str(tmp_path / "s*.jsonl*"))
+        assert sorted(row[Fields.text] for row in dataset) == ["a", "b"]
+
+    def test_gz_file_dispatches_on_inner_suffix(self, tmp_path):
+        path = tmp_path / "data.jsonl.gz"
+        path.write_bytes(gzip.compress(b'{"text": "zipped"}\n'))
+        assert isinstance(load_formatter(str(path)), JsonlFormatter)
+
+
 class TestMixtureFormatter:
     def test_weights_control_composition(self):
         heavy = wikipedia_like(num_samples=60, seed=1)
@@ -158,3 +309,51 @@ class TestMixtureFormatter:
         first = mix_datasets({"a": data}, {"a": 1.0}, max_samples=10, seed=2)
         second = mix_datasets({"a": data}, {"a": 1.0}, max_samples=10, seed=2)
         assert first.to_list() == second.to_list()
+
+    def test_max_samples_never_overshoots(self):
+        """Regression: per-source rounding summed to more than max_samples."""
+        heavy = wikipedia_like(num_samples=40, seed=7)
+        light = wikipedia_like(num_samples=40, seed=8)
+        mixed = mix_datasets(
+            {"a": heavy, "b": light}, {"a": 0.5, "b": 0.5}, max_samples=7, seed=0
+        )
+        assert len(mixed) == 7  # int(round(3.5)) + int(round(3.5)) was 8
+
+    @pytest.mark.parametrize("max_samples", [1, 3, 7, 10, 23])
+    def test_takes_sum_exactly_to_target(self, max_samples):
+        sources = {name: wikipedia_like(num_samples=30, seed=index) for index, name in enumerate("abc")}
+        mixed = mix_datasets(sources, {"a": 0.33, "b": 0.33, "c": 0.34}, max_samples=max_samples)
+        assert len(mixed) == max_samples
+
+    def test_capacity_caps_without_respill(self):
+        """Weights stay sampling proportions: an exhausted source under-fills
+        its quota instead of inflating the other sources' shares."""
+        small = wikipedia_like(num_samples=2, seed=9)
+        big = wikipedia_like(num_samples=50, seed=10)
+        mixed = mix_datasets({"small": small, "big": big}, {"small": 0.9, "big": 0.1},
+                             max_samples=20, seed=0)
+        sources = [row[Fields.source] for row in mixed]
+        assert sources.count("small") == 2  # quota 18, capped by capacity
+        assert sources.count("big") == 2  # quota 2, unaffected by the cap
+
+    def test_lazy_iter_records_matches_load(self):
+        data = wikipedia_like(num_samples=20, seed=11)
+        formatter = MixtureFormatter(datasets={"a": data}, weights={"a": 1.0}, max_samples=10, seed=3)
+        assert list(formatter.iter_records()) == formatter.load_dataset().to_list()
+
+
+class TestLargestRemainderAllocation:
+    def test_classic_overshoot_case(self):
+        assert largest_remainder_allocation(7, [0.5, 0.5], [100, 100]) == [4, 3]
+
+    def test_capacity_caps_each_quota(self):
+        assert largest_remainder_allocation(100, [0.5, 0.5], [10, 20]) == [10, 20]
+
+    def test_zero_total(self):
+        assert largest_remainder_allocation(0, [1.0], [5]) == [0]
+
+    def test_proportions_respected(self):
+        assert largest_remainder_allocation(10, [0.9, 0.1], [100, 100]) == [9, 1]
+
+    def test_exhausted_source_does_not_inflate_others(self):
+        assert largest_remainder_allocation(20, [0.9, 0.1], [2, 100]) == [2, 2]

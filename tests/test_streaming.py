@@ -1,0 +1,503 @@
+"""Tests for the out-of-core streaming engine (shards, spill, two-pass resolve).
+
+The invariant under test everywhere: ``Executor.run_streaming`` produces
+*byte-identical* exports to the in-memory ``Executor.run`` path, while never
+holding more than one shard of payload in memory.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.core.base_op import Deduplicator, Filter, Mapper, Selector
+from repro.core.dataset import NestedDataset
+from repro.core.errors import DatasetError
+from repro.core.executor import Executor
+from repro.core.exporter import Exporter
+from repro.core.sample import Fields
+from repro.core.stream import (
+    DEFAULT_SHARD_ROWS,
+    ShardStore,
+    iter_record_shards,
+    op_config_hash,
+    plan_segments,
+)
+from repro.formats.jsonl_formatter import JsonlFormatter
+from repro.ops import build_ops
+from repro.recipes import get_recipe
+from repro.synth.generators import DocumentGenerator, NoiseInjector
+
+
+def messy_corpus_rows(num_samples: int = 240, seed: int = 7, duplicates: int = 40) -> list[dict]:
+    """Web-like rows with noise and exact duplicates so every op category bites."""
+    generator = DocumentGenerator(seed)
+    noise = NoiseInjector(seed + 1)
+    rng = random.Random(seed + 2)
+    rows = []
+    for index in range(num_samples):
+        roll = rng.random()
+        if roll < 0.6:
+            text = generator.paragraph(num_sentences=rng.randint(1, 3))
+        elif roll < 0.85:
+            text = noise.corrupt(generator.paragraph(num_sentences=2), kinds=["links", "repetition"])
+        else:
+            text = noise.gibberish(length=rng.randint(60, 200))
+        rows.append({"text": text, "meta": {"n": index}})
+    for _ in range(duplicates):
+        rows.append(dict(rng.choice(rows)))
+    rng.shuffle(rows)
+    return rows
+
+
+def write_jsonl(path, rows):
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, ensure_ascii=False) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Shard chunking and segment planning
+# ----------------------------------------------------------------------
+class TestIterRecordShards:
+    def test_row_budget(self):
+        shards = list(iter_record_shards(({"text": "x"} for _ in range(10)), max_rows=4))
+        assert [len(shard) for shard in shards] == [4, 4, 2]
+
+    def test_char_budget(self):
+        records = [{"text": "abcde"} for _ in range(6)]
+        shards = list(iter_record_shards(iter(records), max_chars=10))
+        # each shard closes once >= 10 chars are in it (two 5-char rows)
+        assert [len(shard) for shard in shards] == [2, 2, 2]
+
+    def test_default_budget_applies(self):
+        shards = list(iter_record_shards(({"text": "x"} for _ in range(5))))
+        assert len(shards) == 1 and len(shards[0]) == 5
+        assert DEFAULT_SHARD_ROWS > 1
+
+    def test_both_budgets_whichever_first(self):
+        records = [{"text": "abcdefghij"} for _ in range(9)]
+        shards = list(iter_record_shards(iter(records), max_rows=5, max_chars=30))
+        # the 30-char budget (3 rows) closes shards before the row budget
+        assert [len(shard) for shard in shards] == [3, 3, 3]
+
+    def test_invalid_budget_raises(self):
+        with pytest.raises(DatasetError):
+            list(iter_record_shards(iter([]), max_rows=0))
+
+
+class TestPlanSegments:
+    def test_sample_ops_merge_into_one_segment(self):
+        ops = build_ops([
+            {"whitespace_normalization_mapper": {}},
+            {"text_length_filter": {"min_len": 1}},
+        ])
+        segments = plan_segments(ops)
+        assert len(segments) == 1
+        assert segments[0].global_op is None
+        assert [type(op).__base__ for op in segments[0].sample_ops] == [Mapper, Filter]
+
+    def test_global_ops_close_segments(self):
+        ops = build_ops([
+            {"whitespace_normalization_mapper": {}},
+            {"document_deduplicator": {}},
+            {"text_length_filter": {"min_len": 1}},
+            {"random_selector": {"select_num": 5}},
+        ])
+        segments = plan_segments(ops)
+        assert len(segments) == 2
+        assert isinstance(segments[0].global_op, Deduplicator)
+        assert isinstance(segments[1].global_op, Selector)
+
+    def test_trailing_global_op_has_no_extra_segment(self):
+        ops = build_ops([
+            {"whitespace_normalization_mapper": {}},
+            {"document_deduplicator": {}},
+        ])
+        segments = plan_segments(ops)
+        assert len(segments) == 1
+        assert isinstance(segments[0].global_op, Deduplicator)
+
+    def test_empty_pipeline_yields_passthrough_segment(self):
+        segments = plan_segments([])
+        assert len(segments) == 1
+        assert segments[0].sample_ops == [] and segments[0].global_op is None
+
+    def test_unknown_dataset_level_op_fails_fast(self):
+        from repro.core.base_op import OP
+
+        class CustomGlobalOp(OP):
+            _name = "custom_global_op"
+
+        with pytest.raises(DatasetError, match="custom_global_op"):
+            plan_segments([CustomGlobalOp()])
+
+    def test_op_config_hash_tracks_parameters(self):
+        op_a, op_b = build_ops([{"text_length_filter": {"min_len": 1}}])[0], build_ops(
+            [{"text_length_filter": {"min_len": 2}}]
+        )[0]
+        assert op_config_hash(op_a) != op_config_hash(op_b)
+        assert op_config_hash(op_a) == op_config_hash(
+            build_ops([{"text_length_filter": {"min_len": 1}}])[0]
+        )
+
+
+# ----------------------------------------------------------------------
+# Streaming vs in-memory equality
+# ----------------------------------------------------------------------
+#: the fig8 workload recipes (see benchmarks/test_fig8_end_to_end.py)
+FIG8_RECIPES = [
+    "pretrain-books-refine-en",
+    "pretrain-arxiv-refine-en",
+    "pretrain-c4-refine-en",
+]
+
+
+class TestStreamingEquality:
+    @pytest.mark.parametrize("recipe_name", FIG8_RECIPES)
+    def test_fig8_recipes_byte_identical(self, tmp_path, recipe_name):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows())
+        process = get_recipe(recipe_name)["process"]
+
+        memory_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "memory.jsonl"),
+            "process": process,
+            "work_dir": str(tmp_path / "work-memory"),
+        }
+        stream_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "stream.jsonl"),
+            "process": process,
+            "work_dir": str(tmp_path / "work-stream"),
+            "max_shard_rows": 37,
+        }
+        result = Executor(memory_cfg).run()
+        report = Executor(stream_cfg).run_streaming()
+
+        assert report["shards"]["input_shards"] > 5
+        assert report["num_output_samples"] == len(result)
+        assert (tmp_path / "stream.jsonl").read_bytes() == (tmp_path / "memory.jsonl").read_bytes()
+
+    def test_selector_and_char_budget(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows())
+        process = [
+            {"whitespace_normalization_mapper": {}},
+            {"words_num_filter": {"min_num": 5}},
+            {"topk_specified_field_selector": {"field_key": "__stats__.num_words", "topk": 50}},
+            {"document_simhash_deduplicator": {}},
+        ]
+        memory_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "memory.jsonl"),
+            "process": process,
+            "work_dir": str(tmp_path / "wm"),
+        }
+        stream_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "stream.jsonl"),
+            "process": process,
+            "work_dir": str(tmp_path / "ws"),
+            "max_shard_chars": 15_000,
+        }
+        result = Executor(memory_cfg).run()
+        report = Executor(stream_cfg).run_streaming()
+        assert report["num_output_samples"] == len(result) <= 50
+        assert (tmp_path / "stream.jsonl").read_bytes() == (tmp_path / "memory.jsonl").read_bytes()
+
+    def test_in_memory_dataset_input(self, tmp_path):
+        dataset = NestedDataset.from_list(
+            JsonlFormatter(
+                dataset_path=str(write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows(80)))
+            ).load_dataset().to_list()
+        )
+        process = [{"text_length_filter": {"min_len": 40}}, {"document_deduplicator": {}}]
+        stream_cfg = {
+            "process": process,
+            "export_path": str(tmp_path / "stream.jsonl"),
+            "work_dir": str(tmp_path / "ws"),
+            "max_shard_rows": 16,
+        }
+        memory_cfg = {
+            "process": process,
+            "export_path": str(tmp_path / "memory.jsonl"),
+            "work_dir": str(tmp_path / "wm"),
+        }
+        result = Executor(memory_cfg).run(dataset)
+        report = Executor(stream_cfg).run_streaming(dataset)
+        assert report["num_output_samples"] == len(result)
+        assert (tmp_path / "stream.jsonl").read_bytes() == (tmp_path / "memory.jsonl").read_bytes()
+
+    def test_empty_input_streams_cleanly(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", [])
+        # an empty .jsonl file is a valid (zero-record) shard
+        stream_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "stream.jsonl"),
+            "process": [{"document_deduplicator": {}}],
+            "work_dir": str(tmp_path / "ws"),
+        }
+        report = Executor(stream_cfg).run_streaming()
+        assert report["num_output_samples"] == 0
+        assert (tmp_path / "stream.jsonl").read_text() == ""
+
+    def test_worker_pool_streaming(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows(120))
+        process = [
+            {"whitespace_normalization_mapper": {}},
+            {"text_length_filter": {"min_len": 40}},
+            {"document_deduplicator": {}},
+        ]
+        memory_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "memory.jsonl"),
+            "process": process,
+            "work_dir": str(tmp_path / "wm"),
+        }
+        stream_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "stream.jsonl"),
+            "process": process,
+            "work_dir": str(tmp_path / "ws"),
+            "max_shard_rows": 30,
+            "np": 2,
+        }
+        Executor(memory_cfg).run()
+        with Executor(stream_cfg) as executor:
+            report = executor.run_streaming()
+            assert report["parallel"]["start_method"] is not None
+        assert (tmp_path / "stream.jsonl").read_bytes() == (tmp_path / "memory.jsonl").read_bytes()
+
+
+# ----------------------------------------------------------------------
+# Shard-granular checkpointing
+# ----------------------------------------------------------------------
+def stream_config(tmp_path, input_path, process):
+    return {
+        "dataset_path": str(input_path),
+        "export_path": str(tmp_path / "out.jsonl"),
+        "process": process,
+        "work_dir": str(tmp_path / "work"),
+        "max_shard_rows": 25,
+        "use_checkpoint": True,
+        "checkpoint_dir": str(tmp_path / "ckpt"),
+    }
+
+
+PROCESS = [
+    {"whitespace_normalization_mapper": {}},
+    {"text_length_filter": {"min_len": 40}},
+    {"document_deduplicator": {}},
+    {"words_num_filter": {"min_num": 5}},
+]
+
+
+class TestShardCheckpointing:
+    def test_crash_resumes_mid_corpus(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows(200))
+        config = stream_config(tmp_path, input_path, PROCESS)
+
+        crashing = Executor(config)
+        calls = {"count": 0}
+        original = crashing.ops[0].process_batched
+
+        def bomb(samples):
+            calls["count"] += 1
+            if calls["count"] > 3:
+                raise RuntimeError("simulated crash")
+            return original(samples)
+
+        crashing.ops[0].process_batched = bomb
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            crashing.run_streaming()
+
+        resumed = Executor(config)
+        report = resumed.run_streaming()
+        assert report["shards"]["resumed_shards"] > 0
+
+        reference_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "reference.jsonl"),
+            "process": PROCESS,
+            "work_dir": str(tmp_path / "wm"),
+        }
+        Executor(reference_cfg).run()
+        assert (tmp_path / "out.jsonl").read_bytes() == (tmp_path / "reference.jsonl").read_bytes()
+
+    def test_completed_run_is_fully_reused(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows(100))
+        config = stream_config(tmp_path, input_path, PROCESS)
+        first = Executor(config).run_streaming()
+        assert first["shards"]["executed_shards"] > 0
+        second = Executor(config).run_streaming()
+        assert second["shards"]["executed_shards"] == 0
+        assert second["shards"]["resumed_shards"] > 0
+        assert second["num_output_samples"] == first["num_output_samples"]
+
+    def test_config_change_invalidates_stream_checkpoint(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows(100))
+        config = stream_config(tmp_path, input_path, PROCESS)
+        Executor(config).run_streaming()
+
+        edited = dict(config)
+        edited["process"] = [
+            {"whitespace_normalization_mapper": {}},
+            {"text_length_filter": {"min_len": 60}},  # edited threshold
+            {"document_deduplicator": {}},
+            {"words_num_filter": {"min_num": 5}},
+        ]
+        report = Executor(edited).run_streaming()
+        assert report["shards"]["resumed_shards"] == 0
+        assert report["shards"]["executed_shards"] > 0
+
+    def test_shard_budget_change_invalidates_stream_checkpoint(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows(100))
+        config = stream_config(tmp_path, input_path, PROCESS)
+        Executor(config).run_streaming()
+        edited = dict(config)
+        edited["max_shard_rows"] = 40
+        report = Executor(edited).run_streaming()
+        assert report["shards"]["resumed_shards"] == 0
+
+    def test_input_edit_invalidates_stream_checkpoint(self, tmp_path):
+        """Regression: resuming must notice that the input file changed."""
+        rows = messy_corpus_rows(100)
+        input_path = write_jsonl(tmp_path / "in.jsonl", rows)
+        config = stream_config(tmp_path, input_path, PROCESS)
+        Executor(config).run_streaming()
+
+        edited_rows = [{"text": "completely new " + row["text"], "meta": row["meta"]} for row in rows]
+        write_jsonl(input_path, edited_rows)
+        report = Executor(config).run_streaming()
+        assert report["shards"]["resumed_shards"] == 0
+        first_line = json.loads((tmp_path / "out.jsonl").read_text().splitlines()[0])
+        assert first_line["text"].startswith("completely new")
+
+
+class TestShardStore:
+    def test_atomic_write_and_read(self, tmp_path):
+        store = ShardStore(tmp_path / "spill")
+        rows = [{"text": "a", "n": 1}, {"text": "b", "n": 2}]
+        store.write_shard(0, 0, rows)
+        assert store.has_shard(0, 0)
+        assert store.read_shard_rows(0, 0) == rows
+        assert not store.has_shard(0, 1)
+
+    def test_clear(self, tmp_path):
+        store = ShardStore(tmp_path / "spill")
+        store.write_shard(0, 0, [{"text": "a"}])
+        store.write_shard(1, 3, [{"text": "b"}])
+        store.clear()
+        assert not store.has_shard(0, 0)
+        assert not store.has_shard(1, 3)
+
+
+# ----------------------------------------------------------------------
+# Sharded streaming export
+# ----------------------------------------------------------------------
+class TestShardedExport:
+    def test_numbered_gzip_shards_round_trip(self, tmp_path):
+        rows = [{"text": f"document number {index} with some body"} for index in range(25)]
+        exporter = Exporter(tmp_path / "out.jsonl.gz", shard_rows=10)
+        paths = exporter.export_stream(iter(rows))
+        assert [path.name for path in paths] == [
+            "out-00001.jsonl.gz",
+            "out-00002.jsonl.gz",
+            "out-00003.jsonl.gz",
+        ]
+        # the shard directory loads back as one dataset, in order
+        loaded = JsonlFormatter(dataset_path=str(tmp_path)).load_dataset()
+        assert [row[Fields.text] for row in loaded] == [row["text"] for row in rows]
+
+    def test_char_capped_shards(self, tmp_path):
+        rows = [{"text": "x" * 100} for _ in range(10)]
+        exporter = Exporter(tmp_path / "out.jsonl", shard_chars=250)
+        paths = exporter.export_stream(iter(rows))
+        assert len(paths) == 4  # three ~113-char lines exceed the 250-char cap
+        total = sum(len(path.read_text().splitlines()) for path in paths)
+        assert total == 10
+
+    def test_streaming_executor_shard_output(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows(80))
+        stream_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "export" / "out.jsonl.gz"),
+            "process": [{"text_length_filter": {"min_len": 40}}],
+            "work_dir": str(tmp_path / "ws"),
+            "max_shard_rows": 20,
+        }
+        report = Executor(stream_cfg).run_streaming(shard_output=True)
+        assert len(report["export_paths"]) > 1
+        loaded = JsonlFormatter(dataset_path=str(tmp_path / "export")).load_dataset()
+        assert len(loaded) == report["num_output_samples"]
+
+    def test_shard_output_without_budget_still_shards(self, tmp_path):
+        """Regression: --shard-output with no explicit budget wrote one file."""
+        rows = [{"text": f"row {index} body text here"} for index in range(10)]
+        input_path = write_jsonl(tmp_path / "in.jsonl", rows)
+        stream_cfg = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "out.jsonl"),
+            "process": [],
+            "work_dir": str(tmp_path / "ws"),
+        }
+        report = Executor(stream_cfg).run_streaming(shard_output=True)
+        assert [Path(p).name for p in map(str, report["export_paths"])] == ["out-00001.jsonl"]
+
+    def test_empty_stream_writes_one_empty_shard(self, tmp_path):
+        exporter = Exporter(tmp_path / "out.jsonl", shard_rows=5)
+        paths = exporter.export_stream(iter([]))
+        assert [path.name for path in paths] == ["out-00001.jsonl"]
+        assert paths[0].read_text() == ""
+
+    def test_json_array_cannot_shard(self, tmp_path):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError, match="line-oriented"):
+            Exporter(tmp_path / "out.json", shard_rows=5)
+
+    def test_rerun_removes_stale_higher_numbered_shards(self, tmp_path):
+        """Regression: a smaller re-export left old shards mixed with new."""
+        rows = [{"text": f"row {index}"} for index in range(10)]
+        Exporter(tmp_path / "out.jsonl", shard_rows=2).export_stream(iter(rows))
+        assert (tmp_path / "out-00005.jsonl").exists()
+        paths = Exporter(tmp_path / "out.jsonl", shard_rows=2).export_stream(iter(rows[:4]))
+        assert len(paths) == 2
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "out-00001.jsonl",
+            "out-00002.jsonl",
+        ]
+
+
+class TestStreamingFailureSafety:
+    def test_failed_run_leaves_no_spill_behind(self, tmp_path):
+        input_path = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows(60))
+        config = {
+            "dataset_path": str(input_path),
+            "export_path": str(tmp_path / "out.jsonl"),
+            "process": PROCESS,
+            "work_dir": str(tmp_path / "work"),
+            "max_shard_rows": 10,
+        }
+        executor = Executor(config)
+
+        def bomb(samples):
+            raise RuntimeError("boom")
+
+        executor.ops[0].process_batched = bomb
+        with pytest.raises(RuntimeError, match="boom"):
+            executor.run_streaming()
+        spill_root = tmp_path / "work" / "stream-spill"
+        assert not any(spill_root.iterdir())
+
+    def test_nonstandard_dedup_hash_key_fails_fast(self, tmp_path):
+        from repro.core.base_op import Deduplicator
+        from repro.core.stream import signature_column_names
+
+        class OddDeduplicator(Deduplicator):
+            _name = "odd_deduplicator"
+
+        with pytest.raises(DatasetError, match="odd_deduplicator"):
+            signature_column_names(OddDeduplicator(), ["text", "__odd_hash__"], "text")
