@@ -6,10 +6,13 @@
 #   make fig10       the Figure-10 scalability reproduction with its table
 #   make bench-batch batched-engine throughput suite; refreshes BENCH_batch_engine.json
 #   make bench-stream streaming-engine memory suite; refreshes BENCH_stream.json
+#   make docs        regenerate docs/ops_catalog.md from the operator registry
+#   make docs-check  fail when the committed catalog is out of sync (CI)
 
 PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
+REPRO = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro
 
-.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream
+.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check
 
 smoke:
 	$(PYTEST) -x -q
@@ -30,3 +33,9 @@ bench-batch:
 
 bench-stream:
 	$(PYTEST) -x -q -s benchmarks/test_stream_memory.py
+
+docs:
+	$(REPRO) docs-ops
+
+docs-check:
+	$(REPRO) docs-ops --check

@@ -4,18 +4,29 @@ This is the ``analyzer`` tool of Sec. 4.2: it applies a set of Filter operators
 in *compute-stats-only* mode (no sample is removed), then produces an overall
 summary, per-column histograms/box plots and a diversity report — the "data
 probe" that drives the feedback loop of Figure 5.
+
+Two consumption paths produce identical probes:
+
+* :meth:`Analyzer.analyze` takes a materialised :class:`NestedDataset`;
+* :meth:`Analyzer.analyze_stream` folds a lazy record stream sample by
+  sample, retaining only the skinny stats values and aggregated diversity
+  counters — never the text — so the output of a streaming run
+  (:meth:`Analyzer.analyze_run` walks a :class:`repro.core.report.RunReport`'s
+  export shards) can be analyzed with bounded memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.diversity_analysis import DiversityAnalysis, DiversityReport
 from repro.analysis.histogram import BoxPlot, Histogram, build_box_plot, build_histogram
 from repro.analysis.overall_analysis import ColumnSummary, OverallAnalysis, collect_stats_values
 from repro.core.base_op import Filter
 from repro.core.dataset import NestedDataset
+from repro.core.sample import Fields
 from repro.ops import load_ops
 
 #: Filters whose statistics form the default 13-dimension data probe.
@@ -104,30 +115,107 @@ class Analyzer:
 
         return dataset.map(add_all_stats)
 
-    def analyze(self, dataset: NestedDataset) -> DataProbe:
-        """Compute stats and return the full :class:`DataProbe`."""
-        with_stats = self.compute_stats(dataset)
-        summaries = OverallAnalysis(num_bins=self.num_bins).analyze(with_stats)
+    def _probe_from_values(
+        self,
+        num_samples: int,
+        values: dict[str, list],
+        diversity: DiversityReport | None,
+    ) -> DataProbe:
+        """Assemble the probe from pre-collected stats values (shared tail)."""
+        summaries = OverallAnalysis(num_bins=self.num_bins).analyze_values(values)
         histograms: dict[str, Histogram] = {}
         box_plots: dict[str, BoxPlot] = {}
-        for key, values in collect_stats_values(with_stats).items():
+        for key, raw_values in values.items():
             numeric = [
                 float(value)
-                for value in values
+                for value in raw_values
                 if isinstance(value, (int, float)) and not isinstance(value, bool)
             ]
             if numeric:
                 histograms[key] = build_histogram(key, numeric, num_bins=self.num_bins)
                 box_plots[key] = build_box_plot(key, numeric)
-        diversity = (
-            DiversityAnalysis(text_key=self.text_key).analyze(dataset)
-            if self.with_diversity
-            else None
-        )
         return DataProbe(
-            num_samples=len(dataset),
+            num_samples=num_samples,
             summaries=summaries,
             histograms=histograms,
             box_plots=box_plots,
             diversity=diversity,
         )
+
+    def analyze(self, dataset: NestedDataset) -> DataProbe:
+        """Compute stats and return the full :class:`DataProbe`."""
+        with_stats = self.compute_stats(dataset)
+        diversity = (
+            DiversityAnalysis(text_key=self.text_key).analyze(dataset)
+            if self.with_diversity
+            else None
+        )
+        return self._probe_from_values(
+            len(dataset), collect_stats_values(with_stats), diversity
+        )
+
+    def analyze_stream(self, records: Iterable[dict]) -> DataProbe:
+        """Analyze a lazy record stream with bounded memory.
+
+        Each record's probe statistics are computed one sample at a time and
+        only the per-key stats *values* (numbers, category labels) plus the
+        aggregated diversity counters are retained — the text payload is
+        dropped immediately, so peak memory scales with the number of stats
+        values, not with corpus bytes.  The resulting probe is identical to
+        :meth:`analyze` over the materialised dataset.
+        """
+        values: dict[str, list] = {}
+        diversity_analysis = DiversityAnalysis(text_key=self.text_key)
+        diversity = DiversityReport() if self.with_diversity else None
+        num_samples = 0
+        for record in records:
+            num_samples += 1
+            sample = dict(record)
+            for op in self.filters:
+                sample = op.compute_stats(sample)
+            for key, value in (sample.get(Fields.stats) or {}).items():
+                values.setdefault(key, []).append(value)
+            if diversity is not None:
+                diversity_analysis.observe(diversity, record)
+        return self._probe_from_values(num_samples, values, diversity)
+
+    def analyze_run(self, report: Mapping | str | Path) -> DataProbe:
+        """Analyze the exported output of a finished run, out-of-core.
+
+        ``report`` is a :class:`repro.core.report.RunReport` (or its dict /
+        saved-JSON form, or a ``work_dir`` containing ``report.json``).  The
+        run's export files — sharded or monolithic, compressed or not — are
+        streamed back through :meth:`analyze_stream`, so even a streaming
+        run's larger-than-memory output gets its data probe.
+        """
+        from repro.core.report import RunReport
+        from repro.formats.load import load_formatter
+
+        if isinstance(report, (str, Path)):
+            report = RunReport.load(report)
+        export_paths = list(report.get("export_paths") or [])
+        if not export_paths:
+            raise ValueError(
+                "run report has no export_paths; run with an export_path "
+                "configured before analyzing its output"
+            )
+
+        def txt_records(path: str) -> Iterable[dict]:
+            # a .txt *export* is one document per line (the Exporter's txt
+            # format), unlike raw .txt inputs where one file is one document
+            # — TextFormatter would silently collapse the corpus to 1 sample
+            from repro.formats.sharded import open_shard
+
+            with open_shard(Path(path)) as handle:
+                for line in handle:
+                    yield {Fields.text: line.rstrip("\n"), Fields.stats: {}}
+
+        def exported_records() -> Iterable[dict]:
+            for path in export_paths:
+                suffixes = [s for s in Path(path).suffixes if s != ".gz"]
+                if suffixes and suffixes[-1] == ".txt":
+                    yield from txt_records(path)
+                else:
+                    yield from load_formatter(path, text_keys=(self.text_key,)).iter_records()
+
+        return self.analyze_stream(exported_records())

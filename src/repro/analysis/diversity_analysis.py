@@ -81,16 +81,29 @@ class DiversityAnalysis:
     def __init__(self, text_key: str = "text"):
         self.text_key = text_key
 
+    def observe(self, report: DiversityReport, row: dict) -> None:
+        """Fold one sample into an existing report (streaming-friendly).
+
+        Only the aggregated verb/noun counters grow — the text itself is
+        never retained, so a streaming analysis stays bounded by the
+        vocabulary, not the corpus.
+        """
+        report.num_samples += 1
+        text = get_field(row, self.text_key, "")
+        verb, noun = extract_verb_noun(text if isinstance(text, str) else "")
+        if verb is None:
+            return
+        report.num_with_verb += 1
+        report.verb_counts[verb] += 1
+        report.verb_noun_counts[(verb, noun)] += 1
+
     def analyze(self, dataset: NestedDataset) -> DiversityReport:
         """Extract verb–noun pairs from every sample and aggregate them."""
+        return self.analyze_records(dataset)
+
+    def analyze_records(self, records) -> DiversityReport:
+        """Aggregate a lazy record stream into a :class:`DiversityReport`."""
         report = DiversityReport()
-        for row in dataset:
-            report.num_samples += 1
-            text = get_field(row, self.text_key, "")
-            verb, noun = extract_verb_noun(text if isinstance(text, str) else "")
-            if verb is None:
-                continue
-            report.num_with_verb += 1
-            report.verb_counts[verb] += 1
-            report.verb_noun_counts[(verb, noun)] += 1
+        for row in records:
+            self.observe(report, row)
         return report

@@ -83,8 +83,17 @@ class OverallAnalysis:
 
     def analyze(self, dataset: NestedDataset) -> dict[str, ColumnSummary]:
         """Return a mapping of stats key -> summary."""
+        return self.analyze_values(collect_stats_values(dataset))
+
+    def analyze_values(self, values: dict[str, list]) -> dict[str, ColumnSummary]:
+        """Summarise pre-collected stats values (streaming-friendly entry).
+
+        ``values`` maps each stats key to its list of per-sample values —
+        the skinny accumulation a streaming analysis holds instead of the
+        corpus itself.
+        """
         summaries: dict[str, ColumnSummary] = {}
-        for key, raw_values in collect_stats_values(dataset).items():
+        for key, raw_values in values.items():
             numeric = [
                 float(value)
                 for value in raw_values

@@ -10,8 +10,10 @@ Usage examples::
     python -m repro list-recipes
     python -m repro process --recipe pretrain-c4-refine-en \
         --dataset data.jsonl --export out.jsonl
-    python -m repro analyze --dataset data.jsonl
+    python -m repro report --work-dir outputs
+    python -m repro analyze --dataset data.jsonl --stream
     python -m repro synth --corpus common_crawl --num-samples 200 --output raw.jsonl
+    python -m repro docs-ops
 """
 
 from __future__ import annotations
@@ -26,9 +28,13 @@ from repro.core.config import load_config
 from repro.core.executor import Executor
 from repro.core.exporter import Exporter
 from repro.core.registry import OPERATORS
-from repro.formats.load import load_dataset
+from repro.core.report import REPORT_FILE, RunReport
+from repro.formats.load import load_dataset, load_formatter
 from repro.recipes import get_recipe, list_recipes
 from repro.synth import CORPUS_BUILDERS, make_corpus
+
+#: default location of the generated operator catalog (repo-relative)
+DEFAULT_OPS_CATALOG = "docs/ops_catalog.md"
 
 
 def _resolve_recipe(recipe: str | None, recipe_file: str | None) -> dict:
@@ -89,18 +95,66 @@ def cmd_process(args: argparse.Namespace) -> int:
         exported = report.get("export_paths") or [args.export]
         print(f"exported to {', '.join(str(path) for path in exported)}")
     print(json.dumps(report.get("resources", {}), indent=2))
+    work_dir = Path(executor.cfg.work_dir)
+    report_path = work_dir / REPORT_FILE
+    if report_path.exists():
+        print(f"run report written to {report_path} (render with: repro report --work-dir {work_dir})")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the unified run report of a finished run (text or JSON)."""
+    target = args.report or args.work_dir
+    if not target:
+        raise SystemExit("one of --report or --work-dir is required")
+    path = Path(target)
+    if path.is_dir():
+        path = path / REPORT_FILE
+    if not path.exists():
+        raise SystemExit(f"no run report found at {path} (did the run finish?)")
+    report = RunReport.load(path)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, ensure_ascii=False, default=repr))
+    else:
+        print(report.render())
     return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """Compute and print the data probe of a dataset file."""
-    dataset = load_dataset(args.dataset)
-    probe = Analyzer().analyze(dataset)
+    """Compute and print the data probe of a dataset file or finished run."""
+    if args.report and args.dataset:
+        raise SystemExit("use either --dataset or --report, not both")
+    analyzer = Analyzer()
+    if args.report:
+        probe = analyzer.analyze_run(args.report)
+    elif not args.dataset:
+        raise SystemExit("one of --dataset or --report is required")
+    elif args.stream:
+        formatter = load_formatter(args.dataset)
+        probe = analyzer.analyze_stream(formatter.iter_records())
+    else:
+        probe = analyzer.analyze(load_dataset(args.dataset))
     print(probe.render())
     if args.output:
         payload = {name: summary.as_dict() for name, summary in probe.summaries.items()}
         Path(args.output).write_text(json.dumps(payload, indent=2), encoding="utf-8")
         print(f"summary written to {args.output}")
+    return 0
+
+
+def cmd_docs_ops(args: argparse.Namespace) -> int:
+    """Generate (or verify) the operator catalog from the op registry."""
+    from repro.tools.docgen import catalog_in_sync, write_ops_catalog
+
+    path = Path(args.output)
+    if args.check:
+        if catalog_in_sync(path):
+            print(f"{path} is in sync with the operator registry")
+            return 0
+        print(f"{path} is OUT OF SYNC with the operator registry; run `make docs`")
+        return 1
+    changed = write_ops_catalog(path)
+    print(f"{'wrote' if changed else 'unchanged'} {path}")
     return 0
 
 
@@ -168,10 +222,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     process.set_defaults(func=cmd_process)
 
-    analyze = subparsers.add_parser("analyze", help="compute the data probe of a dataset file")
-    analyze.add_argument("--dataset", required=True, help="input dataset path")
+    report = subparsers.add_parser(
+        "report", help="render the unified run report of a finished run"
+    )
+    report.add_argument("--work-dir", help="run work directory containing report.json")
+    report.add_argument("--report", help="path to a report.json written by a run")
+    report.add_argument("--json", action="store_true", help="emit the raw JSON report")
+    report.set_defaults(func=cmd_report)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="compute the data probe of a dataset file or finished run"
+    )
+    analyze.add_argument("--dataset", help="input dataset path")
+    analyze.add_argument(
+        "--report",
+        help="analyze the exported output of a finished run "
+        "(path to its report.json or work directory)",
+    )
+    analyze.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the dataset record by record (bounded memory)",
+    )
     analyze.add_argument("--output", help="optional JSON file for the stats summary")
     analyze.set_defaults(func=cmd_analyze)
+
+    docs_ops = subparsers.add_parser(
+        "docs-ops", help="generate docs/ops_catalog.md from the operator registry"
+    )
+    docs_ops.add_argument(
+        "--output", default=DEFAULT_OPS_CATALOG, help="catalog output path"
+    )
+    docs_ops.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed catalog matches the registry (exit 1 when stale)",
+    )
+    docs_ops.set_defaults(func=cmd_docs_ops)
 
     synth = subparsers.add_parser("synth", help="generate a synthetic corpus")
     synth.add_argument("--corpus", required=True, choices=sorted(CORPUS_BUILDERS))

@@ -116,6 +116,26 @@ class OP:
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+def op_category(op_or_cls: Any) -> str:
+    """Category label of an operator instance or class.
+
+    One of ``mapper`` / ``filter`` / ``deduplicator`` / ``selector`` /
+    ``formatter`` / ``op`` — the vocabulary shared by execution plans, run
+    reports and the generated operator catalog.  Fused filters are Filters.
+    """
+    cls = op_or_cls if isinstance(op_or_cls, type) else type(op_or_cls)
+    for base, label in (
+        (Mapper, "mapper"),
+        (Filter, "filter"),
+        (Deduplicator, "deduplicator"),
+        (Selector, "selector"),
+        (Formatter, "formatter"),
+    ):
+        if issubclass(cls, base):
+            return label
+    return "op"
+
+
 class Mapper(OP):
     """In-place text editing on single samples (or batched multi-sample editing)."""
 

@@ -5,6 +5,20 @@ operator's output can be cached to disk keyed by (input fingerprint, operator
 configuration), so re-running a recipe after tweaking a late operator skips the
 unchanged prefix.  Cache files can be transparently compressed; zlib / lzma /
 gzip stand in for the zstd / LZ4 codecs used by the original system.
+
+Two granularities share one manager and one directory:
+
+* **dataset-level** (``save`` / ``load``): whole intermediate datasets, keyed
+  by ``(input fingerprint, op name, op params)`` — the in-memory
+  ``Executor.run`` path.
+* **shard-level** (``save_shard_rows`` / ``load_shard_rows``): one processed
+  shard of a streaming stage, keyed by ``(op fingerprint chain, shard
+  signature)`` via :meth:`CacheManager.make_shard_key`.  Shard entries are
+  pickled (lossless for any Python payload, exactly like the streaming spill
+  store) and answer ``Executor.run_streaming`` re-runs over unchanged inputs
+  without recomputing the shard.  Hits and misses are counted separately
+  (``shard_hits`` / ``shard_misses``) so run reports can distinguish the two
+  modes.
 """
 
 from __future__ import annotations
@@ -14,6 +28,7 @@ import gzip
 import hashlib
 import json
 import lzma
+import pickle
 import zlib
 from pathlib import Path
 from typing import Callable
@@ -59,12 +74,18 @@ class CacheManager:
         self.enabled = enabled
         self.hits = 0
         self.misses = 0
+        self.shard_hits = 0
+        self.shard_misses = 0
 
     # ------------------------------------------------------------------
     def _path_for(self, key: str) -> Path:
         digest = hashlib.sha1(key.encode("utf-8")).hexdigest()
         suffix = _COMPRESSORS[self.compression][2]
         return self.cache_dir / f"cache-{digest}{suffix}"
+
+    def _shard_path_for(self, key: str) -> Path:
+        digest = hashlib.sha1(key.encode("utf-8")).hexdigest()
+        return self.cache_dir / f"shard-{digest}.pkl"
 
     @staticmethod
     def make_key(dataset_fingerprint: str, op_name: str, op_params: dict) -> str:
@@ -73,6 +94,20 @@ class CacheManager:
             {"fingerprint": dataset_fingerprint, "op": op_name, "params": op_params},
             sort_keys=True,
             default=repr,
+        )
+
+    @staticmethod
+    def make_shard_key(op_chain: str, shard_signature: str) -> str:
+        """Build the cache key of a streaming stage applied to one shard.
+
+        ``op_chain`` digests the ordered operator configurations of the stage
+        (every shard-local op, plus a Deduplicator's hashing stage when the
+        segment closes with one); ``shard_signature`` digests the shard's
+        input rows.  Together they guarantee a hit replays exactly what
+        recomputation would produce.
+        """
+        return json.dumps(
+            {"op_chain": op_chain, "shard": shard_signature}, sort_keys=True
         )
 
     # ------------------------------------------------------------------
@@ -114,21 +149,67 @@ class CacheManager:
         """Return True when a cache entry exists for ``key``."""
         return self.enabled and self._path_for(key).exists()
 
+    # ------------------------------------------------------------------
+    # Shard-level entries (streaming mode)
+    # ------------------------------------------------------------------
+    def save_shard_rows(self, key: str, rows: list[dict]) -> Path | None:
+        """Cache one processed shard of a streaming stage.
+
+        Rows are pickled (like the streaming spill store): lossless for every
+        Python payload, so a cache replay can never differ from recomputation.
+        The configured compression codec applies to the pickled bytes.
+        Writes are atomic (temp file + rename), so concurrent runs sharing a
+        cache directory never observe a torn entry.
+        """
+        if not self.enabled:
+            return None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        compress, _, _ = _COMPRESSORS[self.compression]
+        path = self._shard_path_for(key)
+        temp = path.with_suffix(".tmp")
+        temp.write_bytes(compress(pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)))
+        temp.replace(path)
+        return path
+
+    def load_shard_rows(self, key: str) -> list[dict] | None:
+        """Replay a cached shard; returns None (and counts a miss) when absent."""
+        if not self.enabled:
+            return None
+        path = self._shard_path_for(key)
+        if not path.exists():
+            self.shard_misses += 1
+            return None
+        _, decompress, _ = _COMPRESSORS[self.compression]
+        try:
+            rows = pickle.loads(decompress(path.read_bytes()))
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError,
+                zlib.error, lzma.LZMAError):
+            self.shard_misses += 1
+            return None
+        self.shard_hits += 1
+        return rows
+
+    # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Delete every cache file; returns the number of removed entries."""
+        """Delete every cache file (both granularities); returns the count."""
         if not self.cache_dir.exists():
             return 0
         removed = 0
-        for path in self.cache_dir.glob("cache-*"):
-            path.unlink()
-            removed += 1
+        for pattern in ("cache-*", "shard-*"):
+            for path in self.cache_dir.glob(pattern):
+                path.unlink()
+                removed += 1
         return removed
 
     def total_bytes(self) -> int:
-        """Total on-disk size of all cache files (bytes)."""
+        """Total on-disk size of all cache files (bytes, both granularities)."""
         if not self.cache_dir.exists():
             return 0
-        return sum(path.stat().st_size for path in self.cache_dir.glob("cache-*"))
+        return sum(
+            path.stat().st_size
+            for pattern in ("cache-*", "shard-*")
+            for path in self.cache_dir.glob(pattern)
+        )
 
 
 def estimate_cache_space(

@@ -11,6 +11,16 @@ routes every Mapper/Filter stage through it as row chunks; dataset-level
 operators (Deduplicators, Selectors) still run globally on the merged data.
 The pool survives across ``run`` calls — close the executor (or use it as a
 context manager) to shut the workers down.
+
+Every run — in-memory or streaming — emits a unified
+:class:`repro.core.report.RunReport` (``last_report``, also persisted to
+``<work_dir>/report.json``): per-op rows in/out, wall time, throughput and
+peak RSS from the :class:`repro.core.monitor.RunProfiler`, plus cache
+counters, the tracer summary and the run-level resource profile.  Streaming
+runs reach observability parity with the in-memory path: the tracer
+accumulates incrementally across shards (:class:`repro.core.tracer.
+StreamingTracer`) and ``use_cache`` replays cached *shard* outputs keyed on
+``(op fingerprint chain, shard signature)``.
 """
 
 from __future__ import annotations
@@ -19,18 +29,20 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
-from repro.core.base_op import Deduplicator, Filter, Mapper
+from repro.core.base_op import Deduplicator, Filter, Mapper, Selector, op_category
 from repro.core.cache import CacheManager
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import RecipeConfig, load_config
-from repro.core.dataset import NestedDataset
+from repro.core.dataset import NestedDataset, _stable_hash
 from repro.core.exporter import Exporter
 from repro.core.fusion import describe_plan
-from repro.core.monitor import ResourceMonitor
+from repro.core.monitor import ResourceMonitor, RunProfiler
+from repro.core.report import REPORT_FILE, RunReport
 from repro.core.sample import Fields
 from repro.core.stream import (
     ROW_ID_COLUMN,
     ShardStore,
+    StreamSegment,
     apply_keep_mask,
     iter_record_shards,
     op_config_hash,
@@ -38,8 +50,9 @@ from repro.core.stream import (
     resolve_global_keep,
     run_sample_ops,
     signature_column_names,
+    stage_chain_hash,
 )
-from repro.core.tracer import Tracer
+from repro.core.tracer import StreamingTracer, Tracer
 from repro.parallel import WorkerPool
 
 
@@ -77,8 +90,11 @@ class Executor:
             self.cfg.process, op_fusion=self.cfg.op_fusion, batch_size=self.cfg.batch_size
         )
         self.plan = describe_plan(self.ops)
-        self.last_report: dict[str, Any] = {}
+        #: unified report of the most recent run (Mapping-compatible)
+        self.last_report: RunReport = RunReport(plan=self.plan)
         self._pool: WorkerPool | None = None
+        self._profiler = RunProfiler()
+        self._stream_tracer: StreamingTracer | None = None
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> WorkerPool | None:
@@ -116,9 +132,33 @@ class Executor:
             raise ValueError("no dataset given and no dataset_path configured")
         return load_dataset(self.cfg.dataset_path, text_keys=tuple(self.cfg.text_keys))
 
+    def _cache_counters(self) -> dict[str, int]:
+        """Both cache granularities' hit/miss counters (for run reports)."""
+        return {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "shard_hits": self.cache.shard_hits,
+            "shard_misses": self.cache.shard_misses,
+        }
+
+    def _persist_report(self, report: RunReport) -> None:
+        """Write the run report under the work directory (best effort)."""
+        try:
+            report.save(Path(self.cfg.work_dir) / REPORT_FILE)
+        except OSError:
+            # observability must never fail a run that already succeeded
+            pass
+
     def run(self, dataset: NestedDataset | None = None) -> NestedDataset:
-        """Execute the configured pipeline and return the processed dataset."""
+        """Execute the configured pipeline and return the processed dataset.
+
+        Besides the dataset, the run emits a :class:`RunReport`
+        (``last_report``, persisted to ``<work_dir>/report.json``) with one
+        per-op section each covering rows in/out, wall time and throughput.
+        """
         monitor = ResourceMonitor()
+        profiler = self._profiler = RunProfiler()
+        export_paths: list[str] = []
         with monitor:
             current = self._load_input(dataset)
             start_index = 0
@@ -152,16 +192,20 @@ class Executor:
                 cache_key = CacheManager.make_key(current.fingerprint, op.name, op.config())
                 cached = self.cache.load(cache_key)
                 if cached is not None:
+                    profiler.record_cached(op, len(cached))
                     current = cached
                     continue
-                if isinstance(op, (Mapper, Filter, Deduplicator)):
-                    # pool creation is deferred to the first actually-executed
-                    # op with a sample-level stage, so fully cache-hit runs
-                    # never fork workers (a Deduplicator's hashing stage is
-                    # sample-level; its clustering stays global)
-                    current = op.run(current, tracer=self.tracer, pool=self._ensure_pool())
-                else:
-                    current = op.run(current, tracer=self.tracer)
+                with profiler.track(op, rows_in=len(current)) as tracking:
+                    if isinstance(op, (Mapper, Filter, Deduplicator)):
+                        # pool creation is deferred to the first actually-
+                        # executed op with a sample-level stage, so fully
+                        # cache-hit runs never fork workers (a Deduplicator's
+                        # hashing stage is sample-level; its clustering stays
+                        # global)
+                        current = op.run(current, tracer=self.tracer, pool=self._ensure_pool())
+                    else:
+                        current = op.run(current, tracer=self.tracer)
+                    tracking.rows_out = len(current)
                 self.cache.save(cache_key, current)
                 self.checkpoint.save(current, index + 1, op_names, op_hashes)
                 saved_index = index + 1
@@ -171,22 +215,30 @@ class Executor:
                 self.checkpoint.save(current, len(self.ops), op_names, op_hashes)
 
             if self.cfg.export_path:
-                Exporter(
-                    self.cfg.export_path, keep_stats=self.cfg.keep_stats_in_export
-                ).export(current)
-        self.last_report = {
-            "plan": self.plan,
-            "num_output_samples": len(current),
-            "resources": monitor.report.as_dict() if monitor.report else {},
-            "cache": {"hits": self.cache.hits, "misses": self.cache.misses},
-            "trace": self.tracer.summary() if self.tracer else [],
-            "parallel": {
+                export_paths = [
+                    str(
+                        Exporter(
+                            self.cfg.export_path, keep_stats=self.cfg.keep_stats_in_export
+                        ).export(current)
+                    )
+                ]
+        self.last_report = RunReport(
+            mode="memory",
+            plan=self.plan,
+            num_output_samples=len(current),
+            ops=profiler.reports(),
+            resources=monitor.report.as_dict() if monitor.report else {},
+            cache=self._cache_counters(),
+            trace=self.tracer.summary() if self.tracer else [],
+            parallel={
                 "np": self.cfg.np,
                 "batch_size": self.cfg.batch_size,
                 # None when no pool was needed (np=1, or every stage cache-hit)
                 "start_method": self._pool.start_method if self._pool is not None else None,
             },
-        }
+            export_paths=export_paths,
+        )
+        self._persist_report(self.last_report)
         return current
 
     # ------------------------------------------------------------------
@@ -251,19 +303,44 @@ class Executor:
         Every processed shard is spilled to disk; with ``use_checkpoint``
         the spill persists under the checkpoint directory, so an interrupted
         run resumes mid-corpus, skipping every shard already processed.
-        Results are row-identical to :meth:`run` (byte-identical exports);
-        the op cache and tracer, whose units are whole datasets, are
-        bypassed in this mode.
+        Results are row-identical to :meth:`run` (byte-identical exports).
 
-        Returns the run report (also stored as ``last_report``) instead of a
-        materialised dataset.
+        Observability matches the in-memory path: with ``use_cache`` every
+        shard's stage output is cached keyed on ``(op fingerprint chain,
+        shard signature)`` and replayed instead of recomputed on unchanged
+        inputs; with ``open_tracer`` a :class:`~repro.core.tracer.
+        StreamingTracer` accumulates per-op kept/dropped/changed counts and
+        bounded example reservoirs across shards; and the per-op
+        :class:`~repro.core.monitor.RunProfiler` sections aggregate wall
+        time, rows/sec and peak RSS over every executed shard.
+
+        Returns the unified :class:`RunReport` (also stored as
+        ``last_report`` and persisted to ``<work_dir>/report.json``) instead
+        of a materialised dataset.
         """
         monitor = ResourceMonitor()
+        profiler = self._profiler = RunProfiler()
+        work_dir = Path(self.cfg.work_dir)
+        tracer = self._stream_tracer = (
+            StreamingTracer(show_num=self.cfg.trace_num, trace_dir=work_dir / "trace")
+            if self.cfg.open_tracer
+            else None
+        )
         with monitor:
             segments = plan_segments(self.ops)
             op_hashes = [op_config_hash(op) for op in self.ops]
+            if tracer is not None:
+                # pre-register every op so accumulator (= summary) order is
+                # pipeline order even for ops an empty input never reaches
+                for op in self.ops:
+                    tracer.register(op.name, self._trace_type(op))
             shard_rows, shard_chars = self.cfg.max_shard_rows, self.cfg.max_shard_chars
-            progress = {"input_shards": 0, "resumed_shards": 0, "executed_shards": 0}
+            progress = {
+                "input_shards": 0,
+                "resumed_shards": 0,
+                "executed_shards": 0,
+                "cached_shards": 0,
+            }
             formatter = self._input_formatter() if dataset is None else None
 
             persistent = self.checkpoint.enabled
@@ -300,10 +377,10 @@ class Executor:
                         # resumes mid-corpus)
                         if persistent:
                             source = self._spilled_stage(
-                                stage, segment.sample_ops, source, store, progress
+                                stage, segment, source, store, progress
                             )
                         else:
-                            source = self._transformed_stage(segment.sample_ops, source)
+                            source = self._transformed_stage(segment, source, progress)
                     else:
                         source = self._resolved_stage(stage, segment, source, store, progress)
 
@@ -340,23 +417,27 @@ class Executor:
                     store.clear()
                     store.root.rmdir()
 
-        self.last_report = {
-            "plan": self.plan,
-            "mode": "streaming",
-            "num_output_samples": total_rows,
-            "segments": len(segments),
-            "shards": dict(progress),
-            "shard_budget": {"max_shard_rows": shard_rows, "max_shard_chars": shard_chars},
-            "export_paths": export_paths,
-            "resources": monitor.report.as_dict() if monitor.report else {},
-            "cache": {"hits": 0, "misses": 0},
-            "trace": [],
-            "parallel": {
+        if tracer is not None:
+            tracer.finalize()
+        self.last_report = RunReport(
+            mode="streaming",
+            plan=self.plan,
+            num_output_samples=total_rows,
+            ops=profiler.reports(),
+            segments=len(segments),
+            shards=dict(progress),
+            shard_budget={"max_shard_rows": shard_rows, "max_shard_chars": shard_chars},
+            export_paths=export_paths,
+            resources=monitor.report.as_dict() if monitor.report else {},
+            cache=self._cache_counters(),
+            trace=tracer.summary() if tracer else [],
+            parallel={
                 "np": self.cfg.np,
                 "batch_size": self.cfg.batch_size,
                 "start_method": self._pool.start_method if self._pool is not None else None,
             },
-        }
+        )
+        self._persist_report(self.last_report)
         return self.last_report
 
     @staticmethod
@@ -367,33 +448,92 @@ class Executor:
             progress["input_shards"] += 1
             yield shard
 
-    def _run_segment_ops(self, rows: list[dict], segment_ops: list) -> NestedDataset:
-        return run_sample_ops(rows, segment_ops, pool_factory=self._ensure_pool)
+    @staticmethod
+    def _trace_type(op: Any) -> str:
+        """Trace-record type label of an op (matches the in-memory tracer).
+
+        The in-memory path records Selectors through ``trace_filter`` — the
+        streaming tracer mirrors that so summaries compare structurally.
+        """
+        if isinstance(op, Deduplicator):
+            return "deduplicator"
+        if isinstance(op, Selector):
+            return "filter"
+        return op_category(op)
+
+    def _execute_shard(
+        self, segment: StreamSegment, chain: str, rows: list[dict], progress: dict[str, int]
+    ) -> list[dict]:
+        """One shard's shard-local work (sample ops + dedup hashing), cached.
+
+        With ``use_cache`` the shard's stage output is keyed on
+        ``(op fingerprint chain, shard signature)``; a hit replays the rows
+        without touching any operator (counted per op as a cached call and
+        per run as a ``cached_shards`` shard).
+        """
+        cache_key = None
+        if self.cache.enabled:
+            cache_key = CacheManager.make_shard_key(chain, _stable_hash(rows))
+            cached = self.cache.load_shard_rows(cache_key)
+            if cached is not None:
+                for op in segment.sample_ops:
+                    self._profiler.record_cached(op, len(cached))
+                if isinstance(segment.global_op, Deduplicator):
+                    self._profiler.record_cached(segment.global_op, len(cached))
+                progress["cached_shards"] += 1
+                return cached
+        shard = run_sample_ops(
+            rows,
+            segment.sample_ops,
+            pool_factory=self._ensure_pool,
+            profiler=self._profiler,
+            tracer=self._stream_tracer,
+        )
+        global_op = segment.global_op
+        if isinstance(global_op, Deduplicator):
+            # the per-sample hashing stage runs shard-local (and
+            # pool-parallel); only the clustering is global.  Timed under the
+            # dedup's report section; its rows are accounted by the resolve.
+            with self._profiler.track(global_op, rows_in=len(shard)):
+                shard = shard.map_batches(
+                    global_op.compute_hash_batched,
+                    batch_size=global_op.effective_batch_size(shard),
+                    new_fingerprint=shard.derive_fingerprint(
+                        f"{global_op.name}:hash", global_op.config()
+                    ),
+                    pool=self._ensure_pool(),
+                )
+        out_rows = shard.to_list()
+        if cache_key is not None:
+            self.cache.save_shard_rows(cache_key, out_rows)
+        progress["executed_shards"] += 1
+        return out_rows
 
     def _transformed_stage(
-        self, segment_ops: list, source: Iterator[list[dict]]
+        self, segment: StreamSegment, source: Iterator[list[dict]], progress: dict[str, int]
     ) -> Iterator[list[dict]]:
         """Shard-local transform with no spill (checkpointing disabled)."""
+        chain = stage_chain_hash(segment)
         for rows in source:
-            yield self._run_segment_ops(rows, segment_ops).to_list()
+            yield self._execute_shard(segment, chain, rows, progress)
 
     def _spilled_stage(
         self,
         stage: int,
-        segment_ops: list,
+        segment: StreamSegment,
         source: Iterator[list[dict]],
         store: ShardStore,
         progress: dict[str, int],
     ) -> Iterator[list[dict]]:
         """Shard-local transform that spills (and resumes) every shard."""
+        chain = stage_chain_hash(segment)
         for index, rows in enumerate(source):
             if store.has_shard(stage, index):
                 progress["resumed_shards"] += 1
                 yield store.read_shard_rows(stage, index)
                 continue
-            out_rows = self._run_segment_ops(rows, segment_ops).to_list()
+            out_rows = self._execute_shard(segment, chain, rows, progress)
             store.write_shard(stage, index, out_rows)
-            progress["executed_shards"] += 1
             yield out_rows
 
     def _resolved_stage(
@@ -413,6 +553,7 @@ class Executor:
         mask applied.
         """
         global_op = segment.global_op
+        chain = stage_chain_hash(segment)
         signature_rows: list[dict] = []
         shard_row_counts: list[int] = []
 
@@ -421,21 +562,8 @@ class Executor:
                 progress["resumed_shards"] += 1
                 out_rows = store.read_shard_rows(stage, index)
             else:
-                shard = self._run_segment_ops(rows, segment.sample_ops)
-                if isinstance(global_op, Deduplicator):
-                    # the per-sample hashing stage runs shard-local (and
-                    # pool-parallel); only the clustering is global
-                    shard = shard.map_batches(
-                        global_op.compute_hash_batched,
-                        batch_size=global_op.effective_batch_size(shard),
-                        new_fingerprint=shard.derive_fingerprint(
-                            f"{global_op.name}:hash", global_op.config()
-                        ),
-                        pool=self._ensure_pool(),
-                    )
-                out_rows = shard.to_list()
+                out_rows = self._execute_shard(segment, chain, rows, progress)
                 store.write_shard(stage, index, out_rows)
-                progress["executed_shards"] += 1
             shard_row_counts.append(len(out_rows))
             if out_rows:
                 # every row of a shard carries the same keys (to_list unions
@@ -452,16 +580,40 @@ class Executor:
                     signature_rows.append(skinny)
 
         signature = NestedDataset.from_list(signature_rows)
-        keep_mask, dropped_columns = resolve_global_keep(global_op, signature)
+        with self._profiler.track(global_op, rows_in=len(signature)) as tracking:
+            keep_mask, dropped_columns = resolve_global_keep(global_op, signature)
+            tracking.rows_out = sum(keep_mask)
+        tracer = self._stream_tracer
+        trace_type = self._trace_type(global_op)
+        if tracer is not None:
+            tracer.observe_global(
+                global_op.name, trace_type, len(keep_mask), sum(keep_mask)
+            )
         del signature, signature_rows
 
         def masked_shards() -> Iterator[list[dict]]:
             offset = 0
             for index, count in enumerate(shard_row_counts):
                 rows = store.read_shard_rows(stage, index)
-                yield apply_keep_mask(
-                    rows, keep_mask[offset:offset + count], dropped_columns
-                )
+                mask = keep_mask[offset:offset + count]
+                if tracer is not None and tracer.wants_examples(global_op.name, trace_type):
+                    # the resolve only saw skinny signature rows; harvest
+                    # dropped-row examples (with payload) as shards stream
+                    # back out, until the bounded reservoir fills
+                    for row_offset, (row, keep) in enumerate(zip(rows, mask)):
+                        if keep:
+                            continue
+                        example = {
+                            "index": offset + row_offset,
+                            "discarded": row.get(Fields.text, ""),
+                        }
+                        if not isinstance(global_op, Deduplicator):
+                            example["stats"] = row.get(Fields.stats, {})
+                        if not tracer.add_dropped_example(
+                            global_op.name, trace_type, example
+                        ):
+                            break
+                yield apply_keep_mask(rows, mask, dropped_columns)
                 offset += count
 
         return masked_shards()

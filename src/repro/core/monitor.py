@@ -5,6 +5,12 @@ processing time and average memory usage.  This module provides a lightweight
 equivalent based on ``tracemalloc`` (Python heap) plus ``resource`` peak RSS,
 good enough to compare the relative footprint of pipelines running in the same
 process.
+
+Besides the run-level :class:`ResourceMonitor`, the module provides the
+per-operator :class:`RunProfiler`: every executor mode (in-memory, pooled,
+streaming) tracks each operator's executed calls through it, accumulating
+wall time, rows in/out and peak RSS into the :class:`repro.core.report.
+OpReport` sections of the unified run report.
 """
 
 from __future__ import annotations
@@ -12,7 +18,16 @@ from __future__ import annotations
 import resource
 import time
 import tracemalloc
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.report import OpReport
+
+
+def max_rss_mb() -> float:
+    """Current peak RSS of this process, in megabytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
 
 
 @dataclass
@@ -79,6 +94,79 @@ class ResourceMonitor:
             current_python_mb=current / (1024 * 1024),
             max_rss_mb=max_rss_kb / 1024,
         )
+
+
+class _Tracking:
+    """Mutable handle yielded by :meth:`RunProfiler.track`.
+
+    The caller sets :attr:`rows_out` before the ``with`` block ends; rows are
+    only accumulated when it did (an aborted call still accounts its time).
+    """
+
+    __slots__ = ("rows_out",)
+
+    def __init__(self) -> None:
+        self.rows_out: int | None = None
+
+
+class RunProfiler:
+    """Accumulate per-operator execution metrics across calls and shards.
+
+    One profiler lives for one executor run.  Operators are keyed by object
+    identity, so an operator touched many times (once per shard in streaming
+    mode, or a Deduplicator's hash stage plus its global resolve) aggregates
+    into a single :class:`~repro.core.report.OpReport` section, in first-touch
+    (= pipeline) order.
+
+    Wall time is host wall-clock: for worker-pool stages it covers the
+    dispatch round trip, which *includes* the worker processes' compute time
+    because the host blocks on the pool.  ``max_rss_mb`` is the host
+    process's peak RSS observed after any call of the op.
+    """
+
+    def __init__(self) -> None:
+        self._profiles: dict[int, OpReport] = {}
+
+    def profile_for(self, op: Any) -> OpReport:
+        """Return (creating on first touch) the profile of an operator."""
+        key = id(op)
+        if key not in self._profiles:
+            from repro.core.base_op import op_category
+
+            self._profiles[key] = OpReport(name=op.name, op_type=op_category(op))
+        return self._profiles[key]
+
+    @contextmanager
+    def track(self, op: Any, rows_in: int) -> Iterator[_Tracking]:
+        """Time one executed call of ``op`` over ``rows_in`` input rows.
+
+        Usage::
+
+            with profiler.track(op, rows_in=len(dataset)) as tracking:
+                dataset = op.run(dataset)
+                tracking.rows_out = len(dataset)
+        """
+        profile = self.profile_for(op)
+        tracking = _Tracking()
+        start = time.perf_counter()
+        try:
+            yield tracking
+        finally:
+            profile.wall_time_s += time.perf_counter() - start
+            profile.calls += 1
+            profile.max_rss_mb = max(profile.max_rss_mb, max_rss_mb())
+            if tracking.rows_out is not None:
+                profile.rows_in += rows_in
+                profile.rows_out += tracking.rows_out
+
+    def record_cached(self, op: Any, rows_out: int) -> None:
+        """Account a call answered entirely from the cache (op never ran)."""
+        del rows_out  # the operator never saw these rows; only count the call
+        self.profile_for(op).cached_calls += 1
+
+    def reports(self) -> list[OpReport]:
+        """Per-op sections in first-touch (pipeline) order."""
+        return list(self._profiles.values())
 
 
 def time_call(function, *args, **kwargs) -> tuple[float, object]:

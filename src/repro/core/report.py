@@ -1,0 +1,254 @@
+"""Unified run reports: one observability surface for every execution mode.
+
+Both :meth:`repro.core.executor.Executor.run` (in-memory, serial or
+worker-pool parallel) and :meth:`~repro.core.executor.Executor.run_streaming`
+(out-of-core) emit a :class:`RunReport`: the executed plan, per-operator
+sections (rows in/out, wall time, throughput, peak RSS, cache activity), the
+dataset/shard cache counters, the tracer summary and the run-level resource
+profile.  The report is the programmatic form of the paper's feedback loop —
+the ``repro report`` CLI subcommand renders it as text or JSON, and
+:meth:`repro.analysis.analyzer.Analyzer.analyze_run` consumes it to analyze a
+run's exported output without re-loading the corpus into memory.
+
+``RunReport`` is a :class:`collections.abc.Mapping`, so existing code that
+indexes ``executor.last_report`` like a plain dict keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+#: file name of the persisted report inside a run's ``work_dir``
+REPORT_FILE = "report.json"
+
+
+@dataclass
+class OpReport:
+    """Per-operator section of a :class:`RunReport`.
+
+    ``rows_in`` / ``rows_out`` aggregate every *executed* call (shards in
+    streaming mode, the whole dataset in memory mode); calls answered from
+    the cache are counted in ``cached_calls`` but contribute no rows, because
+    the operator never saw them.
+    """
+
+    name: str
+    op_type: str
+    rows_in: int = 0
+    rows_out: int = 0
+    calls: int = 0
+    cached_calls: int = 0
+    wall_time_s: float = 0.0
+    max_rss_mb: float = 0.0
+
+    @property
+    def removed(self) -> int:
+        """Number of rows dropped by this operator across executed calls."""
+        return max(0, self.rows_in - self.rows_out)
+
+    @property
+    def rows_per_sec(self) -> float:
+        """Input-row throughput of the executed calls (0.0 when untimed)."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.rows_in / self.wall_time_s
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, including the derived throughput fields."""
+        payload = asdict(self)
+        payload["removed"] = self.removed
+        payload["rows_per_sec"] = self.rows_per_sec
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OpReport":
+        """Rebuild an :class:`OpReport` from :meth:`as_dict` output."""
+        known = {key: payload[key] for key in (
+            "name", "op_type", "rows_in", "rows_out", "calls",
+            "cached_calls", "wall_time_s", "max_rss_mb",
+        ) if key in payload}
+        return cls(**known)
+
+
+@dataclass
+class RunReport(Mapping):
+    """The full observability record of one executor run (any mode)."""
+
+    mode: str = "memory"
+    plan: list = field(default_factory=list)
+    num_output_samples: int = 0
+    ops: list[OpReport] = field(default_factory=list)
+    cache: dict = field(default_factory=dict)
+    resources: dict = field(default_factory=dict)
+    trace: list = field(default_factory=list)
+    parallel: dict = field(default_factory=dict)
+    shards: dict | None = None
+    shard_budget: dict | None = None
+    segments: int | None = None
+    export_paths: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Mapping interface (backwards compatibility with the old dict report)
+    # ------------------------------------------------------------------
+    #: dict-view keys that read straight from the matching attribute
+    _PLAIN_KEYS = (
+        "mode", "plan", "num_output_samples", "cache", "resources",
+        "trace", "parallel", "export_paths",
+    )
+    #: keys present in the dict view only when set (streaming runs)
+    _OPTIONAL_KEYS = ("shards", "shard_budget", "segments")
+
+    def __getitem__(self, key: str) -> Any:
+        if key == "ops":
+            return [op.as_dict() for op in self.ops]
+        if key in self._PLAIN_KEYS:
+            return getattr(self, key)
+        if key in self._OPTIONAL_KEYS:
+            value = getattr(self, key)
+            if value is None:
+                raise KeyError(key)
+            return value
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._PLAIN_KEYS
+        yield "ops"
+        for key in self._OPTIONAL_KEYS:
+            if getattr(self, key) is not None:
+                yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _key in self)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-safe plain-dict view of the whole report."""
+        payload = {
+            "mode": self.mode,
+            "plan": list(self.plan),
+            "num_output_samples": self.num_output_samples,
+            "ops": [op.as_dict() for op in self.ops],
+            "cache": dict(self.cache),
+            "resources": dict(self.resources),
+            "trace": list(self.trace),
+            "parallel": dict(self.parallel),
+            "export_paths": list(self.export_paths),
+        }
+        if self.shards is not None:
+            payload["shards"] = dict(self.shards)
+        if self.shard_budget is not None:
+            payload["shard_budget"] = dict(self.shard_budget)
+        if self.segments is not None:
+            payload["segments"] = self.segments
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunReport":
+        """Rebuild a :class:`RunReport` from :meth:`as_dict` output."""
+        return cls(
+            mode=payload.get("mode", "memory"),
+            plan=list(payload.get("plan", [])),
+            num_output_samples=int(payload.get("num_output_samples", 0)),
+            ops=[OpReport.from_dict(entry) for entry in payload.get("ops", [])],
+            cache=dict(payload.get("cache", {})),
+            resources=dict(payload.get("resources", {})),
+            trace=list(payload.get("trace", [])),
+            parallel=dict(payload.get("parallel", {})),
+            shards=dict(payload["shards"]) if "shards" in payload else None,
+            shard_budget=(
+                dict(payload["shard_budget"]) if "shard_budget" in payload else None
+            ),
+            segments=payload.get("segments"),
+            export_paths=[str(path) for path in payload.get("export_paths", [])],
+        )
+
+    # ------------------------------------------------------------------
+    def op_summary(self) -> list[tuple[str, str, int, int]]:
+        """Compact ``(name, type, rows_in, rows_out)`` tuples, in plan order.
+
+        This is the structural identity the streaming engine guarantees:
+        ``run()`` and ``run_streaming()`` over the same recipe and input
+        produce equal summaries.
+        """
+        return [(op.name, op.op_type, op.rows_in, op.rows_out) for op in self.ops]
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the report as JSON and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2, ensure_ascii=False, default=repr),
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunReport":
+        """Load a report previously written by :meth:`save`.
+
+        ``path`` may be the report file itself or a run's ``work_dir``
+        containing a :data:`REPORT_FILE`.
+        """
+        path = Path(path)
+        if path.is_dir():
+            path = path / REPORT_FILE
+        return cls.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable multi-line rendering (the ``repro report`` output)."""
+        lines = [
+            f"Run report — mode={self.mode}, "
+            f"{self.num_output_samples} output samples"
+        ]
+        resources = self.resources or {}
+        if resources.get("wall_time_s") is not None:
+            lines.append(
+                f"  wall time {resources['wall_time_s']:.3f}s, "
+                f"peak RSS {resources.get('max_rss_mb', 0.0):.1f} MB"
+            )
+        if self.mode == "streaming" and self.shards is not None:
+            budget = self.shard_budget or {}
+            lines.append(
+                "  shards: "
+                + ", ".join(f"{key}={value}" for key, value in self.shards.items())
+                + f" (budget rows={budget.get('max_shard_rows')}, "
+                f"chars={budget.get('max_shard_chars')})"
+            )
+        cache = self.cache or {}
+        if cache:
+            lines.append(
+                "  cache: "
+                + ", ".join(f"{key}={value}" for key, value in sorted(cache.items()))
+            )
+        parallel = self.parallel or {}
+        if parallel:
+            lines.append(
+                f"  parallel: np={parallel.get('np')}, "
+                f"batch_size={parallel.get('batch_size')}, "
+                f"start_method={parallel.get('start_method')}"
+            )
+        if self.ops:
+            header = (
+                f"  {'op':<44} {'type':<13} {'rows_in':>9} {'rows_out':>9} "
+                f"{'removed':>8} {'time_s':>8} {'rows/s':>10} {'cached':>6}"
+            )
+            lines.append(header)
+            lines.append("  " + "-" * (len(header) - 2))
+            for op in self.ops:
+                lines.append(
+                    f"  {op.name:<44} {op.op_type:<13} {op.rows_in:>9} "
+                    f"{op.rows_out:>9} {op.removed:>8} {op.wall_time_s:>8.3f} "
+                    f"{op.rows_per_sec:>10.0f} {op.cached_calls:>6}"
+                )
+        if self.export_paths:
+            lines.append("  exports: " + ", ".join(self.export_paths))
+        return "\n".join(lines)
+
+
+__all__ = ["OpReport", "REPORT_FILE", "RunReport"]

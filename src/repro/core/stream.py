@@ -154,15 +154,19 @@ class ShardStore:
         self.root = Path(root)
 
     def stage_dir(self, stage: int) -> Path:
+        """Directory holding one pipeline stage's spilled shards."""
         return self.root / f"stage-{stage:02d}"
 
     def shard_path(self, stage: int, index: int) -> Path:
+        """On-disk path of one spilled shard."""
         return self.stage_dir(stage) / f"shard-{index:05d}.pkl"
 
     def has_shard(self, stage: int, index: int) -> bool:
+        """True when a completely-written spill exists for (stage, index)."""
         return self.shard_path(stage, index).exists()
 
     def write_shard(self, stage: int, index: int, rows: list[dict]) -> Path:
+        """Atomically spill one shard's rows; returns the written path."""
         path = self.shard_path(stage, index)
         path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.with_suffix(".tmp")
@@ -172,6 +176,7 @@ class ShardStore:
         return path
 
     def read_shard_rows(self, stage: int, index: int) -> list[dict]:
+        """Load one spilled shard back into memory."""
         with self.shard_path(stage, index).open("rb") as handle:
             return pickle.load(handle)
 
@@ -262,18 +267,44 @@ def run_sample_ops(
     rows: list[dict],
     sample_ops: list,
     pool_factory: Callable[[], Any] | None = None,
+    profiler: Any = None,
+    tracer: Any = None,
 ) -> NestedDataset:
     """Drive one shard through a run of Mappers/Filters (batched engine).
 
     ``pool_factory`` lazily provides a :class:`repro.parallel.WorkerPool`
     handle exactly like the in-memory executor — the pool is only created
-    when an op actually executes.
+    when an op actually executes.  ``profiler`` is an optional
+    :class:`repro.core.monitor.RunProfiler` accumulating per-op wall time and
+    row counts across shards; ``tracer`` is an optional
+    :class:`repro.core.tracer.StreamingTracer` whose per-op accumulators
+    every shard feeds incrementally.
     """
     dataset = NestedDataset.from_list(rows)
     for op in sample_ops:
         pool = pool_factory() if pool_factory is not None else None
-        dataset = op.run(dataset, pool=pool)
+        if profiler is not None:
+            with profiler.track(op, rows_in=len(dataset)) as tracking:
+                dataset = op.run(dataset, tracer=tracer, pool=pool)
+                tracking.rows_out = len(dataset)
+        else:
+            dataset = op.run(dataset, tracer=tracer, pool=pool)
     return dataset
+
+
+def stage_chain_hash(segment: StreamSegment) -> str:
+    """Fingerprint of the shard-local work of one streaming segment.
+
+    Digests the ordered config hashes of every shard-local op, plus the
+    hashing stage of a closing Deduplicator (whose hash columns are part of
+    the shard output that gets spilled/cached).  Together with a shard's
+    input signature this keys the shard-level cache: equal keys guarantee a
+    replayed shard is byte-equal to recomputation.
+    """
+    parts = [op_config_hash(op) for op in segment.sample_ops]
+    if isinstance(segment.global_op, Deduplicator):
+        parts.append("hash:" + op_config_hash(segment.global_op))
+    return _stable_hash(parts)
 
 
 __all__ = [
@@ -288,4 +319,5 @@ __all__ = [
     "resolve_global_keep",
     "run_sample_ops",
     "signature_column_names",
+    "stage_chain_hash",
 ]

@@ -33,6 +33,43 @@ class TraceRecord:
         return max(0, self.input_size - self.output_size)
 
 
+def _discarded_examples(
+    before: NestedDataset, after: NestedDataset, budget: int, offset: int = 0
+) -> list[dict]:
+    """Up to ``budget`` rows of ``before`` whose text did not survive into ``after``.
+
+    Membership is by text value (the surviving rows of a filter keep their
+    text verbatim), with ``None`` texts matched against whether *any*
+    surviving row has a ``None`` text.  ``offset`` shifts the reported
+    indexes, so streaming shards report corpus-global positions.
+    """
+    if budget <= 0:
+        return []
+    kept_texts = set()
+    none_kept = False
+    for row in after:
+        text = row.get(Fields.text)
+        if text is None:
+            none_kept = True
+        else:
+            kept_texts.add(text)
+    examples: list[dict] = []
+    for index, row in enumerate(before):
+        text = row.get(Fields.text)
+        if (none_kept if text is None else text in kept_texts):
+            continue
+        examples.append(
+            {
+                "index": offset + index,
+                "discarded": text if text is not None else "",
+                "stats": row.get(Fields.stats, {}),
+            }
+        )
+        if len(examples) >= budget:
+            break
+    return examples
+
+
 class Tracer:
     """Collect :class:`TraceRecord` objects for each executed operator."""
 
@@ -66,17 +103,7 @@ class Tracer:
         self, op_name: str, before: NestedDataset, after: NestedDataset
     ) -> TraceRecord:
         """Record the samples discarded by a Filter or Selector."""
-        kept_texts = set()
-        for row in after:
-            kept_texts.add(id(row.get(Fields.text)) if row.get(Fields.text) is None else row.get(Fields.text))
-        examples = []
-        for index, row in enumerate(before):
-            text = row.get(Fields.text)
-            if text not in kept_texts:
-                examples.append({"index": index, "discarded": row.get(Fields.text, ""),
-                                 "stats": row.get(Fields.stats, {})})
-                if len(examples) >= self.show_num:
-                    break
+        examples = _discarded_examples(before, after, self.show_num)
         record = TraceRecord(op_name, "filter", len(before), len(after), examples)
         self._store(record)
         return record
@@ -126,3 +153,147 @@ class Tracer:
             }
             for record in self.records
         ]
+
+
+class StreamingTracer(Tracer):
+    """Tracer variant that accumulates incrementally across shards.
+
+    The base :class:`Tracer` assumes each ``trace_*`` call sees the *whole*
+    dataset and stores one record per call.  In streaming mode an operator
+    runs once per shard, so this subclass merges every call into one
+    per-operator accumulator instead: kept/dropped/changed counts add up
+    across shards, and examples fill a bounded first-``show_num`` reservoir —
+    memory never grows with the corpus, only with ``show_num``.
+
+    Operators resolved globally from a keep mask (Deduplicators, Selectors)
+    report through :meth:`observe_global`, and the mask pass contributes
+    dropped-row examples via :meth:`add_dropped_example` — the signature rows
+    driving the resolve carry no text payload, so examples are harvested
+    while the spilled shards stream back out.
+
+    Call :meth:`finalize` once at the end of the run: it emits the
+    accumulated :class:`TraceRecord` objects in pipeline order (writing trace
+    files exactly like the in-memory tracer).  :meth:`summary` finalizes
+    implicitly, so ``run()`` and ``run_streaming()`` trace summaries are
+    structurally interchangeable.
+    """
+
+    def __init__(self, show_num: int = 10, trace_dir: str | Path | None = None):
+        super().__init__(show_num=show_num, trace_dir=trace_dir)
+        self._accumulators: dict[str, TraceRecord] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def register(self, op_name: str, op_type: str) -> TraceRecord:
+        """Return (creating on first touch) the accumulator of an operator.
+
+        The executor pre-registers every pipeline op before the first shard
+        flows, so accumulator order — and therefore record and summary order
+        — is pipeline order even for ops an empty input never reaches.
+        """
+        if op_name not in self._accumulators:
+            self._accumulators[op_name] = TraceRecord(op_name, op_type, 0, 0, [])
+        return self._accumulators[op_name]
+
+    def _example_budget(self, record: TraceRecord) -> int:
+        return max(0, self.show_num - len(record.examples))
+
+    # ------------------------------------------------------------------
+    def trace_mapper(
+        self,
+        op_name: str,
+        before: NestedDataset,
+        after: NestedDataset,
+        text_key: str = Fields.text,
+    ) -> TraceRecord:
+        """Accumulate one shard of a Mapper: changed counts + sampled diffs."""
+        record = self.register(op_name, "mapper")
+        budget = self._example_budget(record)
+        offset = record.input_size
+        if budget > 0:
+            for index in range(min(len(before), len(after))):
+                original = get_field(before[index], text_key, "")
+                edited = get_field(after[index], text_key, "")
+                if original != edited:
+                    record.examples.append(
+                        {"index": offset + index, "before": original, "after": edited}
+                    )
+                    if len(record.examples) >= self.show_num:
+                        break
+        record.input_size += len(before)
+        record.output_size += len(after)
+        return record
+
+    def trace_filter(
+        self, op_name: str, before: NestedDataset, after: NestedDataset
+    ) -> TraceRecord:
+        """Accumulate one shard of a Filter: drop counts + sampled rejects."""
+        record = self.register(op_name, "filter")
+        record.examples.extend(
+            _discarded_examples(
+                before, after, self._example_budget(record), offset=record.input_size
+            )
+        )
+        record.input_size += len(before)
+        record.output_size += len(after)
+        return record
+
+    def trace_deduplicator(
+        self, op_name: str, input_size: int, output_size: int, duplicate_pairs: list
+    ) -> TraceRecord:
+        """Accumulate one shard-level call of a Deduplicator.
+
+        The streaming executor itself reports Deduplicators through
+        :meth:`observe_global` (their clustering is never shard-local); this
+        override exists so code driving ``Deduplicator.run`` manually with a
+        streaming tracer still accumulates instead of storing per-call
+        records.
+        """
+        record = self.register(op_name, "deduplicator")
+        budget = self._example_budget(record)
+        for original, duplicate in duplicate_pairs[:budget]:
+            record.examples.append(
+                {
+                    "original": original.get(Fields.text, ""),
+                    "duplicate": duplicate.get(Fields.text, ""),
+                }
+            )
+        record.input_size += input_size
+        record.output_size += output_size
+        return record
+
+    # ------------------------------------------------------------------
+    def observe_global(
+        self, op_name: str, op_type: str, input_size: int, output_size: int
+    ) -> TraceRecord:
+        """Record the sizes of a globally-resolved op (mask already applied)."""
+        record = self.register(op_name, op_type)
+        record.input_size += input_size
+        record.output_size += output_size
+        return record
+
+    def add_dropped_example(self, op_name: str, op_type: str, example: dict) -> bool:
+        """Attach one dropped-row example to an op; False once the reservoir is full."""
+        record = self.register(op_name, op_type)
+        if self._example_budget(record) <= 0:
+            return False
+        record.examples.append(example)
+        return True
+
+    def wants_examples(self, op_name: str, op_type: str) -> bool:
+        """True while the op's example reservoir still has room."""
+        return self._example_budget(self.register(op_name, op_type)) > 0
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Emit the accumulated records (once) in pipeline order."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for record in self._accumulators.values():
+            self._store(record)
+
+    def summary(self) -> list[dict]:
+        """Finalize (idempotent) and return the per-operator summary."""
+        self.finalize()
+        return super().summary()

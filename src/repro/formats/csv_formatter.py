@@ -18,6 +18,7 @@ class _DelimitedFormatter(ShardedFileFormatter):
     delimiter = ","
 
     def iter_file_records(self, path: Path) -> Iterator[dict]:
+        """Lazily yield one delimited file's rows as header-keyed dicts."""
         suffix = effective_suffix(path)
         with open_shard(path, newline="") as handle:
             reader = csv.DictReader(handle, delimiter=self.delimiter)

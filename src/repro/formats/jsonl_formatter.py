@@ -24,6 +24,7 @@ class JsonlFormatter(ShardedFileFormatter):
     SUFFIXES = (".jsonl", ".ndjson")
 
     def iter_file_records(self, path: Path) -> Iterator[dict]:
+        """Lazily parse one ``.jsonl`` shard, one record per line."""
         suffix = effective_suffix(path)
         with open_shard(path) as handle:
             for line_number, line in enumerate(handle, start=1):
@@ -51,6 +52,7 @@ class JsonFormatter(ShardedFileFormatter):
     SUFFIXES = (".json",)
 
     def iter_file_records(self, path: Path) -> Iterator[dict]:
+        """Lazily yield the records of one JSON-array (or object) file."""
         suffix = effective_suffix(path)
         try:
             with open_shard(path) as handle:

@@ -104,6 +104,7 @@ class MixtureFormatter(Formatter):
             yield self.unify_sample(row, self.text_keys)
 
     def load_dataset(self) -> NestedDataset:
+        """Materialise the sampled mixture as one unified dataset."""
         return NestedDataset.from_list(list(self.iter_records()))
 
     @staticmethod

@@ -64,6 +64,7 @@ class _GzipTextWriter(io.TextIOWrapper):
         super().__init__(compressed, encoding="utf-8", newline=newline)
 
     def close(self) -> None:
+        """Flush and close the text wrapper, then the underlying gzip stream."""
         try:
             super().close()
         finally:

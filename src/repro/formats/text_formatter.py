@@ -18,6 +18,7 @@ class _FileFormatter(ShardedFileFormatter):
     """
 
     def iter_file_records(self, path: Path) -> Iterator[dict]:
+        """Yield one record holding the whole file as its text payload."""
         with open_shard(path, errors="replace") as handle:
             content = handle.read()
         yield {

@@ -1,0 +1,158 @@
+"""Generated documentation: the operator catalog, straight from the registry.
+
+``python -m repro docs-ops`` (or ``make docs``) walks
+:data:`repro.core.registry.OPERATORS` and renders ``docs/ops_catalog.md``:
+every registered operator with its category, one-line description (the first
+docstring line) and constructor parameters with defaults.  The committed
+catalog is asserted in sync with the registry by ``tests/test_docs.py``, so
+documentation rot fails the build instead of shipping.
+
+Rendering is deterministic (sorted by category, then name; ``repr`` defaults)
+— regenerating from an unchanged registry is always a no-op diff.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import Counter
+from pathlib import Path
+
+import repro.ops  # noqa: F401  (populates the registry as an import side effect)
+from repro.core.base_op import op_category
+from repro.core.registry import OPERATORS
+
+#: display order of the operator categories in the catalog
+CATEGORY_ORDER = ("mapper", "filter", "deduplicator", "selector", "op")
+
+CATALOG_HEADER = """\
+# Operator catalog
+
+> **Generated file — do not edit.**  Regenerate with `make docs`
+> (`python -m repro docs-ops`).  `tests/test_docs.py` fails when this file
+> is out of sync with the operator registry.
+
+Every operator registered in `repro.core.registry.OPERATORS`, grouped by
+category.  Parameters are the constructor's keyword arguments with their
+defaults; `text_key` (default `"text"`) and `batch_size` (execution tuning)
+are accepted by every operator and omitted from the tables.
+"""
+
+#: constructor parameters shared by every OP, left out of the per-op tables
+_COMMON_PARAMS = ("self", "text_key", "batch_size", "args", "kwargs")
+
+
+def op_doc_summary(cls: type) -> str:
+    """First line of an operator class's docstring (empty when undocumented)."""
+    doc = inspect.getdoc(cls) or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+def op_parameters(cls: type) -> list[tuple[str, str]]:
+    """``(name, default_repr)`` pairs of an operator's own constructor params.
+
+    Parameters every op shares (``text_key``, ``batch_size``) and catch-all
+    ``**kwargs`` are omitted; a parameter without a default renders as
+    ``required``.
+    """
+    try:
+        signature = inspect.signature(cls.__init__)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return []
+    parameters = []
+    for name, parameter in signature.parameters.items():
+        if name in _COMMON_PARAMS or parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        default = (
+            "required"
+            if parameter.default is inspect.Parameter.empty
+            else f"`{parameter.default!r}`"
+        )
+        parameters.append((name, default))
+    return parameters
+
+
+def op_catalog_entries() -> list[dict]:
+    """One catalog entry per registered operator, in rendering order."""
+    entries = []
+    for name in OPERATORS.list():
+        cls = OPERATORS.get(name)
+        entries.append(
+            {
+                "name": name,
+                "category": op_category(cls),
+                "summary": op_doc_summary(cls),
+                "parameters": op_parameters(cls),
+            }
+        )
+    order = {category: index for index, category in enumerate(CATEGORY_ORDER)}
+    entries.sort(key=lambda entry: (order.get(entry["category"], 99), entry["name"]))
+    return entries
+
+
+def render_ops_catalog() -> str:
+    """Render the full operator catalog as deterministic Markdown."""
+    entries = op_catalog_entries()
+    counts = Counter(entry["category"] for entry in entries)
+    lines = [CATALOG_HEADER]
+    lines.append(
+        "**"
+        + ", ".join(
+            f"{counts[category]} {category}s"
+            for category in CATEGORY_ORDER
+            if counts.get(category)
+        )
+        + f" — {len(entries)} operators.**\n"
+    )
+    current_category = None
+    for entry in entries:
+        if entry["category"] != current_category:
+            current_category = entry["category"]
+            lines.append(f"\n## {current_category.capitalize()}s\n")
+        lines.append(f"### `{entry['name']}`\n")
+        if entry["summary"]:
+            lines.append(entry["summary"] + "\n")
+        if entry["parameters"]:
+            lines.append("| parameter | default |")
+            lines.append("|---|---|")
+            for name, default in entry["parameters"]:
+                lines.append(f"| `{name}` | {default} |")
+            lines.append("")
+        else:
+            lines.append("*No operator-specific parameters.*\n")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_ops_catalog(path: str | Path) -> bool:
+    """Write the catalog to ``path``; returns True when the file changed."""
+    path = Path(path)
+    rendered = render_ops_catalog()
+    if path.exists() and path.read_text(encoding="utf-8") == rendered:
+        return False
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rendered, encoding="utf-8")
+    return True
+
+
+def catalog_in_sync(path: str | Path) -> bool:
+    """True when the committed catalog matches a fresh render of the registry."""
+    path = Path(path)
+    return path.exists() and path.read_text(encoding="utf-8") == render_ops_catalog()
+
+
+__all__ = [
+    "CATALOG_HEADER",
+    "CATEGORY_ORDER",
+    "catalog_in_sync",
+    "op_catalog_entries",
+    "op_doc_summary",
+    "op_parameters",
+    "render_ops_catalog",
+    "write_ops_catalog",
+]
