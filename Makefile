@@ -8,11 +8,13 @@
 #   make bench-stream streaming-engine memory suite; refreshes BENCH_stream.json
 #   make docs        regenerate docs/ops_catalog.md from the operator registry
 #   make docs-check  fail when the committed catalog is out of sync (CI)
+#   make validate-recipes  schema-validate every built-in recipe (no execution)
+#   make check       docs-check + validate-recipes + unit suite (the CI gate)
 
 PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
 REPRO = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro
 
-.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check
+.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes check
 
 smoke:
 	$(PYTEST) -x -q
@@ -39,3 +41,8 @@ docs:
 
 docs-check:
 	$(REPRO) docs-ops --check
+
+validate-recipes:
+	$(REPRO) validate-recipe --all
+
+check: docs-check validate-recipes unit

@@ -11,7 +11,8 @@ Run with::
     python examples/feedback_loop.py
 """
 
-from repro import Analyzer, Executor
+from repro import Analyzer
+from repro.api import Pipeline
 from repro.recipes import get_recipe
 from repro.synth import common_crawl_like
 from repro.tools.evaluator import Evaluator, Leaderboard, ProxyTrainer, ReferenceModelRegistry
@@ -41,8 +42,9 @@ def main() -> None:
         if isinstance(entry, dict) and "word_repetition_filter" in entry:
             entry["word_repetition_filter"]["max_ratio"] = round(best.params["max_ratio"], 3)
 
-    # (3) process with the refined recipe
-    refined = Executor(recipe).run(original)
+    # (3) process with the refined recipe (recipes compile to pipelines; the
+    # refined parameters are schema-validated before anything runs)
+    refined = Pipeline.from_recipe(recipe).collect(original)
     print(f"refined dataset: {len(refined)} of {len(original)} samples kept\n")
 
     # (4) analyze the refined dataset

@@ -1,17 +1,20 @@
 #!/usr/bin/env python3
-"""Quickstart: clean a small noisy web corpus with a zero-code data recipe.
+"""Quickstart: clean a small noisy web corpus with the fluent Pipeline API.
 
-This example mirrors the paper's "novice user" workflow: take a built-in data
-recipe, point it at a dataset, run the executor and look at the tracer /
-analyzer output — no custom code required.
+Two workflows in one example, mirroring the paper's user spectrum:
+
+* the *novice* path — take a built-in data recipe and run it unchanged
+  (``Pipeline.from_recipe``);
+* the *power-user* path — compose the same operators fluently, with
+  construction-time parameter validation and planner-driven execution.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Analyzer, Executor
-from repro.recipes import get_recipe
+from repro import Analyzer
+from repro.api import Pipeline
 from repro.synth import common_crawl_like
 
 
@@ -20,25 +23,46 @@ def main() -> None:
     raw = common_crawl_like(num_samples=120, seed=7, quality=0.4)
     print(f"loaded {len(raw)} raw documents")
 
-    # 2. a built-in refinement recipe, with tracing switched on
-    recipe = get_recipe("pretrain-common-crawl-refine-en")
-    recipe["open_tracer"] = True
-    executor = Executor(recipe)
+    # 2a. novice path: a built-in recipe becomes a pipeline, unchanged
+    recipe_pipeline = Pipeline.from_recipe("pretrain-common-crawl-refine-en")
+    print(f"built-in recipe as a pipeline: {recipe_pipeline}")
 
-    # 3. run the pipeline
-    refined = executor.run(raw)
-    print(f"kept {len(refined)} documents after refinement")
+    # 2b. power-user path: compose the chain fluently; every step is
+    #     validated against the typed op schemas before anything runs.
+    #     use_cache lets the later collect() replay this run's per-op results
+    #     instead of recomputing them.
+    pipeline = (
+        Pipeline.new(open_tracer=True, use_cache=True)
+        .map("clean_html_mapper")
+        .map("whitespace_normalization_mapper")
+        .filter("language_id_score_filter", lang="en", min_score=0.2)
+        .filter("text_length_filter", min_len=100)
+        .dedup("document_deduplicator", lowercase=True)
+    )
+    print("\nlogical plan:")
+    print(pipeline.describe())
+
+    # 3. run it: the report carries the planner decision and per-op trace
+    report = pipeline.run(dataset=raw)
+    print(f"\nkept {report['num_output_samples']} documents after refinement")
     print("\nper-operator effect (tracer):")
-    for step in executor.last_report["trace"]:
+    for step in report["trace"]:
         print(
             f"  {step['op_name']:<55} {step['input_size']:>5} -> {step['output_size']:>5}"
         )
 
-    # 4. probe the refined data with the analyzer
+    # 4. the same pipeline round-trips losslessly through a recipe dict
+    rebuilt = Pipeline.from_recipe(pipeline.to_recipe())
+    assert rebuilt.op_fingerprint_chain() == pipeline.op_fingerprint_chain()
+    print("\nrecipe round-trip preserves the op fingerprint chain")
+
+    # 5. probe the refined data with the analyzer (a pure cache replay of the
+    #    run above — same fingerprints, so no operator executes again)
+    refined = pipeline.collect(dataset=raw)
     probe = Analyzer().analyze(refined)
     print("\n" + probe.render())
 
-    # 5. render one histogram as a quick visual check
+    # 6. render one histogram as a quick visual check
     if "text_len" in probe.histograms:
         print("\n" + probe.histograms["text_len"].render())
 

@@ -16,16 +16,21 @@ The public API mirrors the original system's main entry points:
 from repro import ops  # noqa: F401 - operator registration side effects
 from repro import formats  # noqa: F401 - formatter registration side effects
 from repro.analysis.analyzer import Analyzer
+from repro.api import Pipeline, validate_recipe
 from repro.core import (
     CacheManager,
     CheckpointManager,
+    ExecutionPlan,
     Executor,
     Exporter,
     Fields,
     HashKeys,
     NestedDataset,
     OPERATORS,
+    OpSchema,
+    ParamSpec,
     RecipeConfig,
+    ResourceBudget,
     ResourceMonitor,
     StatsKeys,
     Tracer,
@@ -34,6 +39,7 @@ from repro.core import (
     fuse_operators,
     load_config,
     save_config,
+    schema_for,
 )
 from repro.formats import load_dataset, mix_datasets
 from repro.ops import load_ops
@@ -44,13 +50,18 @@ __all__ = [
     "Analyzer",
     "CacheManager",
     "CheckpointManager",
+    "ExecutionPlan",
     "Executor",
     "Exporter",
     "Fields",
     "HashKeys",
     "NestedDataset",
     "OPERATORS",
+    "OpSchema",
+    "ParamSpec",
+    "Pipeline",
     "RecipeConfig",
+    "ResourceBudget",
     "ResourceMonitor",
     "StatsKeys",
     "Tracer",
@@ -63,4 +74,6 @@ __all__ = [
     "load_ops",
     "mix_datasets",
     "save_config",
+    "schema_for",
+    "validate_recipe",
 ]

@@ -1,0 +1,38 @@
+"""The public fluent API: lazy, mode-agnostic pipelines over the operator pool.
+
+This package is the power-user half of the paper's "one-stop" promise — the
+novice half drives recipes through the CLI, while programmatic users compose
+:class:`Pipeline` chains against the same operator registry, typed op schemas
+(:mod:`repro.core.schema`) and execution planner (:mod:`repro.core.planner`),
+with :class:`repro.core.executor.Executor` as the shared backend::
+
+    from repro.api import Pipeline
+
+    report = (
+        Pipeline.read("data/*.jsonl.gz")
+        .apply("clean_html_mapper")
+        .filter("text_length_filter", min_len=50)
+        .dedup("document_minhash_deduplicator")
+        .export("out.jsonl", mode="auto")
+    )
+
+See ``docs/api.md`` for the full tour.
+"""
+
+from repro.api.pipeline import Pipeline
+from repro.api.validate import render_issues, validate_recipe
+from repro.core.planner import ExecutionPlan, ResourceBudget, plan_execution
+from repro.core.schema import OpSchema, ParamSpec, SchemaIssue, schema_for
+
+__all__ = [
+    "ExecutionPlan",
+    "OpSchema",
+    "ParamSpec",
+    "Pipeline",
+    "ResourceBudget",
+    "SchemaIssue",
+    "plan_execution",
+    "render_issues",
+    "schema_for",
+    "validate_recipe",
+]

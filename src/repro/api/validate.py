@@ -1,0 +1,65 @@
+"""Schema-only recipe validation: report every bad parameter, execute nothing.
+
+This is the engine behind ``repro validate-recipe``: it checks a recipe's
+``process`` list against the typed operator schemas
+(:mod:`repro.core.schema`) and its run options against
+:class:`~repro.core.config.RecipeConfig`, collecting *every* violation —
+unknown operators (with "did you mean" suggestions), unknown or mistyped
+parameters, and out-of-range values with their allowed ranges — instead of
+stopping at the first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import (
+    KNOWN_RECIPE_KEYS,
+    RecipeConfig,
+    load_config,
+    load_recipe_payload,
+)
+from repro.core.errors import ConfigError
+from repro.core.registry import suggestion_hint
+from repro.core.schema import SchemaIssue, validate_process
+
+
+def validate_recipe(recipe: str | Path | dict | RecipeConfig) -> list[SchemaIssue]:
+    """Validate a recipe end to end; return every issue found (empty = valid).
+
+    Three layers are checked without executing anything: unknown top-level
+    recipe keys, operator names and parameters against the typed op schemas,
+    and the structural run-option rules of
+    :func:`repro.core.config.validate_config`.
+    """
+    issues: list[SchemaIssue] = []
+    payload = load_recipe_payload(recipe)
+    for key in sorted(set(payload) - KNOWN_RECIPE_KEYS):
+        hint = suggestion_hint(key, KNOWN_RECIPE_KEYS, known_label="known keys")
+        issues.append(SchemaIssue("(recipe)", key, f"unknown recipe key; {hint}"))
+    process = payload.get("process", [])
+    if isinstance(process, list):
+        issues.extend(validate_process(process))
+    else:
+        issues.append(
+            SchemaIssue("(recipe)", "process", "must be a list of operator entries")
+        )
+    try:
+        known = {key: value for key, value in payload.items() if key in KNOWN_RECIPE_KEYS}
+        known["process"] = []  # operator errors are already reported per-op above
+        load_config(known)
+    except ConfigError as error:
+        issues.append(SchemaIssue("(recipe)", "(options)", str(error)))
+    return issues
+
+
+def render_issues(issues: list[SchemaIssue]) -> str:
+    """Human-readable one-line-per-issue rendering (the CLI output)."""
+    if not issues:
+        return "recipe is valid: every operator and parameter checks out"
+    lines = [f"found {len(issues)} problem(s):"]
+    lines.extend(f"  - {issue}" for issue in issues)
+    return "\n".join(lines)
+
+
+__all__ = ["render_issues", "validate_recipe"]

@@ -9,11 +9,17 @@ Usage examples::
     python -m repro list-ops
     python -m repro list-recipes
     python -m repro process --recipe pretrain-c4-refine-en \
-        --dataset data.jsonl --export out.jsonl
+        --dataset data.jsonl --export out.jsonl --mode auto
+    python -m repro validate-recipe --recipe-file my_recipe.yaml
     python -m repro report --work-dir outputs
     python -m repro analyze --dataset data.jsonl --stream
     python -m repro synth --corpus common_crawl --num-samples 200 --output raw.jsonl
     python -m repro docs-ops
+
+``process`` is built on the fluent :class:`repro.api.Pipeline`: the recipe is
+compiled into a lazy pipeline, parameters are validated against the typed op
+schemas before anything runs, and ``--mode auto`` lets the execution planner
+pick in-memory vs streaming from the input size and the memory budget.
 """
 
 from __future__ import annotations
@@ -24,9 +30,11 @@ import sys
 from pathlib import Path
 
 from repro.analysis.analyzer import Analyzer
+from repro.api import Pipeline, render_issues, validate_recipe
 from repro.core.config import load_config
-from repro.core.executor import Executor
+from repro.core.errors import ConfigError, RegistryError
 from repro.core.exporter import Exporter
+from repro.core.planner import EXECUTION_MODES, ExecutionPlan
 from repro.core.registry import OPERATORS
 from repro.core.report import REPORT_FILE, RunReport
 from repro.formats.load import load_dataset, load_formatter
@@ -63,7 +71,13 @@ def cmd_list_recipes(_args: argparse.Namespace) -> int:
 
 
 def cmd_process(args: argparse.Namespace) -> int:
-    """Run a data recipe over a dataset file and export the result."""
+    """Run a data recipe over a dataset file and export the result.
+
+    The recipe compiles into a :class:`repro.api.Pipeline` (so operator
+    parameters are schema-validated up front and the Executor runs as a
+    context-managed backend — a failing parallel run cannot leak pool
+    workers), and ``--mode`` drives the execution planner.
+    """
     recipe = _resolve_recipe(args.recipe, args.recipe_file)
     recipe["dataset_path"] = args.dataset
     if args.export:
@@ -74,32 +88,79 @@ def cmd_process(args: argparse.Namespace) -> int:
         recipe["np"] = args.np
     if args.batch_size is not None:
         recipe["batch_size"] = args.batch_size
-    if args.stream:
-        recipe["stream"] = True
     if args.max_shard_rows is not None:
         recipe["max_shard_rows"] = args.max_shard_rows
     if args.max_shard_chars is not None:
         recipe["max_shard_chars"] = args.max_shard_chars
-    if args.shard_output and not recipe.get("stream"):
-        raise SystemExit("--shard-output requires --stream (or a recipe with stream: true)")
-    with Executor(recipe) as executor:
-        if executor.cfg.stream:
-            report = executor.run_streaming(shard_output=args.shard_output)
-            kept = report["num_output_samples"]
-        else:
-            result = executor.run()
-            report = executor.last_report
-            kept = len(result)
-    print(f"processed {args.dataset}: kept {kept} samples")
+    if args.memory_budget_mb is not None:
+        recipe["memory_budget"] = args.memory_budget_mb << 20
+    mode = args.mode
+    if args.stream:
+        if mode == "memory":
+            raise SystemExit("--stream conflicts with --mode memory")
+        mode = "streaming"
+    if args.shard_output and mode == "memory":
+        # Executor.execute would reject this too; fail with CLI vocabulary
+        raise SystemExit("--shard-output conflicts with --mode memory")
+
+    pipeline = Pipeline.from_recipe(recipe)
+    report = pipeline.run(mode=mode, shard_output=args.shard_output)
+    planner = report.get("planner") or {}
+    if planner:
+        print(ExecutionPlan.from_dict(planner).describe())
+    print(f"processed {args.dataset}: kept {report['num_output_samples']} samples")
     if args.export:
         exported = report.get("export_paths") or [args.export]
         print(f"exported to {', '.join(str(path) for path in exported)}")
     print(json.dumps(report.get("resources", {}), indent=2))
-    work_dir = Path(executor.cfg.work_dir)
+    work_dir = Path(pipeline.to_config().work_dir)
     report_path = work_dir / REPORT_FILE
     if report_path.exists():
         print(f"run report written to {report_path} (render with: repro report --work-dir {work_dir})")
     return 0
+
+
+def cmd_validate_recipe(args: argparse.Namespace) -> int:
+    """Schema-validate a recipe (or every built-in) without executing anything.
+
+    Every bad parameter is reported with its operator name and allowed
+    range; the exit code is 1 when any recipe has problems.
+    """
+    if args.all:
+        from repro.recipes import BUILT_IN_RECIPES
+
+        failed = []
+        for name in sorted(BUILT_IN_RECIPES):
+            issues = validate_recipe(BUILT_IN_RECIPES[name])
+            print(f"{name}: {'ok' if not issues else f'{len(issues)} problem(s)'}")
+            for issue in issues:
+                print(f"  - {issue}")
+            if issues:
+                failed.append(name)
+        if failed:
+            print(f"{len(failed)} built-in recipe(s) failed validation: {', '.join(failed)}")
+            return 1
+        print(f"all {len(BUILT_IN_RECIPES)} built-in recipes are valid")
+        return 0
+    if args.recipe and args.recipe_file:
+        raise SystemExit("use either --recipe or --recipe-file, not both")
+    try:
+        if args.recipe:
+            recipe: dict | str = get_recipe(args.recipe)
+        elif args.recipe_file:
+            # hand the raw file to the validator: unlike process, validation
+            # must collect every problem instead of stopping at the first
+            recipe = args.recipe_file
+        else:
+            raise SystemExit("one of --recipe, --recipe-file or --all is required")
+        issues = validate_recipe(recipe)
+    except (ConfigError, RegistryError) as error:
+        # unknown built-in name / missing or unparseable file: still a
+        # validation problem, reported like one instead of a traceback
+        print(f"found 1 problem(s):\n  - {error}")
+        return 1
+    print(render_issues(issues))
+    return 1 if issues else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -199,9 +260,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per batch of the batched columnar op path (overrides the recipe's batch_size)",
     )
     process.add_argument(
+        "--mode",
+        choices=EXECUTION_MODES,
+        default="auto",
+        help="execution mode: 'auto' lets the planner choose in-memory vs "
+        "streaming from the input size and memory budget (default)",
+    )
+    process.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=None,
+        help="memory budget in MiB for the 'auto' mode decision "
+        "(default: detected from free memory)",
+    )
+    process.add_argument(
         "--stream",
         action="store_true",
-        help="run out-of-core: process the dataset shard by shard with bounded memory",
+        help="alias for --mode streaming: process shard by shard with bounded memory",
     )
     process.add_argument(
         "--max-shard-rows",
@@ -218,9 +293,23 @@ def build_parser() -> argparse.ArgumentParser:
     process.add_argument(
         "--shard-output",
         action="store_true",
-        help="with --stream: write size-capped numbered output shards (out-00001.jsonl.gz, ...)",
+        help="write size-capped numbered output shards (out-00001.jsonl.gz, ...); "
+        "implies --mode streaming",
     )
     process.set_defaults(func=cmd_process)
+
+    validate = subparsers.add_parser(
+        "validate-recipe",
+        help="schema-validate a recipe without executing it (exit 1 on problems)",
+    )
+    validate.add_argument("--recipe", help="name of a built-in recipe")
+    validate.add_argument("--recipe-file", help="path to a YAML/JSON recipe file")
+    validate.add_argument(
+        "--all",
+        action="store_true",
+        help="validate every built-in recipe instead of a single one",
+    )
+    validate.set_defaults(func=cmd_validate_recipe)
 
     report = subparsers.add_parser(
         "report", help="render the unified run report of a finished run"

@@ -3,20 +3,29 @@
 from repro.core.base_op import Deduplicator, Filter, Formatter, Mapper, Selector
 from repro.core.cache import CacheManager
 from repro.core.checkpoint import CheckpointManager
-from repro.core.config import RecipeConfig, load_config, save_config, validate_config
+from repro.core.config import (
+    KNOWN_RECIPE_KEYS,
+    RecipeConfig,
+    load_config,
+    save_config,
+    validate_config,
+)
 from repro.core.dataset import NestedDataset, concatenate_datasets, dataset_token_count
 from repro.core.executor import Executor
 from repro.core.exporter import Exporter
 from repro.core.fusion import FusedFilter, fuse_operators
 from repro.core.monitor import ResourceMonitor
+from repro.core.planner import ExecutionPlan, ResourceBudget, plan_execution
 from repro.core.registry import FORMATTERS, OPERATORS, Registry
 from repro.core.sample import Fields, HashKeys, StatsKeys
+from repro.core.schema import OpSchema, ParamSpec, SchemaIssue, schema_for
 from repro.core.tracer import Tracer
 
 __all__ = [
     "CacheManager",
     "CheckpointManager",
     "Deduplicator",
+    "ExecutionPlan",
     "Executor",
     "Exporter",
     "FORMATTERS",
@@ -25,12 +34,17 @@ __all__ = [
     "Formatter",
     "FusedFilter",
     "HashKeys",
+    "KNOWN_RECIPE_KEYS",
     "Mapper",
     "NestedDataset",
     "OPERATORS",
+    "OpSchema",
+    "ParamSpec",
     "RecipeConfig",
     "Registry",
+    "ResourceBudget",
     "ResourceMonitor",
+    "SchemaIssue",
     "Selector",
     "StatsKeys",
     "Tracer",
@@ -38,6 +52,8 @@ __all__ = [
     "dataset_token_count",
     "fuse_operators",
     "load_config",
+    "plan_execution",
     "save_config",
+    "schema_for",
     "validate_config",
 ]

@@ -40,6 +40,18 @@ class OP:
     #: whether ``run`` uses the batched columnar path by default
     _batched = True
 
+    #: per-parameter schema overrides (bounds, choices, docs) merged into the
+    #: signature-derived :class:`repro.core.schema.OpSchema`; subclasses add
+    #: entries like ``{"max_ratio": {"min_value": 0.0, "max_value": 1.0}}``
+    PARAM_SPECS: dict[str, dict] = {}
+
+    @classmethod
+    def schema(cls) -> Any:
+        """Typed parameter schema of this operator (see :mod:`repro.core.schema`)."""
+        from repro.core.schema import schema_for
+
+        return schema_for(cls)
+
     def __init__(self, text_key: str = Fields.text, **kwargs: Any):
         self.text_key = text_key
         # execution tuning, not op semantics: kept out of config() (and

@@ -46,6 +46,10 @@ class RecipeConfig:
     #: streaming engine applies its default row budget)
     max_shard_rows: int | None = None
     max_shard_chars: int | None = None
+    #: memory budget in bytes for the ``mode="auto"`` execution planner
+    #: (:mod:`repro.core.planner`); ``None`` detects from the host's free
+    #: memory at plan time
+    memory_budget: int | None = None
     process: list = field(default_factory=list)
 
     # optimizations & tooling
@@ -85,6 +89,7 @@ class RecipeConfig:
             "stream": self.stream,
             "max_shard_rows": self.max_shard_rows,
             "max_shard_chars": self.max_shard_chars,
+            "memory_budget": self.memory_budget,
             "process": list(self.process),
             "use_cache": self.use_cache,
             "cache_dir": self.cache_dir,
@@ -100,7 +105,10 @@ class RecipeConfig:
         }
 
 
-_KNOWN_KEYS = set(RecipeConfig().as_dict().keys())
+#: every key a recipe mapping may carry (the public contract of
+#: :func:`load_config` and of :meth:`repro.api.Pipeline.options`)
+KNOWN_RECIPE_KEYS = frozenset(RecipeConfig().as_dict().keys())
+_KNOWN_KEYS = KNOWN_RECIPE_KEYS
 
 
 def validate_config(config: RecipeConfig) -> RecipeConfig:
@@ -125,7 +133,7 @@ def validate_config(config: RecipeConfig) -> RecipeConfig:
         or config.batch_size < 1
     ):
         raise ConfigError("batch_size must be an integer >= 1 (or null)")
-    for knob in ("max_shard_rows", "max_shard_chars"):
+    for knob in ("max_shard_rows", "max_shard_chars", "memory_budget"):
         value = getattr(config, knob)
         if value is not None and (
             not isinstance(value, int) or isinstance(value, bool) or value < 1
@@ -136,12 +144,17 @@ def validate_config(config: RecipeConfig) -> RecipeConfig:
     return config
 
 
-def load_config(source: str | Path | dict | RecipeConfig) -> RecipeConfig:
-    """Build and validate a :class:`RecipeConfig` from a dict, YAML or JSON file."""
+def load_recipe_payload(source: str | Path | dict | RecipeConfig) -> dict:
+    """Read a recipe into a plain mapping without validating anything yet.
+
+    The single parser behind :func:`load_config` and schema-only validation
+    (``repro validate-recipe``): dicts and :class:`RecipeConfig` pass through,
+    paths dispatch on suffix (YAML needs PyYAML, JSON always works).
+    """
     if isinstance(source, RecipeConfig):
-        return validate_config(source)
+        return source.as_dict()
     if isinstance(source, dict):
-        payload = dict(source)
+        payload: Any = dict(source)
     else:
         path = Path(source)
         if not path.exists():
@@ -157,9 +170,19 @@ def load_config(source: str | Path | dict | RecipeConfig) -> RecipeConfig:
             raise ConfigError(f"unsupported recipe format {path.suffix!r}")
     if not isinstance(payload, dict):
         raise ConfigError("a recipe must be a mapping of configuration keys")
+    return payload
+
+
+def load_config(source: str | Path | dict | RecipeConfig) -> RecipeConfig:
+    """Build and validate a :class:`RecipeConfig` from a dict, YAML or JSON file."""
+    if isinstance(source, RecipeConfig):
+        return validate_config(source)
+    payload = load_recipe_payload(source)
     unknown = set(payload) - _KNOWN_KEYS
     if unknown:
-        raise ConfigError(f"unknown recipe keys: {sorted(unknown)}")
+        from repro.core.registry import unknown_keys_message
+
+        raise ConfigError(unknown_keys_message("recipe keys", unknown, _KNOWN_KEYS))
     config = RecipeConfig(**payload)
     return validate_config(config)
 

@@ -10,7 +10,20 @@ class ConfigError(ReproError):
 
 
 class RegistryError(ReproError):
-    """Raised when an operator or formatter lookup fails."""
+    """Raised when an operator, formatter or recipe lookup fails."""
+
+
+class SchemaError(ConfigError):
+    """Raised when operator parameters violate their declared schema.
+
+    Carries the full list of :class:`repro.core.schema.SchemaIssue` objects
+    on ``issues`` so callers (the fluent API, ``repro validate-recipe``) can
+    report every bad parameter at once instead of failing on the first.
+    """
+
+    def __init__(self, message: str, issues: list | None = None):
+        super().__init__(message)
+        self.issues = list(issues or [])
 
 
 class DatasetError(ReproError):

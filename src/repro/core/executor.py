@@ -33,10 +33,12 @@ from repro.core.base_op import Deduplicator, Filter, Mapper, Selector, op_catego
 from repro.core.cache import CacheManager
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import RecipeConfig, load_config
+from repro.core.errors import ConfigError
 from repro.core.dataset import NestedDataset, _stable_hash
 from repro.core.exporter import Exporter
 from repro.core.fusion import describe_plan
 from repro.core.monitor import ResourceMonitor, RunProfiler
+from repro.core.planner import ExecutionPlan, ResourceBudget, plan_execution
 from repro.core.report import REPORT_FILE, RunReport
 from repro.core.sample import Fields
 from repro.core.stream import (
@@ -92,6 +94,10 @@ class Executor:
         self.plan = describe_plan(self.ops)
         #: unified report of the most recent run (Mapping-compatible)
         self.last_report: RunReport = RunReport(plan=self.plan)
+        #: mode decision of the most recent :meth:`execute` call (None before)
+        self.last_plan: ExecutionPlan | None = None
+        #: planner decision to embed into the next run's report (set by execute)
+        self._planner_payload: dict | None = None
         self._pool: WorkerPool | None = None
         self._profiler = RunProfiler()
         self._stream_tracer: StreamingTracer | None = None
@@ -148,6 +154,53 @@ class Executor:
         except OSError:
             # observability must never fail a run that already succeeded
             pass
+
+    def execute(
+        self,
+        dataset: NestedDataset | None = None,
+        mode: str = "auto",
+        shard_output: bool = False,
+        budget: ResourceBudget | None = None,
+    ) -> RunReport:
+        """Plan the execution mode, run the pipeline, return the unified report.
+
+        This is the mode-agnostic front door used by the fluent
+        :class:`repro.api.Pipeline` and ``repro process --mode``: the
+        :func:`repro.core.planner.plan_execution` decision (stored as
+        ``last_plan`` and embedded in the report's ``planner`` section)
+        dispatches to :meth:`run` or :meth:`run_streaming`, replacing the
+        caller-side fork between them.  Results are identical either way —
+        the streaming engine's exports are byte-identical to the in-memory
+        engine's.
+        """
+        requested = mode
+        if shard_output:
+            # sharded output only exists out-of-core; steering the planner here
+            # keeps every front door (fluent API, CLI) consistent instead of
+            # silently writing one monolithic export in memory mode
+            if mode == "memory":
+                raise ConfigError(
+                    "shard_output requires streaming execution; it conflicts "
+                    "with mode='memory'"
+                )
+            mode = "streaming"
+        decision = plan_execution(self.cfg, dataset=dataset, mode=mode, budget=budget)
+        if shard_output:
+            # report the caller's actual request, not the coerced mode
+            decision.requested = requested
+            decision.reasons.append("sharded output requested; streaming engine required")
+        self.last_plan = decision
+        # the run itself builds (and persists) the report; handing the payload
+        # down keeps that a single complete write instead of write-then-amend
+        self._planner_payload = decision.as_dict()
+        try:
+            if decision.mode == "streaming":
+                self.run_streaming(dataset, shard_output=shard_output)
+            else:
+                self.run(dataset)
+        finally:
+            self._planner_payload = None
+        return self.last_report
 
     def run(self, dataset: NestedDataset | None = None) -> NestedDataset:
         """Execute the configured pipeline and return the processed dataset.
@@ -237,6 +290,7 @@ class Executor:
                 "start_method": self._pool.start_method if self._pool is not None else None,
             },
             export_paths=export_paths,
+            planner=self._planner_payload,
         )
         self._persist_report(self.last_report)
         return current
@@ -436,6 +490,7 @@ class Executor:
                 "batch_size": self.cfg.batch_size,
                 "start_method": self._pool.start_method if self._pool is not None else None,
             },
+            planner=self._planner_payload,
         )
         self._persist_report(self.last_report)
         return self.last_report

@@ -8,9 +8,54 @@ by the rest of the package.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+import difflib
+from typing import Callable, Iterable, Iterator
 
 from repro.core.errors import RegistryError
+
+
+def suggest_names(name: str, candidates: Iterable[str], limit: int = 3) -> list[str]:
+    """Close-match suggestions for a misspelled registry/recipe/parameter name.
+
+    Thin wrapper over :func:`difflib.get_close_matches` with a cutoff tuned
+    for snake_case identifiers, shared by every "did you mean" error message.
+    """
+    return difflib.get_close_matches(name, list(candidates), n=limit, cutoff=0.5)
+
+
+def suggestion_hint(
+    name: str, candidates: Iterable[str], known_label: str = "known entries"
+) -> str:
+    """``did you mean: ...?`` for a close match, else the full candidate list.
+
+    The shared hint phrase behind every unknown-name error (registry lookups,
+    recipe keys, pipeline options, schema parameters) — falling back to the
+    full list keeps small namespaces discoverable from the error alone.
+    """
+    candidates = list(candidates)
+    suggestions = suggest_names(name, candidates)
+    if suggestions:
+        return f"did you mean: {', '.join(suggestions)}?"
+    return f"{known_label}: {', '.join(sorted(candidates)) or '(none)'}"
+
+
+def unknown_name_message(kind: str, name: str, candidates: Iterable[str]) -> str:
+    """Error message for an unknown name, with close-match suggestions."""
+    return f"{name!r} is not a registered {kind}; {suggestion_hint(name, candidates)}"
+
+
+def unknown_keys_message(kind: str, keys: Iterable[str], candidates: Iterable[str]) -> str:
+    """Error message for unknown mapping keys, one suggestion hint per key.
+
+    Unlike :func:`unknown_name_message` this never dumps the full candidate
+    list — with several bad keys that would repeat it per key.
+    """
+    candidates = list(candidates)
+    hints = []
+    for key in sorted(keys):
+        close = suggest_names(key, candidates)
+        hints.append(f"{key!r} (did you mean: {', '.join(close)}?)" if close else repr(key))
+    return f"unknown {kind}: {', '.join(hints)}"
 
 
 class Registry:
@@ -46,12 +91,13 @@ class Registry:
     def get(self, key: str) -> type:
         """Return the class registered under ``key``.
 
-        Raises :class:`RegistryError` when the name is unknown.
+        Raises :class:`RegistryError` when the name is unknown; the message
+        carries "did you mean" close-match suggestions (or the full entry
+        list when nothing is close).
         """
         if key not in self._modules:
             raise RegistryError(
-                f"{key!r} is not registered in registry {self._name!r}; "
-                f"known entries: {', '.join(self.list()) or '(none)'}"
+                unknown_name_message(f"{self._name} name", key, self._modules)
             )
         return self._modules[key]
 

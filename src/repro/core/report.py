@@ -90,6 +90,9 @@ class RunReport(Mapping):
     shard_budget: dict | None = None
     segments: int | None = None
     export_paths: list[str] = field(default_factory=list)
+    #: the mode decision of :func:`repro.core.planner.plan_execution` when the
+    #: run went through ``Executor.execute`` (None for direct run/run_streaming)
+    planner: dict | None = None
 
     # ------------------------------------------------------------------
     # Mapping interface (backwards compatibility with the old dict report)
@@ -99,8 +102,8 @@ class RunReport(Mapping):
         "mode", "plan", "num_output_samples", "cache", "resources",
         "trace", "parallel", "export_paths",
     )
-    #: keys present in the dict view only when set (streaming runs)
-    _OPTIONAL_KEYS = ("shards", "shard_budget", "segments")
+    #: keys present in the dict view only when set (streaming / planned runs)
+    _OPTIONAL_KEYS = ("shards", "shard_budget", "segments", "planner")
 
     def __getitem__(self, key: str) -> Any:
         if key == "ops":
@@ -144,6 +147,8 @@ class RunReport(Mapping):
             payload["shard_budget"] = dict(self.shard_budget)
         if self.segments is not None:
             payload["segments"] = self.segments
+        if self.planner is not None:
+            payload["planner"] = dict(self.planner)
         return payload
 
     @classmethod
@@ -164,6 +169,7 @@ class RunReport(Mapping):
             ),
             segments=payload.get("segments"),
             export_paths=[str(path) for path in payload.get("export_paths", [])],
+            planner=dict(payload["planner"]) if "planner" in payload else None,
         )
 
     # ------------------------------------------------------------------
@@ -219,6 +225,13 @@ class RunReport(Mapping):
                 + ", ".join(f"{key}={value}" for key, value in self.shards.items())
                 + f" (budget rows={budget.get('max_shard_rows')}, "
                 f"chars={budget.get('max_shard_chars')})"
+            )
+        planner = self.planner or {}
+        if planner:
+            lines.append(
+                f"  planner: requested={planner.get('requested')}, "
+                f"chose {planner.get('mode')} "
+                f"({'; '.join(planner.get('reasons', []))})"
             )
         cache = self.cache or {}
         if cache:

@@ -1,0 +1,395 @@
+"""Typed operator parameter schemas: the contract behind construction-time validation.
+
+Every operator class exposes an :class:`OpSchema` (via ``OP.schema()`` or
+:func:`schema_for`) describing its constructor parameters: name, accepted
+types, default, numeric bounds, choices and a one-line doc.  Most of the
+schema is derived automatically from the constructor signature and its type
+annotations; operators refine it declaratively through a ``PARAM_SPECS``
+class attribute holding per-parameter overrides (bounds, choices, docs)::
+
+    class SpecialCharactersFilter(Filter):
+        PARAM_SPECS = {
+            "max_ratio": {"min_value": 0.0, "max_value": 1.0,
+                          "doc": "maximum special-character ratio"},
+        }
+
+The schemas power four surfaces at once:
+
+* **construction-time validation** — the fluent :class:`repro.api.Pipeline`
+  builders and ``repro validate-recipe`` reject bad parameters *before*
+  execution, reporting every offending value with its allowed range;
+* **better errors** — unknown parameter names get "did you mean" suggestions;
+* **the generated ops catalog** — ``docs/ops_catalog.md`` renders each
+  operator's typed parameter table from its schema;
+* **keyword-argument builders** — the Pipeline's ``apply`` / ``filter`` /
+  ``dedup`` / ``select`` verify both the operator category and its kwargs.
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import SchemaError
+from repro.core.registry import OPERATORS, suggestion_hint, unknown_name_message
+
+#: sentinel for "no default declared" (the parameter is required)
+_REQUIRED = object()
+
+#: constructor parameters every OP accepts (execution/addressing knobs, kept
+#: out of the per-op tables but accepted by validation)
+COMMON_PARAMS: dict[str, str] = {"text_key": "str", "batch_size": "int"}
+
+#: annotation base types the checker understands; anything else is ``any``
+_KNOWN_TYPES = ("bool", "int", "float", "str", "list", "tuple", "dict")
+
+
+def _parse_annotation(annotation: Any) -> tuple[tuple[str, ...], bool]:
+    """Return ``(accepted_type_names, nullable)`` for a constructor annotation.
+
+    Annotations are strings under ``from __future__ import annotations``
+    (e.g. ``"str | list[str]"``, ``"int | None"``); non-string annotations
+    fall back to their type name.  Unknown names widen to ``any``.
+    """
+    if annotation is inspect.Parameter.empty:
+        return (), False
+    if not isinstance(annotation, str):
+        annotation = getattr(annotation, "__name__", str(annotation))
+    names: list[str] = []
+    nullable = False
+    for token in str(annotation).split("|"):
+        token = token.strip()
+        base = token.split("[", 1)[0].strip()
+        if base in ("None", "NoneType"):
+            nullable = True
+        elif base in _KNOWN_TYPES:
+            names.append(base)
+        elif base:
+            return ("any",), nullable
+    return tuple(names) or ("any",), nullable
+
+
+def _type_ok(value: Any, names: tuple[str, ...]) -> bool:
+    """True when ``value`` is acceptable for any of the declared type names."""
+    for name in names:
+        if name == "any":
+            return True
+        if name == "bool" and isinstance(value, bool):
+            return True
+        if isinstance(value, bool):
+            # bool is an int subclass, but "3 workers: true" is always a bug
+            continue
+        if name == "int" and isinstance(value, int):
+            return True
+        if name == "float" and isinstance(value, (int, float)):
+            return True
+        if name == "str" and isinstance(value, str):
+            return True
+        if name in ("list", "tuple") and isinstance(value, (list, tuple)):
+            return True
+        if name == "dict" and isinstance(value, dict):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Typed description of one operator constructor parameter."""
+
+    name: str
+    types: tuple[str, ...] = ("any",)
+    default: Any = _REQUIRED
+    nullable: bool = False
+    min_value: float | None = None
+    max_value: float | None = None
+    choices: tuple[Any, ...] | None = None
+    doc: str = ""
+
+    @property
+    def required(self) -> bool:
+        """True when the constructor declares no default for this parameter."""
+        return self.default is _REQUIRED
+
+    @property
+    def type_label(self) -> str:
+        """Human-readable type, e.g. ``"str | list"`` or ``"int | None"``."""
+        label = " | ".join(self.types)
+        if self.nullable:
+            label += " | None"
+        return label
+
+    def describe(self) -> str:
+        """The allowed values in one phrase (used by validation errors and docs)."""
+        parts = [self.type_label]
+        if self.choices is not None:
+            parts.append("one of {" + ", ".join(repr(choice) for choice in self.choices) + "}")
+        elif self.min_value is not None and self.max_value is not None:
+            parts.append(f"in [{self.min_value}, {self.max_value}]")
+        elif self.min_value is not None:
+            parts.append(f">= {self.min_value}")
+        elif self.max_value is not None:
+            parts.append(f"<= {self.max_value}")
+        return ", ".join(parts)
+
+    def check(self, value: Any) -> str | None:
+        """Return an error message for ``value``, or ``None`` when it is valid."""
+        if value is None:
+            if self.nullable or self.default is None:
+                return None
+            return f"must not be null (allowed: {self.describe()})"
+        if not _type_ok(value, self.types):
+            return (
+                f"{value!r} has the wrong type {type(value).__name__} "
+                f"(allowed: {self.describe()})"
+            )
+        if self.choices is not None:
+            values = value if isinstance(value, (list, tuple)) else (value,)
+            for member in values:
+                if member not in self.choices:
+                    return (
+                        f"{member!r} is not an allowed value "
+                        f"(allowed: {self.describe()})"
+                    )
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if self.min_value is not None and value < self.min_value:
+                return f"{value!r} is below the minimum (allowed: {self.describe()})"
+            if self.max_value is not None and value > self.max_value:
+                return f"{value!r} is above the maximum (allowed: {self.describe()})"
+        return None
+
+    def default_label(self) -> str:
+        """Rendered default for docs: ``required`` / ``unbounded`` / ``repr``.
+
+        Any numeric sentinel at (or beyond) ``sys.maxsize`` magnitude —
+        ``sys.maxsize``, ``float(sys.maxsize)``, ``±sys.float_info.max`` —
+        renders as ``unbounded`` instead of an unreadable huge literal.
+        """
+        if self.required:
+            return "required"
+        if (
+            isinstance(self.default, (int, float))
+            and not isinstance(self.default, bool)
+            and abs(self.default) >= sys.maxsize
+        ):
+            return "unbounded"
+        return repr(self.default)
+
+
+@dataclass(frozen=True)
+class SchemaIssue:
+    """One schema violation: which op, which parameter, what is wrong."""
+
+    op: str
+    param: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.op}.{self.param}: {self.message}"
+
+
+@dataclass(frozen=True)
+class OpSchema:
+    """The full typed parameter schema of one operator class."""
+
+    name: str
+    category: str
+    summary: str
+    params: tuple[ParamSpec, ...]
+    common: tuple[ParamSpec, ...] = ()
+
+    def param_names(self) -> list[str]:
+        """Every accepted keyword argument, op-specific then common."""
+        return [spec.name for spec in self.params + self.common]
+
+    def param(self, name: str) -> ParamSpec | None:
+        """Look up one parameter spec by name (op-specific or common)."""
+        for spec in self.params + self.common:
+            if spec.name == name:
+                return spec
+        return None
+
+    def validate(self, params: dict[str, Any]) -> list[SchemaIssue]:
+        """Check keyword arguments against this schema; return every violation.
+
+        Unknown parameter names are violations too (op constructors swallow
+        them into ``extra_params``, so a typo would otherwise silently revert
+        the parameter to its default) and carry close-match suggestions.
+        """
+        issues: list[SchemaIssue] = []
+        known = self.param_names()
+        for key, value in params.items():
+            spec = self.param(key)
+            if spec is None:
+                hint = suggestion_hint(key, known, known_label="accepted parameters")
+                issues.append(
+                    SchemaIssue(self.name, key, f"unknown parameter; {hint}")
+                )
+                continue
+            message = spec.check(value)
+            if message is not None:
+                issues.append(SchemaIssue(self.name, key, message))
+        for spec in self.params:
+            if spec.required and spec.name not in params:
+                issues.append(
+                    SchemaIssue(
+                        self.name,
+                        spec.name,
+                        f"missing required parameter (allowed: {spec.describe()})",
+                    )
+                )
+        return issues
+
+
+def _doc_summary(cls: type) -> str:
+    """First non-empty docstring line of an operator class."""
+    for line in (inspect.getdoc(cls) or "").splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+def _collected_overrides(cls: type) -> dict[str, dict]:
+    """Merge ``PARAM_SPECS`` declarations down the class hierarchy."""
+    overrides: dict[str, dict] = {}
+    for klass in reversed(cls.__mro__):
+        for name, spec in vars(klass).get("PARAM_SPECS", {}).items():
+            merged = dict(overrides.get(name, {}))
+            merged.update(spec)
+            overrides[name] = merged
+    return overrides
+
+
+def schema_for(cls: type, name: str | None = None) -> OpSchema:
+    """Build (and cache) the :class:`OpSchema` of an operator class.
+
+    The constructor signature contributes names, defaults and annotated
+    types; the class's ``PARAM_SPECS`` overrides contribute bounds, choices
+    and per-parameter docs.
+    """
+    cached = vars(cls).get("_op_schema")
+    if cached is not None:
+        return cached
+    from repro.core.base_op import op_category
+
+    overrides = _collected_overrides(cls)
+    params: list[ParamSpec] = []
+    common: list[ParamSpec] = []
+    try:
+        signature = inspect.signature(cls.__init__)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        signature = None
+    if signature is not None:
+        for param_name, parameter in signature.parameters.items():
+            if param_name == "self" or parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            default = (
+                _REQUIRED
+                if parameter.default is inspect.Parameter.empty
+                else parameter.default
+            )
+            types, nullable = _parse_annotation(parameter.annotation)
+            if not types:
+                types = ("any",)
+                if default is not _REQUIRED and default is not None:
+                    for candidate in _KNOWN_TYPES:
+                        if type(default).__name__ == candidate:
+                            types = (candidate,)
+                            break
+                nullable = default is None
+            override = overrides.get(param_name, {})
+            spec = ParamSpec(
+                name=param_name,
+                types=tuple(override.get("types", types)),
+                default=default,
+                nullable=bool(override.get("nullable", nullable or default is None)),
+                min_value=override.get("min_value"),
+                max_value=override.get("max_value"),
+                choices=(
+                    tuple(override["choices"]) if "choices" in override else None
+                ),
+                doc=str(override.get("doc", "")),
+            )
+            if param_name in COMMON_PARAMS:
+                common.append(spec)
+            else:
+                params.append(spec)
+    for param_name, type_name in COMMON_PARAMS.items():
+        if not any(spec.name == param_name for spec in common):
+            common.append(
+                ParamSpec(
+                    name=param_name,
+                    types=(type_name,),
+                    default=None,
+                    nullable=True,
+                )
+            )
+    declared = {spec.name for spec in params} | {spec.name for spec in common}
+    stray = set(overrides) - declared
+    if stray:
+        # a typo'd PARAM_SPECS key would otherwise silently drop its bounds
+        raise SchemaError(
+            f"{cls.__name__}.PARAM_SPECS declares unknown parameter(s) "
+            f"{sorted(stray)}; constructor accepts {sorted(declared)}"
+        )
+    schema = OpSchema(
+        name=name or getattr(cls, "_name", cls.__name__),
+        category=op_category(cls),
+        summary=_doc_summary(cls),
+        params=tuple(params),
+        common=tuple(common),
+    )
+    try:
+        cls._op_schema = schema
+    except (AttributeError, TypeError):  # pragma: no cover - frozen classes
+        pass
+    return schema
+
+
+def validate_op_params(name: str, params: dict[str, Any]) -> list[SchemaIssue]:
+    """Validate one operator's keyword arguments against its schema.
+
+    An unknown operator name is itself reported as a single issue (with
+    "did you mean" suggestions) instead of raising, so recipe validation can
+    keep going and report everything wrong in one pass.
+    """
+    if name not in OPERATORS:
+        return [
+            SchemaIssue(
+                name,
+                "(op)",
+                unknown_name_message("operators name", name, OPERATORS.modules),
+            )
+        ]
+    return schema_for(OPERATORS.get(name), name=name).validate(params)
+
+
+def validate_process(process: list) -> list[SchemaIssue]:
+    """Validate every entry of a recipe ``process`` list; return all issues."""
+    from repro.ops import split_process_entry
+
+    issues: list[SchemaIssue] = []
+    for entry in process:
+        try:
+            name, params = split_process_entry(entry)
+        except ValueError as error:
+            issues.append(SchemaIssue("(process)", "(entry)", str(error)))
+            continue
+        issues.extend(validate_op_params(name, params))
+    return issues
+
+
+__all__ = [
+    "COMMON_PARAMS",
+    "OpSchema",
+    "ParamSpec",
+    "SchemaIssue",
+    "schema_for",
+    "validate_op_params",
+    "validate_process",
+]

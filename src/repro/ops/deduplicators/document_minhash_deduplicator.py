@@ -64,6 +64,19 @@ class DocumentMinhashDeduplicator(Deduplicator):
     cluster is kept.
     """
 
+    PARAM_SPECS = {
+        "ngram_size": {"min_value": 1, "doc": "word-shingle size"},
+        "num_permutations": {"min_value": 1, "doc": "MinHash signature width"},
+        "jaccard_threshold": {
+            "min_value": 0.0,
+            "max_value": 1.0,
+            "doc": "estimated-similarity threshold for clustering",
+        },
+        "num_bands": {"min_value": 1, "doc": "LSH bands (must divide num_permutations)"},
+        "lowercase": {"doc": "lowercase text before shingling"},
+        "seed": {"doc": "permutation RNG seed"},
+    }
+
     def __init__(
         self,
         ngram_size: int = 5,

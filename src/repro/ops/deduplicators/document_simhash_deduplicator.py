@@ -33,6 +33,17 @@ class DocumentSimhashDeduplicator(Deduplicator):
     blocks (the standard block-permutation trick).
     """
 
+    PARAM_SPECS = {
+        "ngram_size": {"min_value": 1, "doc": "word-shingle size"},
+        "hamming_threshold": {
+            "min_value": 0,
+            "max_value": 64,
+            "doc": "maximum Hamming distance (bits) to call two documents duplicates",
+        },
+        "num_blocks": {"min_value": 1, "max_value": 64, "doc": "fingerprint blocks for bucketing"},
+        "lowercase": {"doc": "lowercase text before shingling"},
+    }
+
     def __init__(
         self,
         ngram_size: int = 3,

@@ -22,6 +22,12 @@ class AlphanumericFilter(Filter):
 
     context_keys = (ContextKeys.words,)
 
+    PARAM_SPECS = {
+        "tokenization": {"doc": "use token-level instead of character-level ratio"},
+        "min_ratio": {"min_value": 0.0, "doc": "minimum alphanumeric ratio"},
+        "max_ratio": {"min_value": 0.0, "doc": "maximum alphanumeric ratio"},
+    }
+
     def __init__(
         self,
         tokenization: bool = False,

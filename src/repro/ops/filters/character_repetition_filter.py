@@ -18,6 +18,12 @@ class CharacterRepetitionFilter(Filter):
     generation loops, all of which harm pre-training stability.
     """
 
+    PARAM_SPECS = {
+        "rep_len": {"min_value": 1, "doc": "character n-gram length"},
+        "min_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "minimum repetition ratio"},
+        "max_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "maximum repetition ratio"},
+    }
+
     def __init__(
         self,
         rep_len: int = 10,

@@ -18,6 +18,11 @@ class DigitRatioFilter(Filter):
     deployment section.
     """
 
+    PARAM_SPECS = {
+        "min_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "minimum digit-character ratio"},
+        "max_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "maximum digit-character ratio"},
+    }
+
     def __init__(
         self,
         min_ratio: float = 0.0,

@@ -17,6 +17,12 @@ class FlaggedWordsFilter(Filter):
 
     context_keys = (ContextKeys.words, ContextKeys.refined_words)
 
+    PARAM_SPECS = {
+        "lang": {"choices": ("en", "zh", "all"), "doc": "flagged-word list to use"},
+        "max_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "maximum flagged-word ratio"},
+        "flagged_words": {"doc": "custom flagged-word list overriding the built-in one"},
+    }
+
     def __init__(
         self,
         lang: str = "en",

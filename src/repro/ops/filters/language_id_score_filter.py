@@ -16,6 +16,18 @@ class LanguageIdScoreFilter(Filter):
     threshold applies.
     """
 
+    PARAM_SPECS = {
+        "lang": {
+            "choices": ("en", "zh", "other", ""),
+            "doc": "accepted language code(s); empty accepts any language",
+        },
+        "min_score": {
+            "min_value": 0.0,
+            "max_value": 1.0,
+            "doc": "minimum language-identification confidence",
+        },
+    }
+
     def __init__(
         self,
         lang: str | list[str] = "en",

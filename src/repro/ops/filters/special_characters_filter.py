@@ -14,6 +14,19 @@ from repro.ops.common.vectorized import special_character_counts
 class SpecialCharactersFilter(Filter):
     """Keep samples whose special-character ratio is within ``[min_ratio, max_ratio]``."""
 
+    PARAM_SPECS = {
+        "min_ratio": {
+            "min_value": 0.0,
+            "max_value": 1.0,
+            "doc": "minimum special-character ratio",
+        },
+        "max_ratio": {
+            "min_value": 0.0,
+            "max_value": 1.0,
+            "doc": "maximum special-character ratio",
+        },
+    }
+
     def __init__(
         self,
         min_ratio: float = 0.0,

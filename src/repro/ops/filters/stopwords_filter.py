@@ -21,6 +21,12 @@ class StopwordsFilter(Filter):
 
     context_keys = (ContextKeys.words, ContextKeys.refined_words)
 
+    PARAM_SPECS = {
+        "lang": {"choices": ("en", "zh", "all"), "doc": "stop-word list to use"},
+        "min_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "minimum stop-word ratio"},
+        "stopwords": {"doc": "custom stop-word list overriding the built-in one"},
+    }
+
     def __init__(
         self,
         lang: str = "en",

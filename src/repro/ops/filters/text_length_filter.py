@@ -14,6 +14,11 @@ from repro.core.sample import StatsKeys, ensure_stats
 class TextLengthFilter(Filter):
     """Keep samples whose text length (characters) is within ``[min_len, max_len]``."""
 
+    PARAM_SPECS = {
+        "min_len": {"min_value": 0, "doc": "minimum text length in characters"},
+        "max_len": {"min_value": 0, "doc": "maximum text length in characters"},
+    }
+
     def __init__(
         self,
         min_len: int = 10,

@@ -18,6 +18,10 @@ class UrlRatioFilter(Filter):
     Link farms and navigation boilerplate have a high density of URL tokens.
     """
 
+    PARAM_SPECS = {
+        "max_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "maximum URL-word ratio"},
+    }
+
     def __init__(self, max_ratio: float = 0.2, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.max_ratio = max_ratio

@@ -17,6 +17,11 @@ class WhitespaceRatioFilter(Filter):
     extremely high ratios indicate ASCII art, tables or formatting debris.
     """
 
+    PARAM_SPECS = {
+        "min_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "minimum whitespace ratio"},
+        "max_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "maximum whitespace ratio"},
+    }
+
     def __init__(
         self,
         min_ratio: float = 0.05,

@@ -21,6 +21,12 @@ class WordRepetitionFilter(Filter):
 
     context_keys = (ContextKeys.words, ContextKeys.refined_words)
 
+    PARAM_SPECS = {
+        "rep_len": {"min_value": 1, "doc": "word n-gram length"},
+        "min_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "minimum repetition ratio"},
+        "max_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "maximum repetition ratio"},
+    }
+
     def __init__(
         self,
         rep_len: int = 10,

@@ -18,6 +18,11 @@ class WordsNumFilter(Filter):
 
     context_keys = (ContextKeys.words, ContextKeys.refined_words)
 
+    PARAM_SPECS = {
+        "min_num": {"min_value": 0, "doc": "minimum number of words"},
+        "max_num": {"min_value": 0, "doc": "maximum number of words"},
+    }
+
     def __init__(
         self,
         min_num: int = 10,

@@ -13,6 +13,12 @@ from repro.core.registry import OPERATORS
 class RandomSelector(Selector):
     """Keep a uniformly random subset of ``select_num`` samples (or ``select_ratio``)."""
 
+    PARAM_SPECS = {
+        "select_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "fraction of samples to keep"},
+        "select_num": {"min_value": 1, "doc": "absolute number of samples to keep"},
+        "seed": {"doc": "selection RNG seed"},
+    }
+
     def __init__(
         self,
         select_ratio: float | None = None,

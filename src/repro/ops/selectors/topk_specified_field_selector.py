@@ -17,6 +17,13 @@ class TopkSpecifiedFieldSelector(Selector):
     sort last.
     """
 
+    PARAM_SPECS = {
+        "field_key": {"doc": "dotted field path to rank by (e.g. __stats__.num_words)"},
+        "top_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "fraction of samples to keep"},
+        "topk": {"min_value": 1, "doc": "absolute number of samples to keep"},
+        "reverse": {"doc": "True keeps the largest values first"},
+    }
+
     def __init__(
         self,
         field_key: str = "",

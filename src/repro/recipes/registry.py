@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import copy
 
+from repro.core.errors import RegistryError
+from repro.core.registry import unknown_name_message
+
 # ----------------------------------------------------------------------
 # Reusable process fragments
 # ----------------------------------------------------------------------
@@ -269,7 +272,11 @@ def list_recipes() -> list[str]:
 
 
 def get_recipe(name: str) -> dict:
-    """Return a deep copy of a built-in recipe (safe to modify)."""
+    """Return a deep copy of a built-in recipe (safe to modify).
+
+    Unknown names raise :class:`RegistryError` with "did you mean"
+    close-match suggestions, like every other registry lookup.
+    """
     if name not in BUILT_IN_RECIPES:
-        raise KeyError(f"unknown recipe {name!r}; available: {list_recipes()}")
+        raise RegistryError(unknown_name_message("recipe name", name, BUILT_IN_RECIPES))
     return copy.deepcopy(BUILT_IN_RECIPES[name])

@@ -1,11 +1,13 @@
-"""Generated documentation: the operator catalog, straight from the registry.
+"""Generated documentation: the operator catalog, straight from the op schemas.
 
 ``python -m repro docs-ops`` (or ``make docs``) walks
 :data:`repro.core.registry.OPERATORS` and renders ``docs/ops_catalog.md``:
-every registered operator with its category, one-line description (the first
-docstring line) and constructor parameters with defaults.  The committed
-catalog is asserted in sync with the registry by ``tests/test_docs.py``, so
-documentation rot fails the build instead of shipping.
+every registered operator with its category, one-line description and a
+**typed parameter table** read from its :class:`repro.core.schema.OpSchema`
+— accepted types, default, declared bounds/choices and the per-parameter doc.
+The committed catalog is asserted in sync with the registry by
+``tests/test_docs.py``, so documentation rot (or an op schema drifting from
+its constructor) fails the build instead of shipping.
 
 Rendering is deterministic (sorted by category, then name; ``repr`` defaults)
 — regenerating from an unchanged registry is always a no-op diff.
@@ -13,13 +15,12 @@ Rendering is deterministic (sorted by category, then name; ``repr`` defaults)
 
 from __future__ import annotations
 
-import inspect
 from collections import Counter
 from pathlib import Path
 
 import repro.ops  # noqa: F401  (populates the registry as an import side effect)
-from repro.core.base_op import op_category
 from repro.core.registry import OPERATORS
+from repro.core.schema import ParamSpec, schema_for
 
 #: display order of the operator categories in the catalog
 CATEGORY_ORDER = ("mapper", "filter", "deduplicator", "selector", "op")
@@ -32,63 +33,61 @@ CATALOG_HEADER = """\
 > is out of sync with the operator registry.
 
 Every operator registered in `repro.core.registry.OPERATORS`, grouped by
-category.  Parameters are the constructor's keyword arguments with their
-defaults; `text_key` (default `"text"`) and `batch_size` (execution tuning)
-are accepted by every operator and omitted from the tables.
+category.  The parameter tables come from each operator's typed schema
+(`repro.core.schema`): accepted types, default, declared constraints
+(bounds / choices) and the per-parameter description.  `text_key` (default
+`"text"`) and `batch_size` (execution tuning) are accepted by every operator
+and omitted from the tables.
 """
-
-#: constructor parameters shared by every OP, left out of the per-op tables
-_COMMON_PARAMS = ("self", "text_key", "batch_size", "args", "kwargs")
 
 
 def op_doc_summary(cls: type) -> str:
-    """First line of an operator class's docstring (empty when undocumented)."""
-    doc = inspect.getdoc(cls) or ""
-    for line in doc.splitlines():
-        line = line.strip()
-        if line:
-            return line
-    return ""
+    """First line of an operator class's docstring (empty when undocumented).
+
+    Delegates to the op schema so the catalog and every schema consumer
+    agree on what an operator's summary is.
+    """
+    return schema_for(cls).summary
 
 
-def op_parameters(cls: type) -> list[tuple[str, str]]:
-    """``(name, default_repr)`` pairs of an operator's own constructor params.
+def op_parameters(cls: type) -> list[ParamSpec]:
+    """The operator's own typed parameter specs, in constructor order.
 
     Parameters every op shares (``text_key``, ``batch_size``) and catch-all
-    ``**kwargs`` are omitted; a parameter without a default renders as
-    ``required``.
+    ``**kwargs`` are omitted — this is exactly the schema's ``params`` tuple.
     """
-    try:
-        signature = inspect.signature(cls.__init__)
-    except (TypeError, ValueError):  # pragma: no cover - builtins only
-        return []
-    parameters = []
-    for name, parameter in signature.parameters.items():
-        if name in _COMMON_PARAMS or parameter.kind in (
-            inspect.Parameter.VAR_POSITIONAL,
-            inspect.Parameter.VAR_KEYWORD,
-        ):
-            continue
-        default = (
-            "required"
-            if parameter.default is inspect.Parameter.empty
-            else f"`{parameter.default!r}`"
-        )
-        parameters.append((name, default))
-    return parameters
+    return list(schema_for(cls).params)
+
+
+def _cell(text: str) -> str:
+    """Escape a markdown table cell: a literal ``|`` would split the row."""
+    return text.replace("|", "\\|")
+
+
+def _constraint_label(spec: ParamSpec) -> str:
+    """The constraints cell of a parameter row (bounds / choices, or ``—``)."""
+    if spec.choices is not None:
+        return "one of " + ", ".join(f"`{choice!r}`" for choice in spec.choices)
+    if spec.min_value is not None and spec.max_value is not None:
+        return f"`[{spec.min_value}, {spec.max_value}]`"
+    if spec.min_value is not None:
+        return f"`>= {spec.min_value}`"
+    if spec.max_value is not None:
+        return f"`<= {spec.max_value}`"
+    return "—"
 
 
 def op_catalog_entries() -> list[dict]:
     """One catalog entry per registered operator, in rendering order."""
     entries = []
     for name in OPERATORS.list():
-        cls = OPERATORS.get(name)
+        schema = schema_for(OPERATORS.get(name), name=name)
         entries.append(
             {
                 "name": name,
-                "category": op_category(cls),
-                "summary": op_doc_summary(cls),
-                "parameters": op_parameters(cls),
+                "category": schema.category,
+                "summary": schema.summary,
+                "parameters": list(schema.params),
             }
         )
     order = {category: index for index, category in enumerate(CATEGORY_ORDER)}
@@ -119,10 +118,16 @@ def render_ops_catalog() -> str:
         if entry["summary"]:
             lines.append(entry["summary"] + "\n")
         if entry["parameters"]:
-            lines.append("| parameter | default |")
-            lines.append("|---|---|")
-            for name, default in entry["parameters"]:
-                lines.append(f"| `{name}` | {default} |")
+            lines.append("| parameter | type | default | constraints | description |")
+            lines.append("|---|---|---|---|---|")
+            for spec in entry["parameters"]:
+                default = spec.default_label()
+                if default not in ("required", "unbounded"):
+                    default = f"`{default}`"
+                lines.append(
+                    f"| `{spec.name}` | `{_cell(spec.type_label)}` | {_cell(default)} "
+                    f"| {_cell(_constraint_label(spec))} | {_cell(spec.doc or '—')} |"
+                )
             lines.append("")
         else:
             lines.append("*No operator-specific parameters.*\n")

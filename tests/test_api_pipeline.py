@@ -1,0 +1,271 @@
+"""Tests for the fluent :class:`repro.api.Pipeline` — the public API layer.
+
+The two acceptance contracts of the redesign live here:
+
+* **recipe round-tripping** — for every built-in recipe,
+  ``Pipeline.from_recipe(r).to_recipe()`` rebuilds an operator chain with
+  *identical* incremental fingerprints;
+* **mode-agnostic execution** — ``Pipeline.read(...).export(..., mode=...)``
+  produces byte-identical exports to the equivalent explicit
+  ``Executor.run()`` / ``run_streaming()`` calls on the fig8 recipes, and
+  ``mode="auto"`` picks streaming on an over-budget corpus.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.api import Pipeline, ResourceBudget
+from repro.core.errors import ConfigError, RegistryError, SchemaError
+from repro.core.dataset import NestedDataset
+from repro.core.executor import Executor
+from repro.recipes import BUILT_IN_RECIPES, get_recipe
+from repro.synth.generators import DocumentGenerator, NoiseInjector
+
+#: the fig8 workload recipes (see benchmarks/test_fig8_end_to_end.py)
+FIG8_RECIPES = [
+    "pretrain-books-refine-en",
+    "pretrain-arxiv-refine-en",
+    "pretrain-c4-refine-en",
+]
+
+
+def messy_corpus_rows(num_samples: int = 160, seed: int = 7, duplicates: int = 24) -> list[dict]:
+    """Web-like rows with noise and duplicates so every op category bites."""
+    generator = DocumentGenerator(seed)
+    noise = NoiseInjector(seed + 1)
+    rng = random.Random(seed + 2)
+    rows = []
+    for index in range(num_samples):
+        roll = rng.random()
+        if roll < 0.6:
+            text = generator.paragraph(num_sentences=rng.randint(1, 3))
+        elif roll < 0.85:
+            text = noise.corrupt(generator.paragraph(num_sentences=2), kinds=["links", "repetition"])
+        else:
+            text = noise.gibberish(length=rng.randint(60, 200))
+        rows.append({"text": text, "meta": {"n": index}})
+    for _ in range(duplicates):
+        rows.append(dict(rng.choice(rows)))
+    rng.shuffle(rows)
+    return rows
+
+
+def write_jsonl(path, rows):
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, ensure_ascii=False) + "\n")
+    return path
+
+
+@pytest.fixture()
+def corpus_file(tmp_path):
+    return write_jsonl(tmp_path / "corpus.jsonl", messy_corpus_rows())
+
+
+class TestBuilders:
+    def test_building_is_lazy_and_immutable(self):
+        base = Pipeline.read("missing-input.jsonl")  # nothing is loaded yet
+        extended = base.filter("text_length_filter", min_len=5)
+        assert len(base) == 0 and len(extended) == 1
+        assert base.steps == ()
+        # the shared prefix can be extended independently
+        other = base.apply("clean_html_mapper")
+        assert [name for name, _params in other.steps] == ["clean_html_mapper"]
+
+    def test_category_builders_enforce_categories(self):
+        pipeline = Pipeline.new()
+        assert pipeline.map("clean_html_mapper").steps[0][0] == "clean_html_mapper"
+        assert pipeline.filter("text_length_filter").steps[0][0] == "text_length_filter"
+        assert pipeline.dedup("document_deduplicator").steps[0][0] == "document_deduplicator"
+        assert pipeline.select("random_selector", select_num=5).steps[0][0] == "random_selector"
+        with pytest.raises(ConfigError, match="is a mapper, not a filter"):
+            pipeline.filter("clean_html_mapper")
+        with pytest.raises(ConfigError, match="use .filter"):
+            pipeline.map("text_length_filter")
+
+    def test_apply_is_category_agnostic(self):
+        pipeline = Pipeline.new().apply("clean_html_mapper").apply("document_deduplicator")
+        assert len(pipeline) == 2
+
+    def test_unknown_op_suggests(self):
+        with pytest.raises(RegistryError, match="did you mean: text_length_filter"):
+            Pipeline.new().filter("text_lenght_filter")
+
+    def test_schema_violations_raise_with_every_issue(self):
+        with pytest.raises(SchemaError) as excinfo:
+            Pipeline.new().filter("text_length_filter", min_len=-5, max_len="big")
+        assert len(excinfo.value.issues) == 2
+        assert "min_len" in str(excinfo.value) and "max_len" in str(excinfo.value)
+
+    def test_unknown_option_suggests(self):
+        with pytest.raises(ConfigError, match="did you mean"):
+            Pipeline.new().options(use_cach=True)
+
+    def test_process_option_rejected(self):
+        with pytest.raises(ConfigError, match="not via options"):
+            Pipeline.new().options(process=[{"clean_html_mapper": {}}])
+
+    def test_repr_and_describe(self):
+        pipeline = (
+            Pipeline.read("in.jsonl")
+            .apply("clean_html_mapper")
+            .filter("text_length_filter", min_len=50)
+            .options(np=2)
+        )
+        assert "clean_html_mapper -> text_length_filter" in repr(pipeline)
+        description = pipeline.describe()
+        assert "read in.jsonl" in description
+        assert "text_length_filter(min_len=50)" in description
+        assert "np=2" in description
+
+
+class TestRecipeRoundTrip:
+    @pytest.mark.parametrize("name", sorted(BUILT_IN_RECIPES))
+    def test_builtin_recipes_round_trip_with_identical_fingerprints(self, name):
+        pipeline = Pipeline.from_recipe(name)
+        rebuilt = Pipeline.from_recipe(pipeline.to_recipe())
+        chain = pipeline.op_fingerprint_chain()
+        assert chain, f"{name} produced an empty op chain"
+        assert rebuilt.op_fingerprint_chain() == chain
+        # the recipe body itself survives the trip (settings and steps)
+        assert rebuilt.to_recipe() == pipeline.to_recipe()
+
+    def test_from_recipe_accepts_all_forms(self, tmp_path):
+        recipe = get_recipe("dedup-only-exact")
+        from_dict = Pipeline.from_recipe(recipe)
+        from_name = Pipeline.from_recipe("dedup-only-exact")
+        path = tmp_path / "recipe.json"
+        path.write_text(json.dumps(recipe), encoding="utf-8")
+        from_file = Pipeline.from_recipe(str(path))
+        from repro.core.config import load_config
+
+        from_config = Pipeline.from_recipe(load_config(recipe))
+        chains = {
+            tuple(p.op_fingerprint_chain())
+            for p in (from_dict, from_name, from_file, from_config)
+        }
+        assert len(chains) == 1
+
+    def test_unknown_recipe_name_suggests(self):
+        with pytest.raises(RegistryError, match="did you mean"):
+            Pipeline.from_recipe("pretrain-c4-refine")
+
+    def test_fingerprint_chain_matches_engine_fingerprints(self, corpus_file):
+        """The advertised identity: chains equal the engines' stamped fingerprints."""
+        pipeline = Pipeline.read(str(corpus_file)).filter("text_length_filter", min_len=5)
+        dataset = NestedDataset.from_list([{"text": "hello world, a long enough text"}])
+        op = pipeline.build_ops()[0]
+        out = op.run(dataset)
+        expected = pipeline.op_fingerprint_chain(seed=dataset.fingerprint)[-1]
+        assert out.fingerprint == expected
+
+    def test_invalid_recipe_params_rejected_at_build_time(self):
+        with pytest.raises(SchemaError):
+            Pipeline.from_recipe(
+                {"process": [{"text_length_filter": {"min_len": -1}}]}
+            )
+
+
+class TestExecution:
+    def test_collect_runs_in_memory(self, corpus_file):
+        pipeline = (
+            Pipeline.read(str(corpus_file))
+            .filter("words_num_filter", min_num=5)
+            .dedup("document_deduplicator")
+        )
+        result = pipeline.collect()
+        assert isinstance(result, NestedDataset)
+        assert 0 < len(result) < len(messy_corpus_rows())
+
+    def test_run_accepts_in_memory_dataset(self, tmp_path):
+        dataset = NestedDataset.from_list(
+            [{"text": "a sufficiently long document for the filter"}, {"text": "tiny"}]
+        )
+        pipeline = Pipeline.new(work_dir=str(tmp_path / "w")).filter(
+            "text_length_filter", min_len=10
+        )
+        report = pipeline.run(dataset=dataset)
+        assert report["num_output_samples"] == 1
+        assert report["planner"]["mode"] == "memory"
+
+    def test_auto_mode_picks_streaming_on_over_budget_corpus(self, corpus_file, tmp_path):
+        """The acceptance contract: mode="auto" streams an over-budget input."""
+        pipeline = (
+            Pipeline.read(str(corpus_file))
+            .filter("text_length_filter", min_len=5)
+            .options(work_dir=str(tmp_path / "w"), max_shard_rows=48)
+        )
+        report = pipeline.run(budget=ResourceBudget(max_memory_bytes=1024))
+        assert report["mode"] == "streaming"
+        assert report["shards"]["input_shards"] > 1
+        # and the same pipeline under a roomy budget stays in memory
+        roomy = pipeline.options(work_dir=str(tmp_path / "w2")).run(
+            budget=ResourceBudget(max_memory_bytes=1 << 30)
+        )
+        assert roomy["mode"] == "memory"
+        assert roomy["num_output_samples"] == report["num_output_samples"]
+
+    def test_memory_budget_option_drives_auto(self, corpus_file, tmp_path):
+        report = (
+            Pipeline.read(str(corpus_file))
+            .filter("text_length_filter", min_len=5)
+            .options(work_dir=str(tmp_path / "w"), memory_budget=1024, max_shard_rows=64)
+            .run()
+        )
+        assert report["mode"] == "streaming"
+
+    def test_plan_previews_without_executing(self, corpus_file, tmp_path):
+        pipeline = Pipeline.read(str(corpus_file)).filter("text_length_filter")
+        plan = pipeline.plan(budget=ResourceBudget(1024))
+        assert plan.mode == "streaming"
+        assert not (tmp_path / "outputs").exists()
+
+
+class TestByteIdenticalExports:
+    @pytest.mark.parametrize("recipe_name", FIG8_RECIPES)
+    def test_fig8_recipes_export_identically_across_entries(self, tmp_path, recipe_name):
+        """Acceptance contract: fluent exports == explicit Executor calls, bytewise."""
+        corpus = write_jsonl(tmp_path / "in.jsonl", messy_corpus_rows())
+        process = get_recipe(recipe_name)["process"]
+
+        # explicit in-memory Executor.run()
+        memory_export = tmp_path / "memory.jsonl"
+        Executor(
+            {
+                "dataset_path": str(corpus),
+                "export_path": str(memory_export),
+                "process": process,
+                "work_dir": str(tmp_path / "wm"),
+            }
+        ).run()
+
+        # explicit streaming Executor.run_streaming()
+        stream_export = tmp_path / "stream.jsonl"
+        Executor(
+            {
+                "dataset_path": str(corpus),
+                "export_path": str(stream_export),
+                "process": process,
+                "work_dir": str(tmp_path / "ws"),
+                "max_shard_rows": 37,
+            }
+        ).run_streaming()
+        assert stream_export.read_bytes() == memory_export.read_bytes()
+
+        # the fluent pipeline, auto mode, tiny budget -> streams; same bytes
+        pipeline = Pipeline.from_recipe(
+            {"process": process, "work_dir": str(tmp_path / "wp"), "max_shard_rows": 37}
+        ).options(dataset_path=str(corpus))
+        auto_export = tmp_path / "auto.jsonl"
+        report = pipeline.export(auto_export, budget=ResourceBudget(max_memory_bytes=512))
+        assert report["mode"] == "streaming"
+        assert auto_export.read_bytes() == memory_export.read_bytes()
+
+        # and in forced memory mode, again the same bytes
+        memory_mode_export = tmp_path / "memmode.jsonl"
+        pipeline.options(work_dir=str(tmp_path / "wp2")).export(
+            memory_mode_export, mode="memory"
+        )
+        assert memory_mode_export.read_bytes() == memory_export.read_bytes()

@@ -1,0 +1,194 @@
+"""Tests for the execution planner (:mod:`repro.core.planner`) and
+``Executor.execute`` — the mode-agnostic entry the fluent API runs through."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.core.config import load_config
+from repro.core.errors import ConfigError
+from repro.core.executor import Executor
+from repro.core.planner import (
+    GZIP_EXPANSION_FACTOR,
+    MEMORY_EXPANSION_FACTOR,
+    ExecutionPlan,
+    ResourceBudget,
+    estimate_input_bytes,
+    plan_execution,
+)
+from repro.core.dataset import NestedDataset
+
+
+def write_jsonl(path, rows):
+    path.write_text("\n".join(json.dumps(row) for row in rows), encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    return write_jsonl(
+        tmp_path / "data.jsonl",
+        [{"text": "a reasonably long document " * 4} for _ in range(50)],
+    )
+
+
+def config_for(dataset_file, **extra):
+    payload = {"dataset_path": str(dataset_file), "process": []}
+    payload.update(extra)
+    return load_config(payload)
+
+
+class TestEstimateInputBytes:
+    def test_single_file(self, dataset_file):
+        assert estimate_input_bytes(config_for(dataset_file)) == dataset_file.stat().st_size
+
+    def test_gzip_inflated(self, tmp_path):
+        path = tmp_path / "data.jsonl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(json.dumps({"text": "hello"}) + "\n")
+        estimated = estimate_input_bytes(config_for(path))
+        assert estimated == int(path.stat().st_size * GZIP_EXPANSION_FACTOR)
+
+    def test_directory_sums_files(self, tmp_path):
+        for index in range(3):
+            write_jsonl(tmp_path / f"shard-{index}.jsonl", [{"text": "x" * 100}])
+        total = sum(p.stat().st_size for p in tmp_path.glob("*.jsonl"))
+        assert estimate_input_bytes(config_for(tmp_path)) == total
+
+    def test_in_memory_dataset_extrapolates(self, dataset_file):
+        dataset = NestedDataset.from_list([{"text": "x" * 100} for _ in range(10)])
+        estimated = estimate_input_bytes(config_for(dataset_file), dataset)
+        assert estimated >= 1000  # ~100 chars x 10 rows
+
+    def test_missing_input_is_unknown(self, tmp_path):
+        cfg = load_config({"dataset_path": str(tmp_path / "nope.jsonl"), "process": []})
+        assert estimate_input_bytes(cfg) is None
+
+
+class TestPlanExecution:
+    def test_explicit_modes_always_win(self, dataset_file):
+        cfg = config_for(dataset_file, stream=True)
+        assert plan_execution(cfg, mode="memory").mode == "memory"
+        assert plan_execution(config_for(dataset_file), mode="streaming").mode == "streaming"
+
+    def test_unknown_mode_raises(self, dataset_file):
+        with pytest.raises(ConfigError, match="unknown execution mode"):
+            plan_execution(config_for(dataset_file), mode="turbo")
+
+    def test_recipe_stream_respected_under_auto(self, dataset_file):
+        plan = plan_execution(config_for(dataset_file, stream=True))
+        assert plan.mode == "streaming"
+        assert any("stream: true" in reason for reason in plan.reasons)
+
+    def test_small_input_stays_in_memory(self, dataset_file):
+        plan = plan_execution(config_for(dataset_file), budget=ResourceBudget(1 << 30))
+        assert plan.mode == "memory"
+        assert plan.estimated_memory_bytes == int(
+            dataset_file.stat().st_size * MEMORY_EXPANSION_FACTOR
+        )
+
+    def test_over_budget_input_streams(self, dataset_file):
+        plan = plan_execution(config_for(dataset_file), budget=ResourceBudget(64))
+        assert plan.mode == "streaming"
+        assert any("exceeds" in reason for reason in plan.reasons)
+
+    def test_recipe_memory_budget_used(self, dataset_file):
+        plan = plan_execution(config_for(dataset_file, memory_budget=64))
+        assert plan.budget_bytes == 64
+        assert plan.mode == "streaming"
+
+    def test_recipe_memory_budget_beats_caller_budget(self, dataset_file):
+        plan = plan_execution(
+            config_for(dataset_file, memory_budget=64), budget=ResourceBudget(1 << 40)
+        )
+        assert plan.budget_bytes == 64
+        assert plan.mode == "streaming"
+
+    def test_materialised_dataset_stays_in_memory(self, dataset_file):
+        dataset = NestedDataset.from_list([{"text": "x" * 4096} for _ in range(100)])
+        plan = plan_execution(config_for(dataset_file), dataset=dataset, budget=ResourceBudget(64))
+        assert plan.mode == "memory"
+
+    def test_unknown_size_defaults_to_memory(self, tmp_path):
+        cfg = load_config({"process": []})
+        plan = plan_execution(cfg, budget=ResourceBudget(64))
+        assert plan.mode == "memory"
+        assert any("unknown" in reason for reason in plan.reasons)
+
+    def test_engine_reflects_np(self, dataset_file):
+        assert plan_execution(config_for(dataset_file)).engine == "batched"
+        assert plan_execution(config_for(dataset_file, np=4)).engine == "pooled"
+
+    def test_as_dict_and_describe(self, dataset_file):
+        plan = plan_execution(config_for(dataset_file))
+        payload = plan.as_dict()
+        assert payload["mode"] == plan.mode and payload["reasons"] == plan.reasons
+        assert "plan: mode=" in plan.describe()
+
+    def test_detect_returns_positive_budget(self):
+        assert ResourceBudget.detect().max_memory_bytes > 0
+
+
+class TestExecutorExecute:
+    def process(self):
+        return [{"text_length_filter": {"min_len": 5}}]
+
+    def test_execute_memory_and_report_section(self, dataset_file, tmp_path):
+        with Executor(
+            {
+                "dataset_path": str(dataset_file),
+                "process": self.process(),
+                "work_dir": str(tmp_path / "work"),
+            }
+        ) as executor:
+            report = executor.execute(budget=ResourceBudget(1 << 30))
+        assert report["mode"] == "memory"
+        assert report["planner"]["mode"] == "memory"
+        assert isinstance(executor.last_plan, ExecutionPlan)
+
+    def test_execute_streaming_when_over_budget(self, dataset_file, tmp_path):
+        export = tmp_path / "out.jsonl"
+        with Executor(
+            {
+                "dataset_path": str(dataset_file),
+                "process": self.process(),
+                "work_dir": str(tmp_path / "work"),
+                "export_path": str(export),
+            }
+        ) as executor:
+            report = executor.execute(budget=ResourceBudget(64))
+        assert report["mode"] == "streaming"
+        assert export.exists()
+        assert report["planner"]["reasons"]
+
+    def test_execute_modes_export_identical_bytes(self, dataset_file, tmp_path):
+        outputs = {}
+        for mode in ("memory", "streaming"):
+            export = tmp_path / f"{mode}.jsonl"
+            with Executor(
+                {
+                    "dataset_path": str(dataset_file),
+                    "process": self.process(),
+                    "work_dir": str(tmp_path / f"work-{mode}"),
+                    "export_path": str(export),
+                }
+            ) as executor:
+                executor.execute(mode=mode)
+            outputs[mode] = export.read_bytes()
+        assert outputs["memory"] == outputs["streaming"]
+
+    def test_persisted_report_carries_planner(self, dataset_file, tmp_path):
+        from repro.core.report import RunReport
+
+        work = tmp_path / "work"
+        with Executor(
+            {
+                "dataset_path": str(dataset_file),
+                "process": self.process(),
+                "work_dir": str(work),
+            }
+        ) as executor:
+            executor.execute(budget=ResourceBudget(1 << 30))
+        loaded = RunReport.load(work)
+        assert loaded.planner is not None and loaded.planner["requested"] == "auto"

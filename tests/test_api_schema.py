@@ -1,0 +1,182 @@
+"""Tests for the typed operator parameter schemas (:mod:`repro.core.schema`).
+
+Two contracts live here: the schema machinery itself (derivation from
+constructor signatures, ``PARAM_SPECS`` overrides, per-value checks), and the
+tier-1 drift guard — every built-in recipe must stay valid against the
+schemas, so an op signature or recipe change that disagrees with the declared
+bounds fails the build.
+"""
+
+import pytest
+
+from repro.api import validate_recipe
+from repro.api.validate import render_issues
+from repro.core.registry import OPERATORS
+from repro.core.schema import (
+    COMMON_PARAMS,
+    ParamSpec,
+    SchemaIssue,
+    schema_for,
+    validate_op_params,
+    validate_process,
+)
+from repro.recipes import BUILT_IN_RECIPES
+
+
+class TestParamSpec:
+    def test_type_check_accepts_and_rejects(self):
+        spec = ParamSpec(name="n", types=("int",), default=1)
+        assert spec.check(5) is None
+        assert "wrong type" in spec.check("five")
+        # bool is an int subclass but must not satisfy an int parameter
+        assert "wrong type" in spec.check(True)
+
+    def test_float_accepts_int(self):
+        spec = ParamSpec(name="ratio", types=("float",), default=0.5)
+        assert spec.check(1) is None
+
+    def test_bounds(self):
+        spec = ParamSpec(name="ratio", types=("float",), default=0.5, min_value=0.0, max_value=1.0)
+        assert spec.check(0.0) is None and spec.check(1.0) is None
+        assert "below the minimum" in spec.check(-0.1)
+        assert "above the maximum" in spec.check(1.1)
+        assert "[0.0, 1.0]" in spec.check(2.0)
+
+    def test_choices_including_list_values(self):
+        spec = ParamSpec(name="lang", types=("str", "list"), default="en", choices=("en", "zh"))
+        assert spec.check("en") is None
+        assert spec.check(["en", "zh"]) is None
+        assert "not an allowed value" in spec.check("fr")
+        assert "not an allowed value" in spec.check(["en", "fr"])
+
+    def test_nullable(self):
+        spec = ParamSpec(name="k", types=("int",), default=None, nullable=True)
+        assert spec.check(None) is None
+        strict = ParamSpec(name="k", types=("int",), default=3)
+        assert "must not be null" in strict.check(None)
+
+    def test_required_and_labels(self):
+        import sys
+
+        required = ParamSpec(name="k", types=("int",))
+        assert required.required and required.default_label() == "required"
+        unbounded = ParamSpec(name="k", types=("int",), default=sys.maxsize)
+        assert unbounded.default_label() == "unbounded"
+        assert ParamSpec(name="k", types=("int",), default=3).default_label() == "3"
+        assert ParamSpec(name="k", types=("int",), nullable=True).type_label == "int | None"
+
+
+class TestSchemaDerivation:
+    def test_signature_types_and_defaults(self):
+        schema = schema_for(OPERATORS.get("text_length_filter"))
+        by_name = {spec.name: spec for spec in schema.params}
+        assert by_name["min_len"].types == ("int",)
+        assert by_name["min_len"].default == 10
+        assert by_name["min_len"].min_value == 0  # from PARAM_SPECS
+
+    def test_common_params_separated(self):
+        schema = schema_for(OPERATORS.get("text_length_filter"))
+        assert {spec.name for spec in schema.common} == set(COMMON_PARAMS)
+        assert not any(spec.name in COMMON_PARAMS for spec in schema.params)
+
+    def test_category_and_summary(self):
+        schema = schema_for(OPERATORS.get("clean_html_mapper"))
+        assert schema.category == "mapper"
+        assert schema.summary
+
+    def test_union_annotation(self):
+        schema = schema_for(OPERATORS.get("language_id_score_filter"))
+        lang = schema.param("lang")
+        assert set(lang.types) >= {"str", "list"}
+        assert lang.choices == ("en", "zh", "other", "")
+
+    def test_schema_classmethod_and_cache(self):
+        cls = OPERATORS.get("words_num_filter")
+        assert cls.schema() is schema_for(cls)
+
+    def test_stray_param_specs_key_is_an_error(self):
+        from repro.core.base_op import Filter
+        from repro.core.errors import SchemaError
+
+        class TypoOp(Filter):
+            """Filter with a typo'd PARAM_SPECS key."""
+
+            PARAM_SPECS = {"max_lenn": {"min_value": 0}}
+
+            def __init__(self, max_len: int = 10, **kwargs):
+                super().__init__(**kwargs)
+                self.max_len = max_len
+
+        with pytest.raises(SchemaError, match="max_lenn"):
+            schema_for(TypoOp)
+
+    def test_every_registered_op_has_a_schema(self):
+        for name in OPERATORS.list():
+            schema = schema_for(OPERATORS.get(name), name=name)
+            assert schema.name == name
+            assert schema.category in ("mapper", "filter", "deduplicator", "selector")
+
+
+class TestValidateOpParams:
+    def test_valid_params(self):
+        assert validate_op_params("text_length_filter", {"min_len": 50}) == []
+
+    def test_out_of_bounds_reports_allowed_range(self):
+        issues = validate_op_params("special_characters_filter", {"max_ratio": 1.5})
+        assert len(issues) == 1
+        assert "special_characters_filter" in str(issues[0])
+        assert "[0.0, 1.0]" in str(issues[0])
+
+    def test_unknown_param_suggests(self):
+        issues = validate_op_params("text_length_filter", {"min_length": 5})
+        assert len(issues) == 1
+        assert "did you mean: min_len" in issues[0].message
+
+    def test_unknown_op_is_one_issue_with_suggestions(self):
+        issues = validate_op_params("text_lenght_filter", {})
+        assert len(issues) == 1
+        assert "did you mean" in issues[0].message
+
+    def test_every_issue_reported_at_once(self):
+        issues = validate_op_params(
+            "word_repetition_filter",
+            {"rep_len": 0, "max_ratio": 2.0, "bogus": 1},
+        )
+        assert {issue.param for issue in issues} == {"rep_len", "max_ratio", "bogus"}
+
+    def test_common_params_accepted(self):
+        assert validate_op_params("text_length_filter", {"text_key": "body", "batch_size": 32}) == []
+
+    def test_bad_common_param_type_rejected(self):
+        issues = validate_op_params("text_length_filter", {"batch_size": "many"})
+        assert len(issues) == 1 and issues[0].param == "batch_size"
+
+
+class TestValidateProcessAndRecipes:
+    def test_validate_process_flags_each_entry(self):
+        issues = validate_process(
+            [
+                {"text_length_filter": {"min_len": -1}},
+                "clean_html_mapper",
+                {"nope_mapper": {}},
+            ]
+        )
+        assert {issue.op for issue in issues} == {"text_length_filter", "nope_mapper"}
+
+    def test_validate_recipe_reports_unknown_keys(self):
+        issues = validate_recipe({"npp": 3, "process": []})
+        assert any("did you mean: np" in issue.message for issue in issues)
+
+    def test_validate_recipe_checks_option_rules(self):
+        issues = validate_recipe({"np": 0, "process": []})
+        assert any("np" in str(issue) for issue in issues)
+
+    def test_render_issues(self):
+        assert "valid" in render_issues([])
+        rendered = render_issues([SchemaIssue("op", "p", "broken")])
+        assert "1 problem(s)" in rendered and "op.p: broken" in rendered
+
+    @pytest.mark.parametrize("name", sorted(BUILT_IN_RECIPES))
+    def test_every_builtin_recipe_is_schema_valid(self, name):
+        """Tier-1 drift guard: recipes and op schemas must stay in agreement."""
+        assert validate_recipe(BUILT_IN_RECIPES[name]) == []

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.core.errors import RegistryError
-from repro.core.registry import FORMATTERS, OPERATORS, Registry, _snake_case
+from repro.core.registry import (
+    FORMATTERS,
+    OPERATORS,
+    Registry,
+    _snake_case,
+    suggest_names,
+    unknown_name_message,
+)
 
 
 class TestRegistry:
@@ -50,6 +57,36 @@ class TestRegistry:
         for name in ("b_op", "a_op", "c_op"):
             registry.register_module(name)(type(name, (), {}))
         assert registry.list() == ["a_op", "b_op", "c_op"]
+
+    def test_unknown_lookup_suggests_close_matches(self):
+        with pytest.raises(RegistryError, match="did you mean: text_length_filter"):
+            OPERATORS.get("text_lenght_filter")
+
+    def test_unknown_formatter_suggests_close_matches(self):
+        with pytest.raises(RegistryError, match="did you mean.*jsonl_formatter"):
+            FORMATTERS.get("jsonl_formater")
+
+    def test_far_off_lookup_lists_known_entries(self):
+        registry = Registry("test")
+        registry.register_module("alpha")(type("A", (), {}))
+        registry.register_module("beta")(type("B", (), {}))
+        with pytest.raises(RegistryError, match="known entries: alpha, beta"):
+            registry.get("zzzzzzzzzz")
+
+
+class TestSuggestions:
+    def test_suggest_names_ranks_closest_first(self):
+        names = ["text_length_filter", "words_num_filter", "clean_html_mapper"]
+        assert suggest_names("text_lenght_filter", names)[0] == "text_length_filter"
+
+    def test_suggest_names_empty_when_nothing_close(self):
+        assert suggest_names("zzzz", ["alpha", "beta"]) == []
+
+    def test_unknown_name_message_variants(self):
+        with_hint = unknown_name_message("operator", "text_lenght_filter", ["text_length_filter"])
+        assert "did you mean" in with_hint
+        without = unknown_name_message("operator", "zzzz", ["alpha"])
+        assert "known entries: alpha" in without
 
 
 class TestSnakeCase:

@@ -51,9 +51,18 @@ class TestOpsCatalog:
             assert entry["summary"], f"{entry['name']} has no docstring summary"
 
     def test_op_parameters_skip_common_kwargs(self):
-        params = dict(op_parameters(OPERATORS.get("text_length_filter")))
-        assert "min_len" in params and "max_len" in params
-        assert "text_key" not in params and "batch_size" not in params
+        names = [spec.name for spec in op_parameters(OPERATORS.get("text_length_filter"))]
+        assert "min_len" in names and "max_len" in names
+        assert "text_key" not in names and "batch_size" not in names
+
+    def test_parameter_tables_are_typed(self):
+        """The catalog renders each parameter's type, bounds and doc from its schema."""
+        rendered = render_ops_catalog()
+        assert "| parameter | type | default | constraints | description |" in rendered
+        # a declared bound and doc from TextLengthFilter.PARAM_SPECS shows up
+        assert "| `min_len` | `int` | `10` | `>= 0` | minimum text length in characters |" in rendered
+        # choices render for schema-declared enumerations
+        assert "one of " in rendered
 
     def test_render_is_deterministic(self):
         assert render_ops_catalog() == render_ops_catalog()
@@ -106,6 +115,8 @@ class TestDocstringCoverage:
     def test_public_core_api_documented(self):
         """Every public class and method of the core surface has a docstring."""
         from repro.analysis import analyzer
+        from repro.api import pipeline as api_pipeline
+        from repro.api import validate as api_validate
         from repro.core import (
             base_op,
             cache,
@@ -114,7 +125,9 @@ class TestDocstringCoverage:
             executor,
             exporter,
             monitor,
+            planner,
             report,
+            schema,
             stream,
             tracer,
         )
@@ -128,9 +141,10 @@ class TestDocstringCoverage:
         )
 
         modules = (
-            analyzer, base_op, cache, checkpoint, dataset, executor, exporter,
-            monitor, report, stream, tracer, csv_formatter, jsonl_formatter,
-            load, mixture_formatter, sharded, text_formatter,
+            analyzer, api_pipeline, api_validate, base_op, cache, checkpoint,
+            dataset, executor, exporter, monitor, planner, report, schema,
+            stream, tracer, csv_formatter, jsonl_formatter, load,
+            mixture_formatter, sharded, text_formatter,
         )
         undocumented = []
         for module in modules:

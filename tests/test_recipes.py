@@ -37,8 +37,16 @@ class TestRecipeCatalogue:
         assert get_recipe("pretrain-common-crawl-refine-en")["process"]
 
     def test_unknown_recipe(self):
-        with pytest.raises(KeyError):
+        from repro.core.errors import RegistryError
+
+        with pytest.raises(RegistryError, match="not a registered recipe"):
             get_recipe("pretrain-the-moon")
+
+    def test_unknown_recipe_suggests_close_matches(self):
+        from repro.core.errors import RegistryError
+
+        with pytest.raises(RegistryError, match="did you mean.*pretrain-c4-refine-en"):
+            get_recipe("pretrain-c4-refine")
 
     def test_pretrain_and_finetune_scenarios_covered(self):
         names = " ".join(list_recipes())
