@@ -9,12 +9,13 @@
 #   make docs        regenerate docs/ops_catalog.md from the operator registry
 #   make docs-check  fail when the committed catalog is out of sync (CI)
 #   make validate-recipes  schema-validate every built-in recipe (no execution)
-#   make check       docs-check + validate-recipes + unit suite (the CI gate)
+#   make lint        statically check operator contracts (repro lint)
+#   make check       docs-check + validate-recipes + lint + unit suite (the CI gate)
 
 PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
 REPRO = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro
 
-.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes check
+.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes lint check
 
 smoke:
 	$(PYTEST) -x -q
@@ -45,4 +46,7 @@ docs-check:
 validate-recipes:
 	$(REPRO) validate-recipe --all
 
-check: docs-check validate-recipes unit
+lint:
+	$(REPRO) lint
+
+check: docs-check validate-recipes lint unit

@@ -21,6 +21,7 @@ from repro.core.config import (
 )
 from repro.core.errors import ConfigError
 from repro.core.registry import suggestion_hint
+from repro.core.reporting import render_problems
 from repro.core.schema import SchemaIssue, validate_process
 
 
@@ -54,12 +55,14 @@ def validate_recipe(recipe: str | Path | dict | RecipeConfig) -> list[SchemaIssu
 
 
 def render_issues(issues: list[SchemaIssue]) -> str:
-    """Human-readable one-line-per-issue rendering (the CLI output)."""
-    if not issues:
-        return "recipe is valid: every operator and parameter checks out"
-    lines = [f"found {len(issues)} problem(s):"]
-    lines.extend(f"  - {issue}" for issue in issues)
-    return "\n".join(lines)
+    """Human-readable one-line-per-issue rendering (the CLI output).
+
+    Shares the ``found N problem(s)`` shape with ``repro lint`` via
+    :func:`repro.core.reporting.render_problems`.
+    """
+    return render_problems(
+        issues, "recipe is valid: every operator and parameter checks out"
+    )
 
 
 __all__ = ["render_issues", "validate_recipe"]

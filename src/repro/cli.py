@@ -15,6 +15,7 @@ Usage examples::
     python -m repro analyze --dataset data.jsonl --stream
     python -m repro synth --corpus common_crawl --num-samples 200 --output raw.jsonl
     python -m repro docs-ops
+    python -m repro lint --json
 
 ``process`` is built on the fluent :class:`repro.api.Pipeline`: the recipe is
 compiled into a lazy pipeline, parameters are validated against the typed op
@@ -37,6 +38,7 @@ from repro.core.exporter import Exporter
 from repro.core.planner import EXECUTION_MODES, ExecutionPlan
 from repro.core.registry import OPERATORS
 from repro.core.report import REPORT_FILE, RunReport
+from repro.core.reporting import render_problems
 from repro.formats.load import load_dataset, load_formatter
 from repro.recipes import get_recipe, list_recipes
 from repro.synth import CORPUS_BUILDERS, make_corpus
@@ -157,7 +159,7 @@ def cmd_validate_recipe(args: argparse.Namespace) -> int:
     except (ConfigError, RegistryError) as error:
         # unknown built-in name / missing or unparseable file: still a
         # validation problem, reported like one instead of a traceback
-        print(f"found 1 problem(s):\n  - {error}")
+        print(render_problems([error], ""))
         return 1
     print(render_issues(issues))
     return 1 if issues else 0
@@ -217,6 +219,48 @@ def cmd_docs_ops(args: argparse.Namespace) -> int:
     changed = write_ops_catalog(path)
     print(f"{'wrote' if changed else 'unchanged'} {path}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically check the operator contracts (purity, config honesty, ...).
+
+    With no paths the built-in operator pool is linted.  Exit code 1 on any
+    unsuppressed violation, so ``make check`` enforces the contracts
+    headlessly; ``--baseline`` subtracts a known-violation snapshot (written
+    with ``--write-baseline``) so a new rule can land before its backlog is
+    fully burned down.
+    """
+    from repro.tools import lint as lint_tool
+
+    if args.list_rules:
+        print(lint_tool.render_rule_catalog())
+        return 0
+    writing = args.write_baseline is not None
+    baseline_target = args.write_baseline or args.baseline
+    if writing and not baseline_target:
+        raise SystemExit("--write-baseline needs a FILE (or a --baseline path to write to)")
+    keep = None
+    if args.baseline and not writing:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            raise SystemExit(
+                f"baseline {baseline_path} does not exist "
+                "(create it with --write-baseline)"
+            )
+        keep = lint_tool.baseline_filter(lint_tool.load_baseline(baseline_path))
+    try:
+        result = lint_tool.lint_paths(args.paths or None, rule_ids=args.rules, keep=keep)
+    except ValueError as error:  # unknown --rule id, with did-you-mean hint
+        raise SystemExit(str(error))
+    if writing:
+        count = lint_tool.write_baseline(baseline_target, result)
+        print(f"baseline with {count} violation(s) written to {baseline_target}")
+        return 0
+    if args.json:
+        print(lint_tool.render_json(result))
+    else:
+        print(lint_tool.render_text(result, verbose_suppressed=args.show_suppressed))
+    return result.exit_code
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
@@ -348,6 +392,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify the committed catalog matches the registry (exit 1 when stale)",
     )
     docs_ops.set_defaults(func=cmd_docs_ops)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check operator contracts (exit 1 on violations)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the built-in operator pool)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit the machine-readable report")
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE_ID",
+        help="run only this rule (repeatable; see --list-rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract the violations recorded in this JSON baseline",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        nargs="?",
+        const="",
+        help="snapshot current violations to FILE (default: the --baseline path) and exit 0",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by lint-ignore comments",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     synth = subparsers.add_parser("synth", help="generate a synthetic corpus")
     synth.add_argument("--corpus", required=True, choices=sorted(CORPUS_BUILDERS))

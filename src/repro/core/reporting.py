@@ -1,0 +1,40 @@
+"""Shared problem-report formatting for every static checking surface.
+
+``repro validate-recipe`` and ``repro lint`` both end in the same shape of
+output: a list of findings (each naming where the problem is and what is
+wrong) or a short all-clear message, with the process exit code derived from
+the count.  This module is the single home of that formatting so the two
+commands — and any future checker — stay word-for-word consistent instead of
+each re-implementing ``found N problem(s)`` in :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def format_location(path: str, line: int | None = None) -> str:
+    """``path:line`` (or just ``path``) — the clickable prefix of a finding."""
+    return f"{path}:{line}" if line is not None else str(path)
+
+
+def render_problems(
+    problems: Iterable[object],
+    empty_message: str,
+    noun: str = "problem",
+) -> str:
+    """Render findings as the canonical ``found N <noun>(s):`` block.
+
+    ``problems`` may be any objects with a useful ``str()`` (schema issues,
+    lint violations, exceptions).  An empty iterable renders the all-clear
+    ``empty_message`` instead, so callers never special-case success.
+    """
+    items = [str(problem) for problem in problems]
+    if not items:
+        return empty_message
+    lines = [f"found {len(items)} {noun}(s):"]
+    lines.extend(f"  - {item}" for item in items)
+    return "\n".join(lines)
+
+
+__all__ = ["format_location", "render_problems"]

@@ -21,6 +21,12 @@ class DocumentDeduplicator(Deduplicator):
     are also detected, matching the original OP's options.
     """
 
+    PARAM_SPECS = {
+        "lowercase": {"doc": "lowercase the text before hashing"},
+        "ignore_non_character": {"doc": "strip punctuation/whitespace before hashing"},
+        "hash_func": {"choices": ["md5", "sha256"], "doc": "cryptographic hash function"},
+    }
+
     def __init__(
         self,
         lowercase: bool = False,

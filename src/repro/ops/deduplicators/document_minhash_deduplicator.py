@@ -95,7 +95,7 @@ class DocumentMinhashDeduplicator(Deduplicator):
         self.num_permutations = num_permutations
         self.jaccard_threshold = jaccard_threshold
         self.num_bands = num_bands
-        self.rows_per_band = num_permutations // num_bands
+        self._rows_per_band = num_permutations // num_bands
         self.lowercase = lowercase
         self.seed = seed
         self._permutations = self._generate_permutations()
@@ -215,8 +215,8 @@ class DocumentMinhashDeduplicator(Deduplicator):
             if not signature:
                 continue
             for band in range(self.num_bands):
-                start = band * self.rows_per_band
-                key = (band, tuple(signature[start:start + self.rows_per_band]))
+                start = band * self._rows_per_band
+                key = (band, tuple(signature[start:start + self._rows_per_band]))
                 buckets.setdefault(key, []).append(index)
         duplicate_pairs: list[tuple[dict, dict]] = []
         for indices in buckets.values():

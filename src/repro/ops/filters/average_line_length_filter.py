@@ -17,6 +17,11 @@ class AverageLineLengthFilter(Filter):
 
     context_keys = (ContextKeys.lines,)
 
+    PARAM_SPECS = {
+        "min_len": {"min_value": 0, "doc": "minimum average line length (chars)"},
+        "max_len": {"min_value": 0, "doc": "maximum average line length (chars)"},
+    }
+
     def __init__(
         self,
         min_len: int = 10,

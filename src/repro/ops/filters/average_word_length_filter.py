@@ -21,6 +21,11 @@ class AverageWordLengthFilter(Filter):
 
     context_keys = (ContextKeys.words, ContextKeys.refined_words)
 
+    PARAM_SPECS = {
+        "min_len": {"min_value": 0.0, "doc": "minimum average word length (chars)"},
+        "max_len": {"min_value": 0.0, "doc": "maximum average word length (chars)"},
+    }
+
     def __init__(
         self,
         min_len: float = 3.0,

@@ -16,6 +16,10 @@ class EmailCountFilter(Filter):
     and also raise anonymization concerns.
     """
 
+    PARAM_SPECS = {
+        "max_count": {"min_value": 0, "doc": "maximum number of e-mail addresses"},
+    }
+
     def __init__(self, max_count: int = 3, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.max_count = max_count

@@ -17,6 +17,11 @@ class MaximumLineLengthFilter(Filter):
 
     context_keys = (ContextKeys.lines,)
 
+    PARAM_SPECS = {
+        "min_len": {"min_value": 0, "doc": "minimum of the longest line's length (chars)"},
+        "max_len": {"min_value": 0, "doc": "maximum of the longest line's length (chars)"},
+    }
+
     def __init__(
         self,
         min_len: int = 10,

@@ -14,6 +14,11 @@ from repro.ops.common.helper_funcs import split_paragraphs
 class ParagraphNumFilter(Filter):
     """Keep samples whose paragraph count is within ``[min_num, max_num]``."""
 
+    PARAM_SPECS = {
+        "min_num": {"min_value": 0, "doc": "minimum number of paragraphs"},
+        "max_num": {"min_value": 0, "doc": "maximum number of paragraphs"},
+    }
+
     def __init__(
         self,
         min_num: int = 1,

@@ -19,6 +19,11 @@ class PerplexityFilter(Filter):
     :mod:`repro.ops.common.unigram_lm`.
     """
 
+    PARAM_SPECS = {
+        "max_ppl": {"min_value": 0.0, "doc": "maximum unigram-LM perplexity"},
+        "min_ppl": {"min_value": 0.0, "doc": "minimum unigram-LM perplexity"},
+    }
+
     def __init__(
         self,
         max_ppl: float = float(sys.maxsize),

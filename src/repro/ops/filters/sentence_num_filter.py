@@ -17,6 +17,11 @@ class SentenceNumFilter(Filter):
 
     context_keys = (ContextKeys.sentences,)
 
+    PARAM_SPECS = {
+        "min_num": {"min_value": 0, "doc": "minimum number of sentences"},
+        "max_num": {"min_value": 0, "doc": "maximum number of sentences"},
+    }
+
     def __init__(
         self,
         min_num: int = 1,

@@ -16,6 +16,11 @@ class SpecifiedFieldFilter(Filter):
     only samples tagged ``language == "EN"``).
     """
 
+    PARAM_SPECS = {
+        "field_key": {"doc": "dotted path of the field to test"},
+        "target_values": {"doc": "whitelist of values the field must take"},
+    }
+
     def __init__(
         self,
         field_key: str = "",

@@ -17,6 +17,12 @@ class SpecifiedNumericFieldFilter(Filter):
     such as "keep GitHub files with star count >= k".
     """
 
+    PARAM_SPECS = {
+        "field_key": {"doc": "dotted path of the numeric field to test"},
+        "min_value": {"doc": "minimum accepted field value"},
+        "max_value": {"doc": "maximum accepted field value"},
+    }
+
     def __init__(
         self,
         field_key: str = "",

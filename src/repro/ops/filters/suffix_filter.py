@@ -15,6 +15,10 @@ class SuffixFilter(Filter):
     field when loading files from disk.
     """
 
+    PARAM_SPECS = {
+        "suffixes": {"doc": "accepted file suffixes (e.g. '.txt', '.pdf')"},
+    }
+
     def __init__(self, suffixes: list[str] | str | None = None, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         if suffixes is None:

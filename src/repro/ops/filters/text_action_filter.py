@@ -38,6 +38,10 @@ class TextActionFilter(Filter):
 
     context_keys = (ContextKeys.words, ContextKeys.refined_words)
 
+    PARAM_SPECS = {
+        "min_action_num": {"min_value": 0, "doc": "minimum number of verb-like action words"},
+    }
+
     def __init__(self, min_action_num: int = 1, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.min_action_num = min_action_num

@@ -22,6 +22,12 @@ class TokenNumFilter(Filter):
 
     context_keys = (ContextKeys.words,)
 
+    PARAM_SPECS = {
+        "min_num": {"min_value": 0, "doc": "minimum number of tokens"},
+        "max_num": {"min_value": 0, "doc": "maximum number of tokens"},
+        "max_token_chars": {"min_value": 1, "doc": "characters per token of the length proxy"},
+    }
+
     def __init__(
         self,
         min_num: int = 10,

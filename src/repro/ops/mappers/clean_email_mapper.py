@@ -14,6 +14,10 @@ EMAIL_PATTERN = re.compile(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}")
 class CleanEmailMapper(Mapper):
     """Remove e-mail addresses from the text, optionally replacing them with a token."""
 
+    PARAM_SPECS = {
+        "repl": {"doc": "replacement string for each removed address"},
+    }
+
     def __init__(self, repl: str = "", text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.repl = repl

@@ -15,6 +15,10 @@ IPV6_PATTERN = re.compile(r"\b(?:[A-Fa-f0-9]{1,4}:){2,7}[A-Fa-f0-9]{1,4}\b")
 class CleanIpMapper(Mapper):
     """Remove IPv4 and IPv6 addresses from the text, optionally replacing them."""
 
+    PARAM_SPECS = {
+        "repl": {"doc": "replacement string for each removed address"},
+    }
+
     def __init__(self, repl: str = "", text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.repl = repl

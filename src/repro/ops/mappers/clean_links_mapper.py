@@ -17,6 +17,10 @@ LINK_PATTERN = re.compile(
 class CleanLinksMapper(Mapper):
     """Remove http(s)/ftp/www links from the text, optionally replacing them."""
 
+    PARAM_SPECS = {
+        "repl": {"doc": "replacement string for each removed link"},
+    }
+
     def __init__(self, repl: str = "", text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.repl = repl

@@ -37,6 +37,13 @@ class FixUnicodeMapper(Mapper):
     characters as well).
     """
 
+    PARAM_SPECS = {
+        "normalization": {
+            "choices": ["NFC", "NFKC", "NFD", "NFKD"],
+            "doc": "unicode normalization form applied after mojibake repair",
+        },
+    }
+
     def __init__(self, normalization: str = "NFC", text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         normalization = normalization.upper()

@@ -18,6 +18,11 @@ class RemoveCommentsMapper(Mapper):
     ``whole_line`` additionally drops lines that consist only of a comment.
     """
 
+    PARAM_SPECS = {
+        "inline": {"doc": "remove inline % comments"},
+        "whole_line": {"doc": "drop lines that are entirely % comments"},
+    }
+
     def __init__(self, inline: bool = True, whole_line: bool = True, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.inline = inline

@@ -14,6 +14,11 @@ class RemoveDuplicateLinesMapper(Mapper):
     always kept — short lines such as list bullets repeat legitimately.
     """
 
+    PARAM_SPECS = {
+        "min_line_length": {"min_value": 0, "doc": "lines shorter than this are always kept"},
+        "lowercase": {"doc": "compare lines case-insensitively"},
+    }
+
     def __init__(self, min_line_length: int = 10, lowercase: bool = False, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.min_line_length = min_line_length

@@ -20,6 +20,10 @@ class RemoveHeaderMapper(Mapper):
     whole text is dropped (the original behaviour) or kept untouched.
     """
 
+    PARAM_SPECS = {
+        "drop_no_head": {"doc": "empty LaTeX documents that never reach a section header"},
+    }
+
     def __init__(self, drop_no_head: bool = True, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.drop_no_head = drop_no_head

@@ -16,6 +16,11 @@ class RemoveLongWordsMapper(Mapper):
     removing them improves tokenizer behaviour downstream.
     """
 
+    PARAM_SPECS = {
+        "min_len": {"min_value": 0, "doc": "minimum kept word length (chars)"},
+        "max_len": {"min_value": 0, "doc": "maximum kept word length (chars)"},
+    }
+
     def __init__(
         self,
         min_len: int = 1,

@@ -16,6 +16,14 @@ class RemoveRepeatSentencesMapper(Mapper):
     items) that legitimately repeat.
     """
 
+    PARAM_SPECS = {
+        "lowercase": {"doc": "compare sentences case-insensitively"},
+        "min_repeat_sentence_length": {
+            "min_value": 0,
+            "doc": "sentences with fewer words than this are always kept",
+        },
+    }
+
     def __init__(
         self,
         lowercase: bool = True,

@@ -14,6 +14,10 @@ DEFAULT_CHARS = "◆●■►▼▲▴∆▻▷❖♡□"
 class RemoveSpecificCharsMapper(Mapper):
     """Delete every occurrence of the configured characters (bullets, dingbats...)."""
 
+    PARAM_SPECS = {
+        "chars_to_remove": {"doc": "characters stripped from the text"},
+    }
+
     def __init__(self, chars_to_remove: str = DEFAULT_CHARS, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.chars_to_remove = chars_to_remove

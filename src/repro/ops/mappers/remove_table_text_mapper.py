@@ -17,6 +17,11 @@ class RemoveTableTextMapper(Mapper):
     Runs of at least two consecutive table-like lines are removed.
     """
 
+    PARAM_SPECS = {
+        "min_col": {"min_value": 1, "doc": "minimum column count of a table line"},
+        "max_col": {"min_value": 1, "doc": "maximum column count of a table line"},
+    }
+
     def __init__(self, min_col: int = 2, max_col: int = 20, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.min_col = min_col

@@ -12,6 +12,10 @@ DEFAULT_SUBSTRINGS = ["http", "www", ".com", "href", "//"]
 class RemoveWordsWithIncorrectSubstringsMapper(Mapper):
     """Drop whitespace-delimited words that contain any of the given substrings."""
 
+    PARAM_SPECS = {
+        "substrings": {"doc": "words containing any of these substrings are removed"},
+    }
+
     def __init__(self, substrings: list[str] | None = None, text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         self.substrings = list(substrings) if substrings is not None else list(DEFAULT_SUBSTRINGS)

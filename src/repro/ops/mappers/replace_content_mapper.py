@@ -16,6 +16,11 @@ class ReplaceContentMapper(Mapper):
     of the mapper pool: users supply arbitrary patterns in their recipes.
     """
 
+    PARAM_SPECS = {
+        "pattern": {"doc": "regular expression(s) whose matches are replaced"},
+        "repl": {"doc": "replacement string for every match"},
+    }
+
     def __init__(self, pattern: str | list[str] = "", repl: str = "", text_key: str = "text", **kwargs):
         super().__init__(text_key=text_key, **kwargs)
         patterns = [pattern] if isinstance(pattern, str) else list(pattern)

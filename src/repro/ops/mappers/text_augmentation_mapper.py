@@ -22,6 +22,15 @@ class TextAugmentationMapper(Mapper):
     reproducible.
     """
 
+    PARAM_SPECS = {
+        "aug_method": {
+            "choices": ["swap", "delete", "duplicate"],
+            "doc": "word-level perturbation applied to the text",
+        },
+        "aug_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "per-word perturbation probability"},
+        "seed": {"doc": "augmentation RNG seed (keyed with the text)"},
+    }
+
     def __init__(
         self,
         aug_method: str = "swap",

@@ -14,6 +14,11 @@ class TruncateTextMapper(Mapper):
     ``None`` disables the corresponding limit.
     """
 
+    PARAM_SPECS = {
+        "max_words": {"min_value": 1, "doc": "keep at most this many words"},
+        "max_chars": {"min_value": 1, "doc": "keep at most this many characters"},
+    }
+
     def __init__(
         self,
         max_words: int | None = None,

@@ -19,6 +19,13 @@ class FrequencySpecifiedFieldSelector(Selector):
     surviving group contributes, producing a more balanced subset.
     """
 
+    PARAM_SPECS = {
+        "field_key": {"doc": "dotted path of the field to group by"},
+        "top_ratio": {"min_value": 0.0, "max_value": 1.0, "doc": "keep the most frequent groups covering this fraction"},
+        "topk": {"min_value": 1, "doc": "keep the topk most frequent groups"},
+        "max_per_group": {"min_value": 1, "doc": "cap on samples kept per group"},
+    }
+
     def __init__(
         self,
         field_key: str = "",

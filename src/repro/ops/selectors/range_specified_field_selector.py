@@ -16,6 +16,12 @@ class RangeSpecifiedFieldSelector(Selector):
     computed over the samples that actually carry a numeric value.
     """
 
+    PARAM_SPECS = {
+        "field_key": {"doc": "dotted path of the numeric field to rank by"},
+        "lower_percentile": {"min_value": 0.0, "max_value": 1.0, "doc": "lower bound of the kept value range"},
+        "upper_percentile": {"min_value": 0.0, "max_value": 1.0, "doc": "upper bound of the kept value range"},
+    }
+
     def __init__(
         self,
         field_key: str = "",

@@ -1,0 +1,58 @@
+"""``repro.tools.lint``: the static contract checker of the operator ecosystem.
+
+An AST-based rule engine that proves — without importing or executing a
+single operator — the contracts the execution engine silently relies on:
+purity of the data path, ``config()``/``PARAM_SPECS`` honesty, batched/
+per-row parity, picklability and registry hygiene.  Run it as ``repro lint``
+(wired into ``make check``), or programmatically::
+
+    from repro.tools.lint import lint_paths
+    result = lint_paths()            # the built-in op pool
+    assert not result.violations
+
+Per-line suppression: append ``# repro: lint-ignore[rule-id]`` (or a bare
+``# repro: lint-ignore`` for every rule) to the offending line.  The rule
+catalog with rationale lives in ``docs/linting.md``.
+"""
+
+from repro.tools.lint.framework import (
+    ERROR,
+    RULES,
+    WARNING,
+    LintModule,
+    LintResult,
+    LintRule,
+    Violation,
+    default_lint_paths,
+    lint_paths,
+    register_rule,
+    resolve_rules,
+)
+from repro.tools.lint.reporters import (
+    baseline_filter,
+    load_baseline,
+    render_json,
+    render_rule_catalog,
+    render_text,
+    write_baseline,
+)
+
+__all__ = [
+    "ERROR",
+    "RULES",
+    "WARNING",
+    "LintModule",
+    "LintResult",
+    "LintRule",
+    "Violation",
+    "baseline_filter",
+    "default_lint_paths",
+    "lint_paths",
+    "load_baseline",
+    "register_rule",
+    "render_json",
+    "render_rule_catalog",
+    "render_text",
+    "resolve_rules",
+    "write_baseline",
+]

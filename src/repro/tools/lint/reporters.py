@@ -1,0 +1,102 @@
+"""Reporters and the baseline mechanism for ``repro lint``.
+
+The text reporter shares its ``found N violation(s)`` shape with
+``repro validate-recipe`` through :mod:`repro.core.reporting`; the JSON
+reporter emits a machine-readable document for CI annotation tooling.  A
+*baseline* is a JSON snapshot of known violations: ``repro lint --baseline
+known.json`` reports only findings absent from the snapshot, which lets a
+new rule land with enforcement on while the backlog is burned down
+incrementally (line numbers are deliberately not part of the match key, so
+unrelated edits do not resurrect baselined findings).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.reporting import render_problems
+from repro.tools.lint.framework import RULES, LintResult, Violation
+
+
+def render_text(result: LintResult, verbose_suppressed: bool = False) -> str:
+    """Human-readable lint report: one line per finding plus a summary."""
+    counts = result.counts_by_severity()
+    ok = (
+        f"lint clean: {result.files_checked} file(s) checked against "
+        f"{len(result.rule_ids)} rule(s)"
+    )
+    body = render_problems(result.violations, ok, noun="violation")
+    trailer: list[str] = []
+    if result.violations:
+        trailer.append(
+            f"({counts['error']} error(s), {counts['warning']} warning(s) in "
+            f"{result.files_checked} file(s))"
+        )
+    if result.suppressed:
+        trailer.append(f"{len(result.suppressed)} finding(s) suppressed by lint-ignore comments")
+        if verbose_suppressed:
+            trailer.extend(f"  ~ {violation}" for violation in result.suppressed)
+    return "\n".join([body, *trailer])
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable lint report (stable key order, sorted findings)."""
+    payload = {
+        "exit_code": result.exit_code,
+        "files_checked": result.files_checked,
+        "rules": result.rule_ids,
+        "counts": result.counts_by_severity(),
+        "violations": [violation.as_dict() for violation in result.violations],
+        "suppressed": [violation.as_dict() for violation in result.suppressed],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_rule_catalog() -> str:
+    """``--list-rules`` output: id, severity and contract of every rule."""
+    from repro.tools.lint import rules as _rules  # noqa: F401  (registers RULES)
+
+    lines = []
+    for rule in RULES.values():
+        lines.append(f"{rule.id} [{rule.severity}]: {rule.summary}")
+    return "\n".join(lines)
+
+
+def _baseline_key(violation: Violation) -> list:
+    """The identity of a finding for baseline matching (no line numbers)."""
+    return [violation.rule, violation.path, violation.op, violation.message]
+
+
+def write_baseline(path: str | Path, result: LintResult) -> int:
+    """Snapshot the current findings to ``path``; returns the count written."""
+    entries = sorted(_baseline_key(violation) for violation in result.violations)
+    Path(path).write_text(
+        json.dumps({"baseline": entries}, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[tuple]:
+    """Load a baseline snapshot into a set of match keys."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return {tuple(entry) for entry in payload.get("baseline", [])}
+
+
+def baseline_filter(baseline: set[tuple]):
+    """A ``keep`` predicate for :func:`~.framework.lint_paths`: drop known findings."""
+
+    def keep(violation: Violation) -> bool:
+        return tuple(_baseline_key(violation)) not in baseline
+
+    return keep
+
+
+__all__ = [
+    "baseline_filter",
+    "load_baseline",
+    "render_json",
+    "render_rule_catalog",
+    "render_text",
+    "write_baseline",
+]

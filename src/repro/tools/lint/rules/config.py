@@ -1,0 +1,210 @@
+"""Config/schema rules: ``config()`` and ``PARAM_SPECS`` must tell the truth.
+
+``OP.config()`` reflects every non-underscore instance attribute of a basic
+type, and ``hash(parent_fp, op.name, op.config())`` is the *only* thing the
+shard cache keys on.  These rules prove the two directions of that contract:
+every constructor parameter reaches ``config()`` (a dropped parameter means
+two differently-configured ops share a cache entry — cache poisoning), and
+nothing that is not a parameter leaks into it (a derived attribute in
+``config()`` breaks recipe round-tripping, because the emitted recipe gains a
+key the constructor rejects).  ``PARAM_SPECS`` coverage and drift checks keep
+the typed schema layer — validation errors, the generated catalog, the fluent
+builders — in lockstep with the constructors they describe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.tools.lint.framework import (
+    ERROR,
+    WARNING,
+    LintModule,
+    LintRule,
+    Violation,
+    register_rule,
+)
+
+#: keys a PARAM_SPECS override entry may carry (mirrors repro.core.schema)
+_KNOWN_SPEC_KEYS = frozenset({"types", "nullable", "min_value", "max_value", "choices", "doc"})
+
+#: instance attributes assigned by the framework base classes, not by ops
+_BASE_CLASS_ATTRS = frozenset({"text_key", "extra_params", "dataset_path", "text_keys"})
+
+
+@register_rule
+class ConfigCompletenessRule(LintRule):
+    """Constructor parameters and ``config()`` must agree exactly."""
+
+    id = "config-completeness"
+    severity = ERROR
+    summary = "every constructor parameter must surface in config(), and nothing else may"
+    rationale = (
+        "config() is the cache key: a parameter that never lands on self is "
+        "invisible to fingerprints (two different configurations share cached "
+        "shards), while a derived public attribute leaks into config() and "
+        "round-tripped recipes gain keys the constructor rejects.  Store each "
+        "parameter as self.<param> and prefix derived state with underscore."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for op in module.op_classes:
+            if "__init__" not in op.methods:
+                continue
+            stored = {assignment.attr for assignment in op.init_assignments()}
+            param_names = {param.name for param in op.own_params()}
+            for param in op.own_params():
+                if param.name not in stored:
+                    yield self.violation(
+                        module,
+                        param.lineno,
+                        f"constructor parameter {param.name!r} is never stored "
+                        f"as self.{param.name}, so it cannot reach config() — "
+                        "fingerprints and shard-cache keys will not reflect it",
+                        op=op.display_name,
+                    )
+            for assignment in op.init_assignments():
+                if assignment.attr.startswith("_"):
+                    continue
+                if assignment.attr in param_names or assignment.attr in _BASE_CLASS_ATTRS:
+                    continue
+                yield self.violation(
+                    module,
+                    assignment.lineno,
+                    f"derived attribute self.{assignment.attr} is not a "
+                    "constructor parameter but leaks into config() (and into "
+                    "round-tripped recipes); rename it to "
+                    f"self._{assignment.attr}",
+                    op=op.display_name,
+                )
+
+
+@register_rule
+class ParamSpecCoverageRule(LintRule):
+    """Every constructor parameter needs a documented ``PARAM_SPECS`` entry."""
+
+    id = "param-spec-coverage"
+    severity = WARNING
+    summary = "every constructor parameter must have a PARAM_SPECS entry with a doc"
+    rationale = (
+        "PARAM_SPECS feeds construction-time validation, the generated "
+        "operator catalog and the fluent builders; an uncovered parameter "
+        "ships without bounds, without documentation and without a typed row "
+        "in docs/ops_catalog.md."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for op in module.op_classes:
+            params = op.own_params()
+            if not params:
+                continue
+            specs = op.param_specs if isinstance(op.param_specs, dict) else {}
+            anchor = op.param_specs_node or op.node
+            for param in params:
+                spec = specs.get(param.name)
+                if spec is None:
+                    yield self.violation(
+                        module,
+                        param.lineno,
+                        f"constructor parameter {param.name!r} has no "
+                        "PARAM_SPECS entry; declare bounds/choices and a doc "
+                        "so the schema layer can validate and document it",
+                        op=op.display_name,
+                    )
+                elif isinstance(spec, dict) and not str(spec.get("doc", "")).strip():
+                    yield self.violation(
+                        module,
+                        anchor,
+                        f"PARAM_SPECS entry for {param.name!r} has no 'doc'; "
+                        "the generated catalog renders an empty description",
+                        op=op.display_name,
+                    )
+
+
+@register_rule
+class SchemaDriftRule(LintRule):
+    """``PARAM_SPECS`` must stay consistent with the constructor signature."""
+
+    id = "schema-drift"
+    severity = ERROR
+    summary = "PARAM_SPECS names, bounds and choices must match the constructor"
+    rationale = (
+        "repro.core.schema derives the typed schema from the constructor "
+        "signature and merges PARAM_SPECS on top; a stray key, a default "
+        "outside its own declared bounds, or a default missing from choices "
+        "means validation rejects the operator's own defaults (or silently "
+        "validates the wrong range)."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for op in module.op_classes:
+            if not isinstance(op.param_specs, dict):
+                continue
+            anchor = op.param_specs_node or op.node
+            declared = {param.name for param in op.constructor_params}
+            declared |= {"text_key", "batch_size"}
+            params_by_name = {param.name: param for param in op.constructor_params}
+            for key, spec in op.param_specs.items():
+                if key not in declared:
+                    yield self.violation(
+                        module,
+                        anchor,
+                        f"PARAM_SPECS declares {key!r} but the constructor "
+                        "accepts no such parameter (schema_for would raise at "
+                        "import time)",
+                        op=op.display_name,
+                    )
+                    continue
+                if not isinstance(spec, dict):
+                    yield self.violation(
+                        module,
+                        anchor,
+                        f"PARAM_SPECS entry for {key!r} must be a dict of "
+                        "overrides (types/bounds/choices/doc)",
+                        op=op.display_name,
+                    )
+                    continue
+                for spec_key in set(spec) - _KNOWN_SPEC_KEYS:
+                    yield self.violation(
+                        module,
+                        anchor,
+                        f"PARAM_SPECS entry for {key!r} has unknown override "
+                        f"key {spec_key!r} (known: "
+                        f"{', '.join(sorted(_KNOWN_SPEC_KEYS))})",
+                        op=op.display_name,
+                    )
+                param = params_by_name.get(key)
+                if param is None:
+                    continue
+                default = param.default_literal
+                if default is None or param.default_is_unbounded_sentinel:
+                    continue
+                minimum = spec.get("min_value")
+                maximum = spec.get("max_value")
+                if isinstance(default, (int, float)) and not isinstance(default, bool):
+                    if isinstance(minimum, (int, float)) and default < minimum:
+                        yield self.violation(
+                            module,
+                            param.lineno,
+                            f"default {default!r} of {key!r} is below its own "
+                            f"declared min_value {minimum!r}",
+                            op=op.display_name,
+                        )
+                    if isinstance(maximum, (int, float)) and default > maximum:
+                        yield self.violation(
+                            module,
+                            param.lineno,
+                            f"default {default!r} of {key!r} is above its own "
+                            f"declared max_value {maximum!r}",
+                            op=op.display_name,
+                        )
+                choices = spec.get("choices")
+                if isinstance(choices, (list, tuple)) and not isinstance(default, (list, tuple)):
+                    if default not in choices:
+                        yield self.violation(
+                            module,
+                            param.lineno,
+                            f"default {default!r} of {key!r} is not among its "
+                            f"declared choices {list(choices)!r}",
+                            op=op.display_name,
+                        )

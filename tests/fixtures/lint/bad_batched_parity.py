@@ -1,0 +1,14 @@
+"""Bad: batched override without the per-row counterpart the pool expects."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_batched_parity")
+class BadBatchedParityMapper(Mapper):
+    """Lowercases texts, but only in batched form."""
+
+    def process_batched(self, samples: dict) -> dict:
+        key = self.text_key
+        samples[key] = [text.lower() for text in samples[key]]
+        return samples

@@ -1,0 +1,23 @@
+"""Bad: one param never reaches config(); one derived attr leaks into it."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_config_completeness")
+class BadConfigCompletenessMapper(Mapper):
+    """Keeps only the first words of each text."""
+
+    PARAM_SPECS = {
+        "min_words": {"min_value": 0, "doc": "lower bound on kept words"},
+        "max_words": {"min_value": 0, "doc": "upper bound on kept words"},
+    }
+
+    def __init__(self, min_words: int = 1, max_words: int = 100, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_words = min_words
+        self.window = max_words - min_words  # line 19: derived attr leaks, max_words dropped
+
+    def process(self, sample: dict) -> dict:
+        words = self.get_text(sample).split()
+        return self.set_text(sample, " ".join(words[: self.min_words + self.window]))

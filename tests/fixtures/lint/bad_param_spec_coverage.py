@@ -1,0 +1,24 @@
+"""Bad: one param has no PARAM_SPECS entry; another has an empty doc."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_param_spec_coverage")
+class BadParamSpecCoverageMapper(Mapper):
+    """Truncates texts, optionally appending a marker."""
+
+    PARAM_SPECS = {
+        "max_chars": {"min_value": 0},
+    }
+
+    def __init__(self, max_chars: int = 80, marker: str = "...", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.max_chars = max_chars
+        self.marker = marker  # `marker` has no spec; `max_chars` has no doc
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        if len(text) > self.max_chars:
+            text = text[: self.max_chars] + self.marker
+        return self.set_text(sample, text)

@@ -1,0 +1,21 @@
+"""Bad: stores unpicklable state, so spawn-mode workers cannot receive it."""
+
+import threading
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_picklability")
+class BadPicklabilityMapper(Mapper):
+    """Normalizes text behind a lock with a lambda normalizer."""
+
+    def __init__(self, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self._lock = threading.Lock()  # line 15: lock is unpicklable
+        self._normalize = lambda text: " ".join(text.split())  # line 16: lambda
+        self._log = open("/tmp/bad_picklability.log", "w")  # line 17: open handle
+
+    def process(self, sample: dict) -> dict:
+        with self._lock:
+            return self.set_text(sample, self._normalize(self.get_text(sample)))

@@ -1,0 +1,19 @@
+"""Bad: behaviour controlled by environment variables, invisible to config()."""
+
+import os
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_purity_env")
+class BadPurityEnvFilter(Filter):
+    """Keeps samples longer than an environment-provided threshold."""
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        sample.setdefault("__stats__", {})["text_len"] = len(self.get_text(sample))
+        sample["__stats__"]["debug"] = os.environ.get("REPRO_DEBUG", "")  # line 15
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        return sample["__stats__"]["text_len"] >= int(os.getenv("MIN_LEN", "10"))  # line 19

@@ -1,0 +1,21 @@
+"""Bad: mutates module, instance, and class state inside the data path."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+_SEEN = 0
+
+
+@OPERATORS.register_module("bad_purity_global")
+class BadPurityGlobalMapper(Mapper):
+    """Numbers samples with a running counter — order-dependent output."""
+
+    total = 0
+
+    def process(self, sample: dict) -> dict:
+        global _SEEN  # line 16: global statement
+        _SEEN += 1
+        self.last_text = self.get_text(sample)  # line 18: instance mutation
+        BadPurityGlobalMapper.total += 1  # line 19: class-attribute mutation
+        sample["index"] = _SEEN
+        return sample

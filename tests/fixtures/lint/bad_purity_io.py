@@ -1,0 +1,19 @@
+"""Bad: touches the filesystem and the network inside the data path."""
+
+import json
+import urllib.request
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_purity_io")
+class BadPurityIoMapper(Mapper):
+    """Looks up replacements from a file and a web service per sample."""
+
+    def process(self, sample: dict) -> dict:
+        with open("/tmp/replacements.json") as handle:  # line 15: file I/O
+            table = json.load(handle)
+        remote = urllib.request.urlopen("http://example.com/t")  # line 17: network
+        table.update(json.loads(remote.read()))
+        return self.set_text(sample, table.get(self.get_text(sample), ""))

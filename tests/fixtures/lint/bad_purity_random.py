@@ -1,0 +1,17 @@
+"""Bad: draws from the global (unseeded) RNG inside the data path."""
+
+import random
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_purity_random")
+class BadPurityRandomMapper(Mapper):
+    """Randomly drops words without any seed in config()."""
+
+    def process(self, sample: dict) -> dict:
+        words = [w for w in self.get_text(sample).split() if random.random() < 0.5]  # line 14
+        rng = random.Random()  # line 15: unseeded instance
+        rng.shuffle(words)
+        return self.set_text(sample, " ".join(words))

@@ -1,0 +1,15 @@
+"""Bad: reads the wall clock inside the data path."""
+
+import time
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_purity_time")
+class BadPurityTimeMapper(Mapper):
+    """Stamps each sample with the time it was processed."""
+
+    def process(self, sample: dict) -> dict:
+        sample["processed_at"] = time.time()  # line 14: purity-time
+        return sample

@@ -1,0 +1,27 @@
+"""Bad: PARAM_SPECS drifted from the constructor signature."""
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_schema_drift")
+class BadSchemaDriftFilter(Filter):
+    """Keeps samples whose score clears a threshold."""
+
+    PARAM_SPECS = {
+        "threshold": {"minimum": 0.0, "doc": "score cutoff"},
+        "old_knob": {"doc": "removed in a refactor but still documented"},
+        "mode": {"choices": ["strict", "loose"], "doc": "comparison mode"},
+    }
+
+    def __init__(self, threshold: float = -0.5, mode: str = "fuzzy", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.threshold = threshold
+        self.mode = mode
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        sample.setdefault("__stats__", {})["score"] = float(len(self.get_text(sample)))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        return sample["__stats__"]["score"] >= self.threshold

@@ -1,0 +1,17 @@
+"""Clean: the batched override keeps per-row parity with process()."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_batched_parity")
+class CleanBatchedParityMapper(Mapper):
+    """Lowercases texts; batched path mirrors the per-row path."""
+
+    def process(self, sample: dict) -> dict:
+        return self.set_text(sample, self.get_text(sample).lower())
+
+    def process_batched(self, samples: dict) -> dict:
+        key = self.text_key
+        samples[key] = [text.lower() for text in samples[key]]
+        return samples

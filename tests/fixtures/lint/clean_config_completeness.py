@@ -1,0 +1,24 @@
+"""Clean: every param is stored verbatim; derived state is underscored."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_config_completeness")
+class CleanConfigCompletenessMapper(Mapper):
+    """Keeps only the first words of each text."""
+
+    PARAM_SPECS = {
+        "min_words": {"min_value": 0, "doc": "lower bound on kept words"},
+        "max_words": {"min_value": 0, "doc": "upper bound on kept words"},
+    }
+
+    def __init__(self, min_words: int = 1, max_words: int = 100, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_words = min_words
+        self.max_words = max_words
+        self._window = max_words - min_words
+
+    def process(self, sample: dict) -> dict:
+        words = self.get_text(sample).split()
+        return self.set_text(sample, " ".join(words[: self.min_words + self._window]))

@@ -1,0 +1,16 @@
+"""Clean: only plain data on self; helpers are module-level functions."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+def _normalize(text: str) -> str:
+    return " ".join(text.split())
+
+
+@OPERATORS.register_module("clean_picklability")
+class CleanPicklabilityMapper(Mapper):
+    """Collapses runs of whitespace into single spaces."""
+
+    def process(self, sample: dict) -> dict:
+        return self.set_text(sample, _normalize(self.get_text(sample)))

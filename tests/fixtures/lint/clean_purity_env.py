@@ -1,0 +1,24 @@
+"""Clean: the threshold is a constructor parameter, so it reaches config()."""
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_purity_env")
+class CleanPurityEnvFilter(Filter):
+    """Keeps samples at least ``min_len`` characters long."""
+
+    PARAM_SPECS = {
+        "min_len": {"min_value": 0, "doc": "minimum text length (chars)"},
+    }
+
+    def __init__(self, min_len: int = 10, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_len = min_len
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        sample.setdefault("__stats__", {})["text_len"] = len(self.get_text(sample))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        return sample["__stats__"]["text_len"] >= self.min_len

@@ -1,0 +1,20 @@
+"""Clean: all state is fixed at construction; process() only reads it."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_purity_global")
+class CleanPurityGlobalMapper(Mapper):
+    """Prefixes each text with a constructor-supplied tag."""
+
+    PARAM_SPECS = {
+        "tag": {"doc": "string prepended to every text"},
+    }
+
+    def __init__(self, tag: str = ">>", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.tag = tag
+
+    def process(self, sample: dict) -> dict:
+        return self.set_text(sample, f"{self.tag} {self.get_text(sample)}")

@@ -1,0 +1,21 @@
+"""Clean: lookup tables arrive through the constructor, not through I/O."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_purity_io")
+class CleanPurityIoMapper(Mapper):
+    """Replaces whole texts via a constructor-provided table."""
+
+    PARAM_SPECS = {
+        "table": {"doc": "mapping from source text to replacement text"},
+    }
+
+    def __init__(self, table: dict | None = None, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.table = dict(table or {})
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        return self.set_text(sample, self.table.get(text, text))

@@ -1,0 +1,24 @@
+"""Clean: randomness flows from a constructor seed stored in config()."""
+
+import random
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_purity_random")
+class CleanPurityRandomMapper(Mapper):
+    """Deterministically shuffles words given (seed, text)."""
+
+    PARAM_SPECS = {
+        "seed": {"doc": "shuffle RNG seed"},
+    }
+
+    def __init__(self, seed: int = 0, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.seed = seed
+
+    def process(self, sample: dict) -> dict:
+        words = self.get_text(sample).split()
+        random.Random(f"{self.seed}:{len(words)}").shuffle(words)
+        return self.set_text(sample, " ".join(words))

@@ -1,0 +1,12 @@
+"""Clean: the data path is time-independent; timing lives in the profiler."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_purity_time")
+class CleanPurityTimeMapper(Mapper):
+    """Uppercases the text; output depends only on the input."""
+
+    def process(self, sample: dict) -> dict:
+        return self.set_text(sample, self.get_text(sample).upper())

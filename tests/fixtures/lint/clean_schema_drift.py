@@ -1,0 +1,26 @@
+"""Clean: PARAM_SPECS matches the constructor and its defaults."""
+
+from repro.core.base_op import Filter
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_schema_drift")
+class CleanSchemaDriftFilter(Filter):
+    """Keeps samples whose score clears a threshold."""
+
+    PARAM_SPECS = {
+        "threshold": {"min_value": 0.0, "doc": "score cutoff"},
+        "mode": {"choices": ["strict", "loose"], "doc": "comparison mode"},
+    }
+
+    def __init__(self, threshold: float = 0.5, mode: str = "strict", text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.threshold = threshold
+        self.mode = mode
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        sample.setdefault("__stats__", {})["score"] = float(len(self.get_text(sample)))
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        return sample["__stats__"]["score"] >= self.threshold

@@ -1,0 +1,16 @@
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("some_other_name_mapper")
+class FirstMapper(Mapper):
+    def process(self, sample: dict) -> dict:
+        return sample
+
+
+@OPERATORS.register_module("second_mapper")
+class SecondMapper(Mapper):
+    """Documented, but a second op in the same module."""
+
+    def process(self, sample: dict) -> dict:
+        return sample

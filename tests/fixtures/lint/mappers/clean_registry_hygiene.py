@@ -1,0 +1,12 @@
+"""Clean: one documented op, registered under the module's own name."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_registry_hygiene")
+class CleanRegistryHygieneMapper(Mapper):
+    """Strips leading and trailing whitespace from the text."""
+
+    def process(self, sample: dict) -> dict:
+        return self.set_text(sample, self.get_text(sample).strip())

@@ -1,0 +1,17 @@
+"""Violations silenced with ``# repro: lint-ignore`` comments."""
+
+import random
+import time
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("suppressed")
+class SuppressedMapper(Mapper):
+    """Deliberately impure, with every violation suppressed in-line."""
+
+    def process(self, sample: dict) -> dict:
+        sample["at"] = time.time()  # repro: lint-ignore[purity-time]
+        sample["jitter"] = random.random()  # repro: lint-ignore
+        return sample

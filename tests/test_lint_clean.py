@@ -1,0 +1,26 @@
+"""Tier-1 gate: the shipped operator pool must satisfy every lint contract.
+
+Any new operator (or edit to an existing one) that breaks a contract —
+impure process paths, config()/PARAM_SPECS drift, unpicklable state,
+registry hygiene — fails this test with the linter's own report, the same
+output ``repro lint`` and ``make check`` produce.
+"""
+
+from repro.tools.lint import RULES, default_lint_paths, lint_paths, render_text
+
+
+class TestOperatorPoolIsLintClean:
+    def test_default_paths_cover_the_ops_package(self):
+        paths = default_lint_paths()
+        assert len(paths) == 1
+        assert paths[0].name == "ops"
+
+    def test_zero_unsuppressed_violations(self):
+        result = lint_paths(default_lint_paths())
+        assert result.files_checked >= 50, "lint walked suspiciously few op modules"
+        assert result.violations == [], "\n" + render_text(result)
+        assert result.exit_code == 0
+
+    def test_all_rules_were_active(self):
+        result = lint_paths(default_lint_paths())
+        assert sorted(result.rule_ids) == sorted(RULES)
