@@ -10,12 +10,13 @@
 #   make docs-check  fail when the committed catalog is out of sync (CI)
 #   make validate-recipes  schema-validate every built-in recipe (no execution)
 #   make lint        statically check operator contracts (repro lint)
-#   make check       docs-check + validate-recipes + lint + unit suite (the CI gate)
+#   make chaos       deterministic fault-injection suite (tests/test_chaos.py)
+#   make check       docs-check + validate-recipes + lint + unit + chaos (the CI gate)
 
 PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
 REPRO = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro
 
-.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes lint check
+.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes lint chaos check
 
 smoke:
 	$(PYTEST) -x -q
@@ -49,4 +50,7 @@ validate-recipes:
 lint:
 	$(REPRO) lint
 
-check: docs-check validate-recipes lint unit
+chaos:
+	$(PYTEST) -x -q tests/test_chaos.py
+
+check: docs-check validate-recipes lint unit chaos

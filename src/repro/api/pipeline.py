@@ -194,6 +194,42 @@ class Pipeline:
         merged.update(settings)
         return Pipeline(merged, self._steps)
 
+    def on_error(
+        self,
+        policy: str,
+        *,
+        max_retries: int | None = None,
+        backoff_s: float | None = None,
+        task_timeout_s: float | None = None,
+        max_pool_rebuilds: int | None = None,
+    ) -> "Pipeline":
+        """Set the fault-tolerance policy of the run (see ``docs/robustness.md``).
+
+        ``policy`` is ``"raise"`` (abort on the first persistent failure —
+        the default), ``"skip"`` (drop failing rows/shards and continue) or
+        ``"quarantine"`` (drop them *and* write each to
+        ``<work_dir>/quarantine/quarantine-*.jsonl.gz`` with the op name,
+        exception and shard/row location for replay).  The keyword knobs
+        mirror the recipe keys of the same names: retries with capped
+        exponential backoff per failing unit, the worker-pool dispatch
+        timeout that enables dead/hung-worker supervision, and the number of
+        pool rebuilds tolerated before degrading to serial execution::
+
+            Pipeline.read("data/*.jsonl").apply("clean_html_mapper") \\
+                .on_error("quarantine", max_retries=2, task_timeout_s=60) \\
+                .export("out.jsonl")
+        """
+        settings: dict[str, Any] = {"on_error": policy}
+        if max_retries is not None:
+            settings["max_retries"] = max_retries
+        if backoff_s is not None:
+            settings["backoff_s"] = backoff_s
+        if task_timeout_s is not None:
+            settings["task_timeout_s"] = task_timeout_s
+        if max_pool_rebuilds is not None:
+            settings["max_pool_rebuilds"] = max_pool_rebuilds
+        return self.options(**settings)
+
     # ------------------------------------------------------------------
     # Introspection / recipe round-tripping
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ from repro.api import Pipeline, render_issues, validate_recipe
 from repro.core.config import load_config
 from repro.core.errors import ConfigError, RegistryError
 from repro.core.exporter import Exporter
+from repro.core.faults import ERROR_POLICIES
 from repro.core.planner import EXECUTION_MODES, ExecutionPlan
 from repro.core.registry import OPERATORS
 from repro.core.report import REPORT_FILE, RunReport
@@ -96,6 +97,12 @@ def cmd_process(args: argparse.Namespace) -> int:
         recipe["max_shard_chars"] = args.max_shard_chars
     if args.memory_budget_mb is not None:
         recipe["memory_budget"] = args.memory_budget_mb << 20
+    if args.on_error is not None:
+        recipe["on_error"] = args.on_error
+    if args.max_retries is not None:
+        recipe["max_retries"] = args.max_retries
+    if args.task_timeout_s is not None:
+        recipe["task_timeout_s"] = args.task_timeout_s
     mode = args.mode
     if args.stream:
         if mode == "memory":
@@ -339,6 +346,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write size-capped numbered output shards (out-00001.jsonl.gz, ...); "
         "implies --mode streaming",
+    )
+    process.add_argument(
+        "--on-error",
+        choices=ERROR_POLICIES,
+        default=None,
+        help="fault policy: 'raise' aborts on persistent op failure (default), "
+        "'skip' drops failing rows/shards, 'quarantine' drops them and writes "
+        "each to <work_dir>/quarantine/ for inspection and replay",
+    )
+    process.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries with capped exponential backoff per failing op call/row/"
+        "shard before the --on-error verdict applies (overrides the recipe)",
+    )
+    process.add_argument(
+        "--task-timeout-s",
+        type=float,
+        default=None,
+        help="worker-pool dispatch timeout in seconds; enables dead/hung-worker "
+        "supervision (detect, rebuild the pool, retry) — unset means no timeout",
     )
     process.set_defaults(func=cmd_process)
 

@@ -21,11 +21,24 @@ Two granularities are supported:
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.core.dataset import NestedDataset
 from repro.core.errors import CheckpointError
 from repro.core.serialization import JsonSanitizer
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory tmp + replace).
+
+    A crash mid-write leaves either the previous file or the stray ``.tmp``
+    behind — never a truncated target — which is the property every resume
+    path relies on.
+    """
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(text, encoding="utf-8")
+    os.replace(temp, path)
 
 
 class CheckpointManager:
@@ -70,9 +83,14 @@ class CheckpointManager:
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
         data_path = self.checkpoint_dir / self.DATA_FILE
         sanitizer = JsonSanitizer()
-        with data_path.open("w", encoding="utf-8") as handle:
+        # both files are written atomically (tmp + os.replace), data before
+        # state: a crash at any point leaves either no new checkpoint or a
+        # complete one, never a state file pointing at truncated data
+        temp_data = data_path.with_name(data_path.name + ".tmp")
+        with temp_data.open("w", encoding="utf-8") as handle:
             for row in dataset:
                 handle.write(sanitizer.dumps(row, ensure_ascii=False) + "\n")
+        os.replace(temp_data, data_path)
         sanitizer.warn(f"checkpoint {data_path}")
         state = {
             "op_index": op_index,
@@ -81,16 +99,24 @@ class CheckpointManager:
             "num_rows": len(dataset),
             "fingerprint": dataset.fingerprint,
         }
-        (self.checkpoint_dir / self.STATE_FILE).write_text(
-            json.dumps(state, indent=2), encoding="utf-8"
+        atomic_write_text(
+            self.checkpoint_dir / self.STATE_FILE, json.dumps(state, indent=2)
         )
 
     def read_state(self) -> dict | None:
-        """Return the saved checkpoint state dict, or ``None`` when absent."""
+        """Return the saved checkpoint state dict, or ``None`` when absent.
+
+        A corrupt state file (e.g. from a crash predating atomic writes)
+        reads as ``None`` — the run re-executes from scratch instead of
+        failing on resume.
+        """
         path = self.checkpoint_dir / self.STATE_FILE
         if not (self.enabled and path.exists()):
             return None
-        return json.loads(path.read_text(encoding="utf-8"))
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return None
 
     def load(self) -> tuple[NestedDataset, int, list[str]]:
         """Load the checkpointed dataset and pipeline position.
@@ -99,7 +125,11 @@ class CheckpointManager:
         """
         if not self.exists():
             raise CheckpointError(f"no checkpoint found under {self.checkpoint_dir}")
-        state = json.loads((self.checkpoint_dir / self.STATE_FILE).read_text(encoding="utf-8"))
+        state = self.read_state()
+        if state is None:
+            raise CheckpointError(
+                f"checkpoint state under {self.checkpoint_dir} is unreadable"
+            )
         rows = []
         with (self.checkpoint_dir / self.DATA_FILE).open("r", encoding="utf-8") as handle:
             for line in handle:
@@ -142,8 +172,8 @@ class CheckpointManager:
         if not self.enabled:
             return
         self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
-        (self.checkpoint_dir / self.STREAM_STATE_FILE).write_text(
-            json.dumps(state, indent=2), encoding="utf-8"
+        atomic_write_text(
+            self.checkpoint_dir / self.STREAM_STATE_FILE, json.dumps(state, indent=2)
         )
 
     def clear_stream(self) -> None:

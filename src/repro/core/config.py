@@ -65,6 +65,21 @@ class RecipeConfig:
     keep_stats_in_export: bool = False
     seed: int = 42
 
+    # fault tolerance (see repro.core.faults and docs/robustness.md)
+    #: what to do when an operator fails persistently: ``raise`` aborts,
+    #: ``skip`` drops the failing rows/shards, ``quarantine`` drops them and
+    #: writes them to ``<work_dir>/quarantine/quarantine-*.jsonl.gz``
+    on_error: str = "raise"
+    #: retries per failing unit (op call, row, shard) before the verdict
+    max_retries: int = 0
+    #: base of the capped exponential backoff between retries (seconds)
+    backoff_s: float = 0.05
+    #: per-dispatch worker-pool timeout in seconds; ``None`` disables
+    #: supervision (dead/hung workers are then never detected)
+    task_timeout_s: float | None = None
+    #: worker-pool reconstructions before degrading to serial execution
+    max_pool_rebuilds: int = 2
+
     def op_names(self) -> list[str]:
         """Names of the operators in the process list, in order."""
         names = []
@@ -102,6 +117,11 @@ class RecipeConfig:
             "work_dir": self.work_dir,
             "keep_stats_in_export": self.keep_stats_in_export,
             "seed": self.seed,
+            "on_error": self.on_error,
+            "max_retries": self.max_retries,
+            "backoff_s": self.backoff_s,
+            "task_timeout_s": self.task_timeout_s,
+            "max_pool_rebuilds": self.max_pool_rebuilds,
         }
 
 
@@ -141,6 +161,28 @@ def validate_config(config: RecipeConfig) -> RecipeConfig:
             raise ConfigError(f"{knob} must be an integer >= 1 (or null)")
     if not isinstance(config.stream, bool):
         raise ConfigError("stream must be a boolean")
+    from repro.core.faults import ERROR_POLICIES
+
+    if config.on_error not in ERROR_POLICIES:
+        raise ConfigError(
+            f"on_error must be one of {sorted(ERROR_POLICIES)}, got {config.on_error!r}"
+        )
+    for knob in ("max_retries", "max_pool_rebuilds"):
+        value = getattr(config, knob)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ConfigError(f"{knob} must be an integer >= 0")
+    if (
+        not isinstance(config.backoff_s, (int, float))
+        or isinstance(config.backoff_s, bool)
+        or config.backoff_s < 0
+    ):
+        raise ConfigError("backoff_s must be a number >= 0")
+    if config.task_timeout_s is not None and (
+        not isinstance(config.task_timeout_s, (int, float))
+        or isinstance(config.task_timeout_s, bool)
+        or config.task_timeout_s <= 0
+    ):
+        raise ConfigError("task_timeout_s must be a number > 0 (or null)")
     return config
 
 

@@ -38,6 +38,29 @@ class CheckpointError(ReproError):
     """Raised when checkpoint saving or loading fails."""
 
 
+class OpExecutionError(ReproError):
+    """Raised when an operator fails permanently during engine execution.
+
+    The message always names the failing operator and, when known, the shard
+    id and a sample row index, so a failure in a multi-shard run can be
+    reproduced with ``--on-error raise`` on a single shard.  The same facts
+    are carried structurally on :attr:`op_name`, :attr:`shard_id` and
+    :attr:`row_index`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op_name: str | None = None,
+        shard_id: str | None = None,
+        row_index: int | None = None,
+    ):
+        super().__init__(message)
+        self.op_name = op_name
+        self.shard_id = shard_id
+        self.row_index = row_index
+
+
 class EvaluationError(ReproError):
     """Raised when a proxy-model evaluation cannot be performed."""
 

@@ -33,14 +33,22 @@ from repro.core.base_op import Deduplicator, Filter, Mapper, Selector, op_catego
 from repro.core.cache import CacheManager
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import RecipeConfig, load_config
-from repro.core.errors import ConfigError
+from repro.core.errors import ConfigError, OpExecutionError
 from repro.core.dataset import NestedDataset, _stable_hash
 from repro.core.exporter import Exporter
+from repro.core.faults import (
+    ErrorPolicy,
+    FaultTracker,
+    QuarantineWriter,
+    describe_failure,
+    retry_call,
+    run_op_with_policy,
+)
 from repro.core.fusion import describe_plan
 from repro.core.monitor import ResourceMonitor, RunProfiler
 from repro.core.planner import ExecutionPlan, ResourceBudget, plan_execution
 from repro.core.report import REPORT_FILE, RunReport
-from repro.core.sample import Fields
+from repro.core.sample import Fields, HashKeys
 from repro.core.stream import (
     ROW_ID_COLUMN,
     ShardStore,
@@ -101,6 +109,10 @@ class Executor:
         self._pool: WorkerPool | None = None
         self._profiler = RunProfiler()
         self._stream_tracer: StreamingTracer | None = None
+        #: the fault policy of every run of this executor (from the recipe)
+        self.policy = ErrorPolicy.from_config(self.cfg)
+        self._faults = FaultTracker()
+        self._quarantine: QuarantineWriter | None = None
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> WorkerPool | None:
@@ -113,8 +125,38 @@ class Executor:
                 ops=self.ops,
                 process_list=self.cfg.process,
                 op_fusion=self.cfg.op_fusion,
+                task_timeout_s=self.policy.task_timeout_s,
+                max_rebuilds=self.policy.max_pool_rebuilds,
+                rebuild_backoff_s=self.policy.backoff_s,
             )
+        # the pool outlives individual runs; point it at the current ledger
+        self._pool.fault_tracker = self._faults
         return self._pool
+
+    # ------------------------------------------------------------------
+    def _begin_faults(self) -> None:
+        """Start a fresh fault ledger (and quarantine export) for one run."""
+        self._faults = FaultTracker()
+        if self._pool is not None:
+            self._pool.fault_tracker = self._faults
+        self._quarantine = (
+            QuarantineWriter(Path(self.cfg.work_dir) / "quarantine")
+            if self.policy.on_error == "quarantine"
+            else None
+        )
+
+    def _end_faults(self) -> None:
+        """Flush and detach the quarantine export after a run."""
+        if self._quarantine is not None:
+            self._quarantine.close()
+
+    def _faults_payload(self) -> dict:
+        """The report's ``faults`` section: policy + every counter."""
+        payload = self._faults.as_dict()
+        payload["policy"] = self.policy.as_dict()
+        if self._quarantine is not None and self._quarantine.paths:
+            payload["quarantine_paths"] = [str(path) for path in self._quarantine.paths]
+        return payload
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for serial executors)."""
@@ -212,69 +254,92 @@ class Executor:
         monitor = ResourceMonitor()
         profiler = self._profiler = RunProfiler()
         export_paths: list[str] = []
-        with monitor:
-            current = self._load_input(dataset)
-            start_index = 0
-            op_names = [op.name for op in self.ops]
-            op_hashes = [op_config_hash(op) for op in self.ops]
+        self._begin_faults()
+        try:
+            with monitor:
+                current = self._load_input(dataset)
+                start_index = 0
+                op_names = [op.name for op in self.ops]
+                op_hashes = [op_config_hash(op) for op in self.ops]
 
-            if self.checkpoint.enabled and self.checkpoint.exists():
-                # Validate the cheap state file before parsing the (possibly
-                # huge) checkpointed dataset: resume only when both the
-                # op-name prefix *and* the per-op config hashes match — a
-                # recipe whose parameters changed must re-execute instead of
-                # silently reusing data produced by the old configuration.
-                state = self.checkpoint.read_state() or {}
-                op_index = int(state.get("op_index", 0))
-                saved_names = list(state.get("op_names", []))
-                saved_hashes = state.get("op_hashes") or []
-                if (
-                    saved_names[:op_index] == op_names[:op_index]
-                    and saved_hashes[:op_index] == op_hashes[:op_index]
-                ):
-                    restored, op_index, _names = self.checkpoint.load()
-                    current, start_index = restored, op_index
+                if self.checkpoint.enabled and self.checkpoint.exists():
+                    # Validate the cheap state file before parsing the
+                    # (possibly huge) checkpointed dataset: resume only when
+                    # both the op-name prefix *and* the per-op config hashes
+                    # match — a recipe whose parameters changed must
+                    # re-execute instead of silently reusing data produced by
+                    # the old configuration.  A corrupt state file reads as
+                    # None and the run starts over.
+                    state = self.checkpoint.read_state()
+                    if state:
+                        op_index = int(state.get("op_index", 0))
+                        saved_names = list(state.get("op_names", []))
+                        saved_hashes = state.get("op_hashes") or []
+                        if (
+                            saved_names[:op_index] == op_names[:op_index]
+                            and saved_hashes[:op_index] == op_hashes[:op_index]
+                        ):
+                            restored, op_index, _names = self.checkpoint.load()
+                            current, start_index = restored, op_index
 
-            # index one past the last op whose result the checkpoint holds;
-            # cache-hit streaks defer their save (a resume from an older
-            # checkpoint just replays the same cache hits), so a warm-cache
-            # run pays one checkpoint write instead of one per cached op
-            saved_index = start_index
-            for index in range(start_index, len(self.ops)):
-                op = self.ops[index]
-                cache_key = CacheManager.make_key(current.fingerprint, op.name, op.config())
-                cached = self.cache.load(cache_key)
-                if cached is not None:
-                    profiler.record_cached(op, len(cached))
-                    current = cached
-                    continue
-                with profiler.track(op, rows_in=len(current)) as tracking:
-                    if isinstance(op, (Mapper, Filter, Deduplicator)):
-                        # pool creation is deferred to the first actually-
-                        # executed op with a sample-level stage, so fully
-                        # cache-hit runs never fork workers (a Deduplicator's
-                        # hashing stage is sample-level; its clustering stays
-                        # global)
-                        current = op.run(current, tracer=self.tracer, pool=self._ensure_pool())
-                    else:
-                        current = op.run(current, tracer=self.tracer)
-                    tracking.rows_out = len(current)
-                self.cache.save(cache_key, current)
-                self.checkpoint.save(current, index + 1, op_names, op_hashes)
-                saved_index = index + 1
-            if saved_index < len(self.ops):
-                # the run ended on a cache-hit streak: persist the final state
-                # once so a later resume restarts past it, not at a stale index
-                self.checkpoint.save(current, len(self.ops), op_names, op_hashes)
-
-            if self.cfg.export_path:
-                export_paths = [
-                    str(
-                        Exporter(
-                            self.cfg.export_path, keep_stats=self.cfg.keep_stats_in_export
-                        ).export(current)
+                # index one past the last op whose result the checkpoint
+                # holds; cache-hit streaks defer their save (a resume from an
+                # older checkpoint just replays the same cache hits), so a
+                # warm-cache run pays one checkpoint write instead of one per
+                # cached op
+                saved_index = start_index
+                for index in range(start_index, len(self.ops)):
+                    op = self.ops[index]
+                    cache_key = CacheManager.make_key(
+                        current.fingerprint, op.name, op.config()
                     )
-                ]
+                    cached = self.cache.load(cache_key)
+                    if cached is not None:
+                        profiler.record_cached(op, len(cached))
+                        current = cached
+                        continue
+                    faults_before = self._faults.total_faults
+                    with profiler.track(op, rows_in=len(current)) as tracking:
+                        if isinstance(op, (Mapper, Filter, Deduplicator)):
+                            # pool creation is deferred to the first actually-
+                            # executed op with a sample-level stage, so fully
+                            # cache-hit runs never fork workers (a
+                            # Deduplicator's hashing stage is sample-level;
+                            # its clustering stays global)
+                            current = run_op_with_policy(
+                                op, current, self.policy, self._faults,
+                                self._quarantine, tracer=self.tracer,
+                                pool=self._ensure_pool(),
+                            )
+                        else:
+                            current = run_op_with_policy(
+                                op, current, self.policy, self._faults,
+                                self._quarantine, tracer=self.tracer,
+                            )
+                        tracking.rows_out = len(current)
+                    if self._faults.total_faults == faults_before:
+                        # fault-shaped results must never enter the clean-run
+                        # cache (the checkpoint still records actual progress)
+                        self.cache.save(cache_key, current)
+                    self.checkpoint.save(current, index + 1, op_names, op_hashes)
+                    saved_index = index + 1
+                if saved_index < len(self.ops):
+                    # the run ended on a cache-hit streak: persist the final
+                    # state once so a later resume restarts past it, not at a
+                    # stale index
+                    self.checkpoint.save(current, len(self.ops), op_names, op_hashes)
+
+                if self.cfg.export_path:
+                    export_paths = [
+                        str(
+                            Exporter(
+                                self.cfg.export_path,
+                                keep_stats=self.cfg.keep_stats_in_export,
+                            ).export(current)
+                        )
+                    ]
+        finally:
+            self._end_faults()
         self.last_report = RunReport(
             mode="memory",
             plan=self.plan,
@@ -291,6 +356,7 @@ class Executor:
             },
             export_paths=export_paths,
             planner=self._planner_payload,
+            faults=self._faults_payload(),
         )
         self._persist_report(self.last_report)
         return current
@@ -380,6 +446,7 @@ class Executor:
             if self.cfg.open_tracer
             else None
         )
+        self._begin_faults()
         with monitor:
             segments = plan_segments(self.ops)
             op_hashes = [op_config_hash(op) for op in self.ops]
@@ -434,7 +501,9 @@ class Executor:
                                 stage, segment, source, store, progress
                             )
                         else:
-                            source = self._transformed_stage(segment, source, progress)
+                            source = self._transformed_stage(
+                                stage, segment, source, progress
+                            )
                     else:
                         source = self._resolved_stage(stage, segment, source, store, progress)
 
@@ -466,6 +535,7 @@ class Executor:
                     for _row in final_rows():
                         pass
             finally:
+                self._end_faults()
                 if not persistent:
                     # failed runs must not leak a pickled copy of the corpus
                     store.clear()
@@ -491,6 +561,7 @@ class Executor:
                 "start_method": self._pool.start_method if self._pool is not None else None,
             },
             planner=self._planner_payload,
+            faults=self._faults_payload(),
         )
         self._persist_report(self.last_report)
         return self.last_report
@@ -516,8 +587,18 @@ class Executor:
             return "filter"
         return op_category(op)
 
+    @staticmethod
+    def _shard_label(stage: int, index: int) -> str:
+        """Human-readable shard id used in fault records and error messages."""
+        return f"stage{stage}:shard{index:05d}"
+
     def _execute_shard(
-        self, segment: StreamSegment, chain: str, rows: list[dict], progress: dict[str, int]
+        self,
+        segment: StreamSegment,
+        chain: str,
+        rows: list[dict],
+        progress: dict[str, int],
+        shard_id: str | None = None,
     ) -> list[dict]:
         """One shard's shard-local work (sample ops + dedup hashing), cached.
 
@@ -525,6 +606,13 @@ class Executor:
         ``(op fingerprint chain, shard signature)``; a hit replays the rows
         without touching any operator (counted per op as a cached call and
         per run as a ``cached_shards`` shard).
+
+        Failures are contained per shard: sample-op errors are handled row-
+        wise by the error policy inside :func:`run_sample_ops`; anything that
+        still escapes (the dedup hashing stage has no row-isolated fallback)
+        retries the whole shard, and under a lenient policy a persistently
+        failing shard is dropped/quarantined whole instead of wedging the
+        run.  Fault-shaped shard output never enters the shard cache.
         """
         cache_key = None
         if self.cache.enabled:
@@ -537,12 +625,61 @@ class Executor:
                     self._profiler.record_cached(segment.global_op, len(cached))
                 progress["cached_shards"] += 1
                 return cached
+        faults_before = self._faults.total_faults
+        stage_name = getattr(segment.global_op, "name", None) or (
+            segment.sample_ops[0].name if segment.sample_ops else "shard"
+        )
+        attempt = 0
+        while True:
+            try:
+                out_rows = self._run_shard_ops(segment, rows, shard_id)
+                break
+            except OpExecutionError:
+                # already contextualised by the per-op policy layer (raise
+                # policy); containment does not apply
+                raise
+            except Exception as error:
+                self._faults.record_op_error(stage_name, error, shard_id)
+                if not self.policy.lenient:
+                    raise OpExecutionError(
+                        describe_failure(stage_name, error, shard_id),
+                        op_name=stage_name,
+                        shard_id=shard_id,
+                    ) from error
+                if attempt < self.policy.max_retries:
+                    self._faults.record_retry(stage_name, shard_id)
+                    self.policy.sleep(attempt)
+                    attempt += 1
+                    continue
+                # persistent shard failure under a lenient policy: drop the
+                # shard whole (quarantining its rows when configured) so the
+                # rest of the corpus still completes
+                self._faults.record_dropped_shard(shard_id, len(rows))
+                if self._quarantine is not None:
+                    self._quarantine.write_rows(
+                        rows, stage_name, error, shard_id=shard_id
+                    )
+                out_rows = []
+                break
+        if cache_key is not None and self._faults.total_faults == faults_before:
+            self.cache.save_shard_rows(cache_key, out_rows)
+        progress["executed_shards"] += 1
+        return out_rows
+
+    def _run_shard_ops(
+        self, segment: StreamSegment, rows: list[dict], shard_id: str | None
+    ) -> list[dict]:
+        """Run one shard through its segment's sample ops + dedup hashing."""
         shard = run_sample_ops(
             rows,
             segment.sample_ops,
             pool_factory=self._ensure_pool,
             profiler=self._profiler,
             tracer=self._stream_tracer,
+            policy=self.policy,
+            faults=self._faults,
+            quarantine=self._quarantine,
+            shard_id=shard_id,
         )
         global_op = segment.global_op
         if isinstance(global_op, Deduplicator):
@@ -558,19 +695,21 @@ class Executor:
                     ),
                     pool=self._ensure_pool(),
                 )
-        out_rows = shard.to_list()
-        if cache_key is not None:
-            self.cache.save_shard_rows(cache_key, out_rows)
-        progress["executed_shards"] += 1
-        return out_rows
+        return shard.to_list()
 
     def _transformed_stage(
-        self, segment: StreamSegment, source: Iterator[list[dict]], progress: dict[str, int]
+        self,
+        stage: int,
+        segment: StreamSegment,
+        source: Iterator[list[dict]],
+        progress: dict[str, int],
     ) -> Iterator[list[dict]]:
         """Shard-local transform with no spill (checkpointing disabled)."""
         chain = stage_chain_hash(segment)
-        for rows in source:
-            yield self._execute_shard(segment, chain, rows, progress)
+        for index, rows in enumerate(source):
+            yield self._execute_shard(
+                segment, chain, rows, progress, self._shard_label(stage, index)
+            )
 
     def _spilled_stage(
         self,
@@ -587,7 +726,9 @@ class Executor:
                 progress["resumed_shards"] += 1
                 yield store.read_shard_rows(stage, index)
                 continue
-            out_rows = self._execute_shard(segment, chain, rows, progress)
+            out_rows = self._execute_shard(
+                segment, chain, rows, progress, self._shard_label(stage, index)
+            )
             store.write_shard(stage, index, out_rows)
             yield out_rows
 
@@ -617,7 +758,9 @@ class Executor:
                 progress["resumed_shards"] += 1
                 out_rows = store.read_shard_rows(stage, index)
             else:
-                out_rows = self._execute_shard(segment, chain, rows, progress)
+                out_rows = self._execute_shard(
+                    segment, chain, rows, progress, self._shard_label(stage, index)
+                )
                 store.write_shard(stage, index, out_rows)
             shard_row_counts.append(len(out_rows))
             if out_rows:
@@ -636,7 +779,33 @@ class Executor:
 
         signature = NestedDataset.from_list(signature_rows)
         with self._profiler.track(global_op, rows_in=len(signature)) as tracking:
-            keep_mask, dropped_columns = resolve_global_keep(global_op, signature)
+            # the global resolve has no shard to contain failures to: retry
+            # per the policy, abort with full context under ``raise``, and
+            # under a lenient policy degrade to a keep-everything mask (the
+            # conservative outcome — no row is wrongly dropped)
+            try:
+                keep_mask, dropped_columns = retry_call(
+                    lambda: resolve_global_keep(global_op, signature),
+                    self.policy,
+                    self._faults,
+                    global_op.name,
+                )
+            except Exception as error:
+                if not self.policy.lenient:
+                    raise OpExecutionError(
+                        describe_failure(global_op.name, error),
+                        op_name=global_op.name,
+                    ) from error
+                self._faults.record_degradation(
+                    f"global resolve of {global_op.name!r} skipped after "
+                    f"persistent failure: {error!r}"
+                )
+                keep_mask = [True] * len(signature)
+                dropped_columns = [
+                    name
+                    for name in (HashKeys.hash, HashKeys.minhash, HashKeys.simhash)
+                    if signature_rows and name in signature_rows[0]
+                ]
             tracking.rows_out = sum(keep_mask)
         tracer = self._stream_tracer
         trace_type = self._trace_type(global_op)

@@ -93,6 +93,10 @@ class RunReport(Mapping):
     #: the mode decision of :func:`repro.core.planner.plan_execution` when the
     #: run went through ``Executor.execute`` (None for direct run/run_streaming)
     planner: dict | None = None
+    #: fault-tolerance accounting of the run — the active error policy plus
+    #: every retry, pool rebuild, quarantined row/shard, per-op error count
+    #: and degradation (see :class:`repro.core.faults.FaultTracker`)
+    faults: dict | None = None
 
     # ------------------------------------------------------------------
     # Mapping interface (backwards compatibility with the old dict report)
@@ -103,7 +107,7 @@ class RunReport(Mapping):
         "trace", "parallel", "export_paths",
     )
     #: keys present in the dict view only when set (streaming / planned runs)
-    _OPTIONAL_KEYS = ("shards", "shard_budget", "segments", "planner")
+    _OPTIONAL_KEYS = ("shards", "shard_budget", "segments", "planner", "faults")
 
     def __getitem__(self, key: str) -> Any:
         if key == "ops":
@@ -149,6 +153,8 @@ class RunReport(Mapping):
             payload["segments"] = self.segments
         if self.planner is not None:
             payload["planner"] = dict(self.planner)
+        if self.faults is not None:
+            payload["faults"] = dict(self.faults)
         return payload
 
     @classmethod
@@ -170,6 +176,7 @@ class RunReport(Mapping):
             segments=payload.get("segments"),
             export_paths=[str(path) for path in payload.get("export_paths", [])],
             planner=dict(payload["planner"]) if "planner" in payload else None,
+            faults=dict(payload["faults"]) if "faults" in payload else None,
         )
 
     # ------------------------------------------------------------------
@@ -184,12 +191,17 @@ class RunReport(Mapping):
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> Path:
-        """Write the report as JSON and return the path."""
+        """Write the report as JSON atomically and return the path.
+
+        Atomic (tmp + replace) so a crash mid-write never leaves a truncated
+        ``report.json`` behind a completed run.
+        """
+        from repro.core.checkpoint import atomic_write_text
+
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(self.as_dict(), indent=2, ensure_ascii=False, default=repr),
-            encoding="utf-8",
+        atomic_write_text(
+            path, json.dumps(self.as_dict(), indent=2, ensure_ascii=False, default=repr)
         )
         return path
 
@@ -246,6 +258,31 @@ class RunReport(Mapping):
                 f"batch_size={parallel.get('batch_size')}, "
                 f"start_method={parallel.get('start_method')}"
             )
+        faults = self.faults or {}
+        counter_keys = (
+            "retries", "pool_rebuilds", "degradations",
+            "quarantined_rows", "skipped_rows", "quarantined_shards",
+        )
+        if faults and (
+            any(faults.get(key) for key in counter_keys) or faults.get("op_errors")
+        ):
+            policy = faults.get("policy") or {}
+            lines.append(
+                "  faults (on_error="
+                + str(policy.get("on_error", "raise"))
+                + "): "
+                + ", ".join(f"{key}={faults.get(key, 0)}" for key in counter_keys)
+            )
+            op_errors = faults.get("op_errors") or {}
+            if op_errors:
+                lines.append(
+                    "    op errors: "
+                    + ", ".join(
+                        f"{name}={count}" for name, count in sorted(op_errors.items())
+                    )
+                )
+            for path in faults.get("quarantine_paths") or []:
+                lines.append(f"    quarantine: {path}")
         if self.ops:
             header = (
                 f"  {'op':<44} {'type':<13} {'rows_in':>9} {'rows_out':>9} "

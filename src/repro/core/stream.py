@@ -269,6 +269,10 @@ def run_sample_ops(
     pool_factory: Callable[[], Any] | None = None,
     profiler: Any = None,
     tracer: Any = None,
+    policy: Any = None,
+    faults: Any = None,
+    quarantine: Any = None,
+    shard_id: str | None = None,
 ) -> NestedDataset:
     """Drive one shard through a run of Mappers/Filters (batched engine).
 
@@ -279,16 +283,34 @@ def run_sample_ops(
     row counts across shards; ``tracer`` is an optional
     :class:`repro.core.tracer.StreamingTracer` whose per-op accumulators
     every shard feeds incrementally.
+
+    With a ``policy`` (:class:`repro.core.faults.ErrorPolicy`, plus the
+    matching ``faults`` tracker and optional ``quarantine`` writer) every op
+    runs through :func:`repro.core.faults.run_op_with_policy` — retried, and
+    under a lenient policy row-isolated so one poison row only removes
+    itself from the shard.  ``shard_id`` labels fault records and error
+    messages with the shard being processed.
     """
+
+    def apply(op: Any, dataset: NestedDataset, pool: Any) -> NestedDataset:
+        if policy is None:
+            return op.run(dataset, tracer=tracer, pool=pool)
+        from repro.core.faults import run_op_with_policy
+
+        return run_op_with_policy(
+            op, dataset, policy, faults, quarantine,
+            tracer=tracer, pool=pool, shard_id=shard_id,
+        )
+
     dataset = NestedDataset.from_list(rows)
     for op in sample_ops:
         pool = pool_factory() if pool_factory is not None else None
         if profiler is not None:
             with profiler.track(op, rows_in=len(dataset)) as tracking:
-                dataset = op.run(dataset, tracer=tracer, pool=pool)
+                dataset = apply(op, dataset, pool)
                 tracking.rows_out = len(dataset)
         else:
-            dataset = op.run(dataset, tracer=tracer, pool=pool)
+            dataset = apply(op, dataset, pool)
     return dataset
 
 

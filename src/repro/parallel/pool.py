@@ -16,17 +16,40 @@ from __future__ import annotations
 
 import atexit
 import json
+import logging
 import multiprocessing
+import time
+import warnings
 from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
 from repro.core.base_op import Filter, Mapper
+from repro.core.faults import BACKOFF_CAP_S, DegradedExecutionWarning
 from repro.parallel import worker as _worker
 from repro.parallel.worker import chunk_rows, default_chunk_size
+
+try:  # the canonical broken-pool signal of concurrent.futures executors
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover - always present on CPython
+    class BrokenProcessPool(RuntimeError):
+        """Fallback placeholder when concurrent.futures is unavailable."""
+
+logger = logging.getLogger(__name__)
 
 #: fallback preference order; ``fork`` inherits instantiated ops and warm
 #: asset caches for free, ``forkserver`` and ``spawn`` re-instantiate per worker
 _START_METHOD_ORDER = ("fork", "forkserver", "spawn")
+
+#: exception types that indicate pool infrastructure failure (dead or hung
+#: workers, broken result pipes) rather than an operator error.  A worker
+#: killed mid-task never raises through ``multiprocessing.Pool`` — its result
+#: simply never arrives — so the per-dispatch timeout is the detection signal.
+_POOL_FAILURES = (
+    multiprocessing.TimeoutError,
+    BrokenPipeError,
+    EOFError,
+    BrokenProcessPool,
+)
 
 
 def resolve_start_method(preferred: str | None = None, available: Sequence[str] | None = None) -> str:
@@ -70,6 +93,16 @@ class WorkerPool:
         :func:`resolve_start_method` on platforms that lack it.
     chunk_size:
         Default rows per dispatched chunk (auto-sized per call when ``None``).
+    task_timeout_s:
+        Per-dispatch timeout of the supervision layer.  ``None`` (default)
+        blocks indefinitely — zero supervision overhead, but a dead or hung
+        worker can only be detected when a timeout is set.
+    max_rebuilds:
+        Pool reconstructions after infrastructure failures before the pool
+        degrades to serial in-parent execution (with a
+        :class:`repro.core.faults.DegradedExecutionWarning`).
+    rebuild_backoff_s:
+        Base of the capped exponential backoff slept between rebuilds.
     """
 
     def __init__(
@@ -80,6 +113,9 @@ class WorkerPool:
         op_fusion: bool = False,
         start_method: str | None = None,
         chunk_size: int | None = None,
+        task_timeout_s: float | None = None,
+        max_rebuilds: int = 2,
+        rebuild_backoff_s: float = 0.05,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -92,6 +128,18 @@ class WorkerPool:
         self.num_workers = num_workers
         self.chunk_size = chunk_size
         self.start_method = resolve_start_method(start_method)
+        self.task_timeout_s = task_timeout_s
+        self.max_rebuilds = max_rebuilds
+        self.rebuild_backoff_s = rebuild_backoff_s
+        #: pool reconstructions performed so far (supervision diagnostics)
+        self.rebuilds = 0
+        #: True once the pool gave up on worker processes and runs serial
+        self.degraded = False
+        #: optional :class:`repro.core.faults.FaultTracker` sharing the
+        #: executor's per-run fault ledger (set by the executor each run)
+        self.fault_tracker: Any = None
+        #: the drain error :meth:`close` fell back to ``terminate()`` on
+        self.close_error: BaseException | None = None
         #: pids of the workers that executed the most recent dispatch — direct
         #: evidence of out-of-process execution (unlike :meth:`worker_pids`,
         #: which only lists the live processes)
@@ -99,17 +147,23 @@ class WorkerPool:
         self._ops = list(ops)
         self._op_index = {id(op): index for index, op in enumerate(self._ops)}
         self._closed = False
-        context = multiprocessing.get_context(self.start_method)
+        self._context = multiprocessing.get_context(self.start_method)
         if self.start_method == "fork":
             # forked workers inherit the live instances without pickling
-            initargs: tuple = (self._ops, None, False)
+            self._initargs: tuple = (self._ops, None, False)
         elif process_list is not None:
             # spawned workers re-instantiate from the (picklable) recipe
-            initargs = (None, list(process_list), op_fusion)
+            self._initargs = (None, list(process_list), op_fusion)
         else:
-            initargs = (self._ops, None, False)
-        self._pool = context.Pool(
-            processes=num_workers, initializer=_worker.initialize_worker, initargs=initargs
+            self._initargs = (self._ops, None, False)
+        self._pool = self._spawn_pool()
+
+    def _spawn_pool(self) -> Any:
+        """Create the underlying multiprocessing pool (initial or rebuild)."""
+        return self._context.Pool(
+            processes=self.num_workers,
+            initializer=_worker.initialize_worker,
+            initargs=self._initargs,
         )
 
     # ------------------------------------------------------------------
@@ -132,9 +186,24 @@ class WorkerPool:
         try:
             self._pool.close()
             self._pool.join()
-        except Exception:
-            self._pool.terminate()
-            self._pool.join()
+        except Exception as drain_error:
+            # never discard the drain failure: log it, remember it, and chain
+            # it onto any terminate failure so neither error disappears
+            self.close_error = drain_error
+            logger.warning(
+                "WorkerPool drain failed (%r); terminating workers", drain_error
+            )
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception as terminate_error:
+                terminate_error.__cause__ = drain_error
+                logger.error(
+                    "WorkerPool terminate after failed drain also failed: %r "
+                    "(drain error: %r)",
+                    terminate_error,
+                    drain_error,
+                )
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -214,9 +283,78 @@ class WorkerPool:
         if not tasks:
             self.last_served_pids = []
             return []
-        results = self._pool.map(_worker.run_task, tasks)
+        results = self._supervised_map(tasks)
         self.last_served_pids = sorted({pid for _payload, _cpu, pid in results})
         return [(payload, cpu) for payload, cpu, _pid in results]
+
+    def _supervised_map(self, tasks: list) -> list[tuple[Any, float, int]]:
+        """Dispatch with dead/hung-worker detection, rebuild and degradation.
+
+        Operator exceptions re-raise untouched for the error-policy layer;
+        only infrastructure failures (:data:`_POOL_FAILURES` — a timed-out
+        dispatch, a broken result pipe) trigger a pool rebuild.  The retried
+        chunk is safe to replay because operators are pure functions of their
+        config (the lint-enforced contract).  After ``max_rebuilds``
+        reconstructions the pool degrades to serial in-parent execution with
+        a warning instead of aborting the run.
+        """
+        if self.degraded:
+            return self._run_serial(tasks)
+        attempt = 0
+        while True:
+            try:
+                # map_async + get(timeout) instead of map: identical semantics
+                # and cost with timeout=None, but a set timeout is the only
+                # way to notice a worker that died (its result never arrives;
+                # multiprocessing.Pool repopulates workers silently)
+                return self._pool.map_async(_worker.run_task, tasks).get(
+                    self.task_timeout_s
+                )
+            except _POOL_FAILURES as error:
+                if self.rebuilds >= self.max_rebuilds:
+                    self._degrade(error)
+                    return self._run_serial(tasks)
+                self._rebuild(error, attempt)
+                attempt += 1
+
+    def _rebuild(self, error: BaseException, attempt: int) -> None:
+        """Tear down the broken pool and build a fresh one in place."""
+        detail = f"worker pool failure ({error!r}); rebuilding pool"
+        logger.warning("%s (rebuild %d/%d)", detail, self.rebuilds + 1, self.max_rebuilds)
+        try:
+            self._pool.terminate()
+            self._pool.join()
+        except Exception:
+            logger.warning("terminating the broken pool failed; abandoning it")
+        if self.rebuild_backoff_s > 0:
+            time.sleep(min(self.rebuild_backoff_s * (2 ** attempt), BACKOFF_CAP_S))
+        self._pool = self._spawn_pool()
+        self.rebuilds += 1
+        if self.fault_tracker is not None:
+            self.fault_tracker.record_rebuild(detail)
+
+    def _degrade(self, error: BaseException) -> None:
+        """Give up on worker processes; subsequent dispatches run in-parent."""
+        self.degraded = True
+        detail = (
+            f"worker pool failed {self.rebuilds} rebuild(s) deep ({error!r}); "
+            "degrading to serial in-parent execution"
+        )
+        warnings.warn(detail, DegradedExecutionWarning, stacklevel=3)
+        if self.fault_tracker is not None:
+            self.fault_tracker.record_degradation(detail)
+        try:
+            self._pool.terminate()
+            self._pool.join()
+        except Exception:
+            logger.warning("terminating the degraded pool failed; abandoning it")
+
+    def _run_serial(self, tasks: list) -> list[tuple[Any, float, int]]:
+        """Execute dispatched tasks in the parent process (degraded mode)."""
+        # install the op list as this process's worker state so run_task
+        # resolves op references exactly like a worker would
+        _worker.initialize_worker(*self._initargs)
+        return [_worker.run_task(task) for task in tasks]
 
     def _chunks(self, rows: Sequence[dict], chunk_size: int | None = None) -> list[list[dict]]:
         size = chunk_size or self.chunk_size or default_chunk_size(len(rows), self.num_workers)

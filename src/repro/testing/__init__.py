@@ -1,0 +1,11 @@
+"""Deterministic testing utilities for the fault-tolerance layer.
+
+The :mod:`repro.testing.chaos` harness injects seeded, reproducible faults
+(exceptions, worker kills, hangs) into chosen operators on chosen rows, so
+the chaos suite can assert that a faulted run completes and that its export
+equals the fault-free export minus exactly the quarantined rows.
+"""
+
+from repro.testing.chaos import ChaosFault, FaultPlan, FaultSpec
+
+__all__ = ["ChaosFault", "FaultPlan", "FaultSpec"]

@@ -1,14 +1,15 @@
 """The built-in rule suite; importing this package registers every rule.
 
-Rules live in three modules by theme — :mod:`purity` (the data path is a pure
-function of config), :mod:`config` (``config()``/``PARAM_SPECS`` honesty) and
-:mod:`structure` (batched parity, picklability, registry hygiene).  Adding a
-rule means adding a :class:`repro.tools.lint.framework.LintRule` subclass
-decorated with ``@register_rule`` to one of them (or a new module imported
-here); see ``docs/linting.md``.
+Rules live in four modules by theme — :mod:`purity` (the data path is a pure
+function of config), :mod:`config` (``config()``/``PARAM_SPECS`` honesty),
+:mod:`structure` (batched parity, picklability, registry hygiene) and
+:mod:`hygiene` (exceptions must reach the error policy).  Adding a rule means
+adding a :class:`repro.tools.lint.framework.LintRule` subclass decorated with
+``@register_rule`` to one of them (or a new module imported here); see
+``docs/linting.md``.
 """
 
-from repro.tools.lint.rules import config, purity, structure  # noqa: F401  (registration side effects)
+from repro.tools.lint.rules import config, hygiene, purity, structure  # noqa: F401  (registration side effects)
 
 from repro.tools.lint.framework import RULES
 
@@ -18,4 +19,4 @@ def all_rule_ids() -> list[str]:
     return list(RULES)
 
 
-__all__ = ["all_rule_ids", "config", "purity", "structure"]
+__all__ = ["all_rule_ids", "config", "hygiene", "purity", "structure"]

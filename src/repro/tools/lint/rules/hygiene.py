@@ -1,0 +1,107 @@
+"""Exception-hygiene rule: the data path must not swallow failures silently.
+
+The fault-tolerance layer (:mod:`repro.core.faults`) owns every decision
+about a failing row — retry it, drop it, quarantine it, abort the run — and
+it can only decide about exceptions it *sees*.  An operator that catches
+``Exception`` and silently continues hides poison rows from the error policy:
+the row neither lands in the quarantine export nor aborts a ``raise``-policy
+run, and the faults section of the run report undercounts.  A bare
+``except:`` is worse still, because it also eats ``KeyboardInterrupt`` and
+``SystemExit`` — including the injected worker-death faults the chaos suite
+relies on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.framework import (
+    ERROR,
+    LintModule,
+    LintRule,
+    OpClassInfo,
+    Violation,
+    register_rule,
+)
+
+#: handler types that catch (nearly) everything when written textually
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> list[str]:
+    """The textual exception names a handler catches (empty for bare except)."""
+    node = handler.type
+    if node is None:
+        return []
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for entry in nodes:
+        if isinstance(entry, ast.Name):
+            names.append(entry.id)
+        elif isinstance(entry, ast.Attribute):
+            names.append(entry.attr)
+    return names
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing with the exception.
+
+    ``pass``, a bare ``...`` expression and ``continue`` all drop the error
+    on the floor; anything else (re-raise, fallback value, logging) is a
+    deliberate decision the rule leaves alone.
+    """
+    for statement in handler.body:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register_rule
+class ExceptionHygieneRule(LintRule):
+    """Process paths must not hide exceptions from the error policy."""
+
+    id = "exception-hygiene"
+    severity = ERROR
+    summary = "process paths must not swallow exceptions"
+    rationale = (
+        "the error policy (retry / skip / quarantine / raise) can only act on "
+        "exceptions that escape the op; a bare `except:` or a broad handler "
+        "that just passes hides poison rows from quarantine accounting and "
+        "breaks the run report's faults section."
+    )
+
+    def check(self, module: LintModule) -> Iterator[Violation]:
+        for op in module.op_classes:
+            yield from self._check_op(module, op)
+
+    def _check_op(self, module: LintModule, op: OpClassInfo) -> Iterator[Violation]:
+        for method in op.process_methods():
+            for node in ast.walk(method):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                names = _handler_type_names(node)
+                if node.type is None:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{method.name}() uses a bare `except:`; it eats "
+                        "SystemExit/KeyboardInterrupt and hides failures from "
+                        "the error policy — catch the specific exception",
+                        op=op.display_name,
+                    )
+                elif any(name in _BROAD_EXCEPTION_NAMES for name in names) and _swallows(
+                    node
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{method.name}() catches "
+                        f"{' / '.join(names)} and silently continues; failing "
+                        "rows never reach retry/quarantine — let the error "
+                        "policy decide, or handle a specific exception",
+                        op=op.display_name,
+                    )

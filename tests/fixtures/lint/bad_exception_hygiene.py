@@ -1,0 +1,24 @@
+"""Bad: the data path swallows failures the error policy should see."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("bad_exception_hygiene")
+class BadExceptionHygieneMapper(Mapper):
+    """Hides poison rows from retry/quarantine instead of letting them fail."""
+
+    def process(self, sample: dict) -> dict:
+        try:
+            sample = self.set_text(sample, self.get_text(sample).upper())
+        except:  # line 14: exception-hygiene (bare except)
+            pass
+        return sample
+
+    def process_batched(self, samples: dict) -> dict:
+        for index, text in enumerate(samples[self.text_key]):
+            try:
+                samples[self.text_key][index] = text.upper()
+            except Exception:  # line 21: exception-hygiene (swallowed)
+                pass
+        return samples

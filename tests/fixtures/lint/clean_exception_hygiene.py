@@ -1,0 +1,17 @@
+"""Clean: exceptions escape to the error policy, or are handled specifically."""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("clean_exception_hygiene")
+class CleanExceptionHygieneMapper(Mapper):
+    """Lets unexpected failures propagate; handles one expected case."""
+
+    def process(self, sample: dict) -> dict:
+        text = self.get_text(sample)
+        try:
+            number = int(text)
+        except ValueError:  # a specific, expected case with a real fallback
+            number = 0
+        return self.set_text(sample, str(number))

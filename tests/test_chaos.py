@@ -1,0 +1,423 @@
+"""Deterministic chaos suite: seeded faults against full pipeline runs.
+
+Every scenario injects a reproducible fault (exception, worker kill, hang)
+via :class:`repro.testing.chaos.FaultPlan` and asserts the fault-tolerance
+contract end to end:
+
+* a lenient run **completes**, and its export equals the fault-free export
+  minus exactly the quarantined rows/shards;
+* the report's ``faults`` section accounts for every retry, pool rebuild,
+  quarantine and degradation;
+* a ``raise``-policy crash **resumes**: re-running the same checkpointed
+  config picks up mid-corpus and produces byte-identical output.
+
+The marker rows are written to pass every filter of the fig-8 recipe
+(30+ common words, no repetition, plain ASCII) so dropping them is visible
+in the export.
+"""
+
+import json
+
+import pytest
+
+from repro.core.dataset import NestedDataset
+from repro.core.errors import OpExecutionError
+from repro.core.executor import Executor
+from repro.core.exporter import Exporter
+from repro.core.faults import DegradedExecutionWarning
+from repro.recipes import get_recipe
+from repro.synth import c4_like
+from repro.testing import FaultPlan
+
+MARKER = "velociraptor"
+
+#: distinct, filter-passing texts carrying the marker word (30+ words each,
+#: no repeated n-grams, plain punctuation)
+MARKER_TEXTS = [
+    "The quiet velociraptor walked through the ancient library reading every "
+    "dusty page while the patient librarian watched carefully from behind the "
+    "long wooden desk and smiled at the curious visitor asking thoughtful "
+    "questions about natural history and early reptile anatomy.",
+    "A young velociraptor studied the evening sky over the wide river valley, "
+    "counting bright stars and naming distant constellations while the warm "
+    "wind carried the smell of rain across the tall grass toward the small "
+    "camp where the researchers kept their field notes.",
+    "Researchers observed the velociraptor sprinting across the open plain at "
+    "remarkable speed, recording every stride with careful instruments and "
+    "comparing the measurements against older field studies to understand how "
+    "such animals balanced their long tails during sharp turns.",
+]
+
+
+def corpus_with_markers(num_samples: int = 90, seed: int = 11) -> list[dict]:
+    """A c4-like corpus with the marker rows interleaved at fixed positions."""
+    rows = c4_like(num_samples=num_samples, seed=seed).to_list()
+    for position, text in zip((7, 33, 61), MARKER_TEXTS):
+        rows.insert(position, {"text": text})
+    return rows
+
+
+def write_jsonl(path, rows):
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, ensure_ascii=False) + "\n")
+    return path
+
+
+def export_lines(path) -> list[str]:
+    return path.read_text(encoding="utf-8").splitlines()
+
+
+def fig8_config(tmp_path, tag: str, **overrides) -> dict:
+    config = get_recipe("pretrain-c4-refine-en")
+    config["export_path"] = str(tmp_path / f"{tag}.jsonl")
+    config["work_dir"] = str(tmp_path / f"work-{tag}")
+    config.update(overrides)
+    return config
+
+
+SIMPLE_PROCESS = [
+    {"whitespace_normalization_mapper": {}},
+    {"words_num_filter": {"min_num": 1}},
+]
+
+
+class TestQuarantineEqualsFaultFreeMinusPoison:
+    """The tentpole acceptance scenario, in both execution modes."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return corpus_with_markers()
+
+    def fault_free_lines(self, tmp_path, rows):
+        config = fig8_config(tmp_path, "clean")
+        Executor(config).run(NestedDataset.from_list(rows))
+        lines = export_lines(tmp_path / "clean.jsonl")
+        assert sum(MARKER in line for line in lines) == len(MARKER_TEXTS)
+        return lines
+
+    def test_memory_mode(self, tmp_path, rows):
+        clean_lines = self.fault_free_lines(tmp_path, rows)
+        config = fig8_config(tmp_path, "faulted", on_error="quarantine")
+        executor = Executor(config)
+        FaultPlan().inject("fix_unicode_mapper", match=MARKER).install(executor.ops)
+        executor.run(NestedDataset.from_list(rows))
+
+        expected = [line for line in clean_lines if MARKER not in line]
+        assert export_lines(tmp_path / "faulted.jsonl") == expected
+
+        faults = executor.last_report["faults"]
+        assert faults["quarantined_rows"] == len(MARKER_TEXTS)
+        assert faults["op_errors"]["fix_unicode_mapper"] >= len(MARKER_TEXTS)
+        assert faults["policy"]["on_error"] == "quarantine"
+        quarantine_paths = faults["quarantine_paths"]
+        assert len(quarantine_paths) == 1
+        import gzip
+
+        with gzip.open(quarantine_paths[0], "rt", encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle]
+        assert len(entries) == len(MARKER_TEXTS)
+        assert all(MARKER in entry["row"]["text"] for entry in entries)
+        assert all(entry["op"] == "fix_unicode_mapper" for entry in entries)
+
+    def test_streaming_mode(self, tmp_path, rows):
+        clean_lines = self.fault_free_lines(tmp_path, rows)
+        config = fig8_config(
+            tmp_path, "faulted-stream", on_error="quarantine", max_shard_rows=25
+        )
+        executor = Executor(config)
+        FaultPlan().inject("fix_unicode_mapper", match=MARKER).install(executor.ops)
+        report = executor.run_streaming(NestedDataset.from_list(rows))
+
+        expected = [line for line in clean_lines if MARKER not in line]
+        assert export_lines(tmp_path / "faulted-stream.jsonl") == expected
+        assert report["faults"]["quarantined_rows"] == len(MARKER_TEXTS)
+        # faulted shards are excluded from the shard cache but still complete
+        assert report["shards"]["executed_shards"] > 0
+
+
+class TestTransientFaultRetries:
+    def test_retry_heals_without_dropping_rows(self, tmp_path):
+        rows = corpus_with_markers(num_samples=30)
+        config = {
+            "process": SIMPLE_PROCESS,
+            "export_path": str(tmp_path / "out.jsonl"),
+            "work_dir": str(tmp_path / "work"),
+            "max_retries": 3,
+            "backoff_s": 0.0,
+        }
+        executor = Executor(config)
+        FaultPlan(state_dir=tmp_path / "fuse").inject(
+            "whitespace_normalization_mapper", times=2
+        ).install(executor.ops)
+        executor.run(NestedDataset.from_list(rows))
+
+        faults = executor.last_report["faults"]
+        assert faults["retries"] == 2
+        assert faults["quarantined_rows"] == 0
+        assert faults["skipped_rows"] == 0
+
+        reference = {
+            "process": SIMPLE_PROCESS,
+            "export_path": str(tmp_path / "ref.jsonl"),
+            "work_dir": str(tmp_path / "work-ref"),
+        }
+        Executor(reference).run(NestedDataset.from_list(rows))
+        assert (tmp_path / "out.jsonl").read_bytes() == (tmp_path / "ref.jsonl").read_bytes()
+
+
+class TestWorkerSupervision:
+    """Dead and hung workers are detected, the pool rebuilt, the chunk retried."""
+
+    def reference_bytes(self, tmp_path, rows):
+        config = {
+            "process": SIMPLE_PROCESS,
+            "export_path": str(tmp_path / "ref.jsonl"),
+            "work_dir": str(tmp_path / "work-ref"),
+        }
+        Executor(config).run(NestedDataset.from_list(rows))
+        return (tmp_path / "ref.jsonl").read_bytes()
+
+    def supervised_config(self, tmp_path, **overrides):
+        config = {
+            "process": SIMPLE_PROCESS,
+            "export_path": str(tmp_path / "out.jsonl"),
+            "work_dir": str(tmp_path / "work"),
+            "np": 2,
+            "task_timeout_s": 2.0,
+            "backoff_s": 0.01,
+        }
+        config.update(overrides)
+        return config
+
+    def test_killed_worker_triggers_rebuild_and_retry(self, tmp_path):
+        rows = corpus_with_markers(num_samples=40)
+        reference = self.reference_bytes(tmp_path, rows)
+        executor = Executor(self.supervised_config(tmp_path))
+        FaultPlan(state_dir=tmp_path / "fuse").inject(
+            "whitespace_normalization_mapper", kind="kill", times=1
+        ).install(executor.ops)
+        with executor:
+            executor.run(NestedDataset.from_list(rows))
+        assert executor.last_report["faults"]["pool_rebuilds"] >= 1
+        assert executor.last_report["faults"]["degradations"] == 0
+        assert (tmp_path / "out.jsonl").read_bytes() == reference
+
+    def test_hung_worker_triggers_rebuild_and_retry(self, tmp_path):
+        rows = corpus_with_markers(num_samples=40)
+        reference = self.reference_bytes(tmp_path, rows)
+        executor = Executor(self.supervised_config(tmp_path))
+        FaultPlan(state_dir=tmp_path / "fuse").inject(
+            "whitespace_normalization_mapper", kind="hang", times=1, hang_s=30.0
+        ).install(executor.ops)
+        with executor:
+            executor.run(NestedDataset.from_list(rows))
+        assert executor.last_report["faults"]["pool_rebuilds"] >= 1
+        assert (tmp_path / "out.jsonl").read_bytes() == reference
+
+    def test_exhausted_rebuilds_degrade_to_serial(self, tmp_path):
+        rows = corpus_with_markers(num_samples=40)
+        reference = self.reference_bytes(tmp_path, rows)
+        executor = Executor(
+            self.supervised_config(tmp_path, max_pool_rebuilds=1)
+        )
+        # arm on a substring unique to ONE row so exactly one chunk (and
+        # hence one kill) fires per dispatch attempt: kill, rebuild, kill
+        # again on the retry, then degrade with both fuse tokens burnt
+        FaultPlan(state_dir=tmp_path / "fuse").inject(
+            "whitespace_normalization_mapper",
+            kind="kill",
+            match="counting bright stars",
+            times=2,
+        ).install(executor.ops)
+        with executor, pytest.warns(DegradedExecutionWarning):
+            executor.run(NestedDataset.from_list(rows))
+        faults = executor.last_report["faults"]
+        assert faults["pool_rebuilds"] == 1
+        assert faults["degradations"] == 1
+        # degraded serial execution still produces the exact same bytes
+        assert (tmp_path / "out.jsonl").read_bytes() == reference
+
+
+class TestWholeShardQuarantine:
+    def test_persistently_failing_shard_is_dropped_whole(self, tmp_path):
+        # exactly 30 unique rows (c4_like plants duplicate pairs for dedup
+        # tests, so tag every text) with the marker in the middle shard
+        # (rows 10..19)
+        rows = [
+            {"text": f"{row['text'].strip()} document number {index}"}
+            for index, row in enumerate(c4_like(num_samples=40, seed=23).to_list()[:30])
+        ]
+        rows[12] = {"text": rows[12]["text"] + " " + MARKER}
+        process = [
+            {"whitespace_normalization_mapper": {}},
+            {"document_deduplicator": {}},
+        ]
+        clean_config = {
+            "process": process,
+            "export_path": str(tmp_path / "clean.jsonl"),
+            "work_dir": str(tmp_path / "work-clean"),
+            "max_shard_rows": 10,
+        }
+        Executor(clean_config).run_streaming(NestedDataset.from_list(rows))
+        clean_lines = export_lines(tmp_path / "clean.jsonl")
+        assert len(clean_lines) == 30  # unique corpus: dedup keeps everything
+
+        config = {
+            "process": process,
+            "export_path": str(tmp_path / "out.jsonl"),
+            "work_dir": str(tmp_path / "work"),
+            "max_shard_rows": 10,
+            "on_error": "quarantine",
+        }
+        executor = Executor(config)
+        # the dedup hashing stage has no per-row fallback: a poison batch
+        # fails the whole shard, which the policy then drops whole
+        FaultPlan().inject("document_deduplicator", match=MARKER).install(executor.ops)
+        report = executor.run_streaming(NestedDataset.from_list(rows))
+
+        assert report["faults"]["quarantined_shards"] == 1
+        assert export_lines(tmp_path / "out.jsonl") == clean_lines[:10] + clean_lines[20:]
+        import gzip
+
+        with gzip.open(report["faults"]["quarantine_paths"][0], "rt", encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle]
+        assert len(entries) == 10
+        assert all(entry["shard"] for entry in entries)
+
+
+class TestCrashResumeComposesWithFaults:
+    def test_streaming_crash_then_resume_is_byte_identical(self, tmp_path):
+        rows = corpus_with_markers(num_samples=40, seed=31)
+        input_path = write_jsonl(tmp_path / "in.jsonl", rows)
+        config = {
+            "dataset_path": str(input_path),
+            "process": SIMPLE_PROCESS,
+            "export_path": str(tmp_path / "out.jsonl"),
+            "work_dir": str(tmp_path / "work"),
+            "max_shard_rows": 10,
+            "use_checkpoint": True,
+        }
+        # arm on a substring unique to the marker row at input index 33
+        # (shard 3): shards 0-2 spill before the crash, so the resume has
+        # something to skip
+        crashing = Executor(config)
+        FaultPlan(state_dir=tmp_path / "fuse").inject(
+            "whitespace_normalization_mapper", match="counting bright stars", times=1
+        ).install(crashing.ops)
+        with pytest.raises(OpExecutionError) as excinfo:
+            crashing.run_streaming()
+        message = str(excinfo.value)
+        assert "whitespace_normalization_mapper" in message
+        assert "shard" in message  # satellite: failures name their shard
+
+        resumed = Executor(config)
+        report = resumed.run_streaming()
+        assert report["shards"]["resumed_shards"] > 0
+        assert report["faults"]["quarantined_rows"] == 0
+
+        reference = {
+            "dataset_path": str(input_path),
+            "process": SIMPLE_PROCESS,
+            "export_path": str(tmp_path / "ref.jsonl"),
+            "work_dir": str(tmp_path / "work-ref"),
+        }
+        Executor(reference).run()
+        assert (tmp_path / "out.jsonl").read_bytes() == (tmp_path / "ref.jsonl").read_bytes()
+
+    def test_memory_mode_failure_names_op_and_row(self, tmp_path):
+        rows = corpus_with_markers(num_samples=20, seed=37)
+        config = {
+            "process": SIMPLE_PROCESS,
+            "work_dir": str(tmp_path / "work"),
+        }
+        executor = Executor(config)
+        FaultPlan().inject(
+            "whitespace_normalization_mapper", match=MARKER
+        ).install(executor.ops)
+        with pytest.raises(OpExecutionError) as excinfo:
+            executor.run(NestedDataset.from_list(rows))
+        message = str(excinfo.value)
+        assert "whitespace_normalization_mapper" in message
+        assert "row index: 7" in message  # first marker row
+        assert "--on-error raise" in message
+
+
+class TestCrashResumeWorstPoints:
+    """Satellite: crashes at the two nastiest streaming points still resume."""
+
+    PROCESS = [
+        {"whitespace_normalization_mapper": {}},
+        {"document_deduplicator": {}},
+    ]
+
+    def configs(self, tmp_path):
+        input_path = write_jsonl(
+            tmp_path / "in.jsonl", c4_like(num_samples=50, seed=41).to_list()
+        )
+        streaming = {
+            "dataset_path": str(input_path),
+            "process": self.PROCESS,
+            "export_path": str(tmp_path / "out.jsonl"),
+            "work_dir": str(tmp_path / "work"),
+            "max_shard_rows": 10,
+            "use_checkpoint": True,
+        }
+        reference = {
+            "dataset_path": str(input_path),
+            "process": self.PROCESS,
+            "export_path": str(tmp_path / "ref.jsonl"),
+            "work_dir": str(tmp_path / "work-ref"),
+        }
+        return streaming, reference
+
+    def test_crash_between_hash_pass_and_global_resolve(self, tmp_path):
+        import repro.core.executor as executor_module
+
+        streaming, reference = self.configs(tmp_path)
+
+        def resolve_bomb(op, signature):
+            raise RuntimeError("crashed before the global resolve")
+
+        original = executor_module.resolve_global_keep
+        executor_module.resolve_global_keep = resolve_bomb
+        try:
+            with pytest.raises(OpExecutionError, match="global resolve|crashed"):
+                Executor(streaming).run_streaming()
+        finally:
+            executor_module.resolve_global_keep = original
+
+        report = Executor(streaming).run_streaming()
+        assert report["shards"]["resumed_shards"] > 0
+
+        Executor(reference).run()
+        assert (tmp_path / "out.jsonl").read_bytes() == (tmp_path / "ref.jsonl").read_bytes()
+
+    def test_crash_mid_export(self, tmp_path):
+        import repro.core.executor as executor_module
+
+        streaming, reference = self.configs(tmp_path)
+
+        class MidExportCrash(Exporter):
+            def export_stream(self, rows):
+                def limited(source):
+                    for index, row in enumerate(source):
+                        if index >= 25:
+                            raise RuntimeError("crashed mid-export")
+                        yield row
+
+                return super().export_stream(limited(rows))
+
+        original = executor_module.Exporter
+        executor_module.Exporter = MidExportCrash
+        try:
+            with pytest.raises(RuntimeError, match="crashed mid-export"):
+                Executor(streaming).run_streaming()
+        finally:
+            executor_module.Exporter = original
+
+        report = Executor(streaming).run_streaming()
+        assert report["shards"]["resumed_shards"] > 0
+
+        Executor(reference).run()
+        assert (tmp_path / "out.jsonl").read_bytes() == (tmp_path / "ref.jsonl").read_bytes()

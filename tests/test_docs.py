@@ -87,7 +87,8 @@ class TestOpsCatalog:
 
 class TestDocsTree:
     @pytest.mark.parametrize(
-        "name", ["architecture.md", "observability.md", "ops_catalog.md"]
+        "name",
+        ["architecture.md", "observability.md", "ops_catalog.md", "robustness.md"],
     )
     def test_docs_files_exist_and_are_substantial(self, name):
         path = DOCS_DIR / name
@@ -99,6 +100,7 @@ class TestDocsTree:
         assert "docs/architecture.md" in readme
         assert "docs/observability.md" in readme
         assert "docs/ops_catalog.md" in readme
+        assert "docs/robustness.md" in readme
         # PR 3's caveat — streaming bypassing cache and tracer — is gone
         assert "bypassed in streaming mode" not in readme
 

@@ -54,6 +54,10 @@ GOLDEN = {
             ("registry-hygiene", 12),
         ],
     ),
+    "exception-hygiene": (
+        "bad_exception_hygiene.py",
+        [("exception-hygiene", 14), ("exception-hygiene", 22)],
+    ),
 }
 
 CLEAN_FIXTURES = sorted(

@@ -13,7 +13,7 @@ import pytest
 
 from repro.core.base_op import Deduplicator, Filter, Mapper, Selector
 from repro.core.dataset import NestedDataset
-from repro.core.errors import DatasetError
+from repro.core.errors import DatasetError, OpExecutionError
 from repro.core.executor import Executor
 from repro.core.exporter import Exporter
 from repro.core.sample import Fields
@@ -310,8 +310,11 @@ class TestShardCheckpointing:
             return original(samples)
 
         crashing.ops[0].process_batched = bomb
-        with pytest.raises(RuntimeError, match="simulated crash"):
+        with pytest.raises(OpExecutionError, match="simulated crash") as excinfo:
             crashing.run_streaming()
+        # engine failures carry their location: op name + shard id
+        assert "whitespace_normalization_mapper" in str(excinfo.value)
+        assert "shard" in str(excinfo.value)
 
         resumed = Executor(config)
         report = resumed.run_streaming()
@@ -487,7 +490,7 @@ class TestStreamingFailureSafety:
             raise RuntimeError("boom")
 
         executor.ops[0].process_batched = bomb
-        with pytest.raises(RuntimeError, match="boom"):
+        with pytest.raises(OpExecutionError, match="boom"):
             executor.run_streaming()
         spill_root = tmp_path / "work" / "stream-spill"
         assert not any(spill_root.iterdir())
