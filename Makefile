@@ -10,13 +10,14 @@
 #   make docs-check  fail when the committed catalog is out of sync (CI)
 #   make validate-recipes  schema-validate every built-in recipe (no execution)
 #   make lint        statically check operator contracts (repro lint)
+#   make dataflow    statically verify every built-in recipe's dataflow
 #   make chaos       deterministic fault-injection suite (tests/test_chaos.py)
-#   make check       docs-check + validate-recipes + lint + unit + chaos (the CI gate)
+#   make check       docs-check + validate-recipes + lint + dataflow + unit + chaos (the CI gate)
 
 PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
 REPRO = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro
 
-.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes lint chaos check
+.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes lint dataflow chaos check
 
 smoke:
 	$(PYTEST) -x -q
@@ -50,7 +51,10 @@ validate-recipes:
 lint:
 	$(REPRO) lint
 
+dataflow:
+	$(REPRO) dataflow --all
+
 chaos:
 	$(PYTEST) -x -q tests/test_chaos.py
 
-check: docs-check validate-recipes lint unit chaos
+check: docs-check validate-recipes lint dataflow unit chaos

@@ -23,6 +23,7 @@ from repro.api.pipeline import Pipeline
 from repro.api.validate import render_issues, validate_recipe
 from repro.core.planner import ExecutionPlan, ResourceBudget, plan_execution
 from repro.core.schema import OpSchema, ParamSpec, SchemaIssue, schema_for
+from repro.tools.dataflow import check_recipe, effect_signature
 
 __all__ = [
     "ExecutionPlan",
@@ -31,6 +32,8 @@ __all__ = [
     "Pipeline",
     "ResourceBudget",
     "SchemaIssue",
+    "check_recipe",
+    "effect_signature",
     "plan_execution",
     "render_issues",
     "schema_for",

@@ -313,8 +313,19 @@ class Pipeline:
         dataset: NestedDataset | None = None,
         budget: ResourceBudget | None = None,
     ) -> ExecutionPlan:
-        """Preview the mode decision without executing anything."""
-        return plan_execution(self.to_config(), dataset=dataset, mode=mode, budget=budget)
+        """Preview the mode decision without executing anything.
+
+        The returned plan carries the pre-flight dataflow findings
+        (``plan.dataflow``, see :mod:`repro.tools.dataflow`) so a field-broken
+        pipeline is visible before :meth:`run` touches any data.
+        """
+        from repro.tools.dataflow import check_recipe
+
+        cfg = self.to_config()
+        plan = plan_execution(cfg, dataset=dataset, mode=mode, budget=budget)
+        flow = check_recipe(cfg, stream=plan.mode == "streaming")
+        plan.dataflow = [finding.as_dict() for finding in flow.findings]
+        return plan
 
     def run(
         self,

@@ -28,10 +28,13 @@ from repro.core.schema import SchemaIssue, validate_process
 def validate_recipe(recipe: str | Path | dict | RecipeConfig) -> list[SchemaIssue]:
     """Validate a recipe end to end; return every issue found (empty = valid).
 
-    Three layers are checked without executing anything: unknown top-level
+    Four layers are checked without executing anything: unknown top-level
     recipe keys, operator names and parameters against the typed op schemas,
-    and the structural run-option rules of
-    :func:`repro.core.config.validate_config`.
+    the structural run-option rules of
+    :func:`repro.core.config.validate_config`, and — when the schema layers
+    pass for the process list — the static dataflow rules of
+    :mod:`repro.tools.dataflow` (undefined reads, order hazards, dead writes,
+    fusion- and streaming-unsafety), folded into the same report.
     """
     issues: list[SchemaIssue] = []
     payload = load_recipe_payload(recipe)
@@ -51,6 +54,23 @@ def validate_recipe(recipe: str | Path | dict | RecipeConfig) -> list[SchemaIssu
         load_config(known)
     except ConfigError as error:
         issues.append(SchemaIssue("(recipe)", "(options)", str(error)))
+    if not issues:
+        # dataflow findings only make sense once the recipe is schema-valid;
+        # the checker itself must never crash validation
+        try:
+            from repro.tools.dataflow import check_recipe
+
+            flow = check_recipe(payload)
+            issues.extend(
+                SchemaIssue(
+                    finding.op,
+                    f"step {finding.index}",
+                    f"[{finding.rule}] {finding.message}",
+                )
+                for finding in flow.findings
+            )
+        except ConfigError:
+            pass
     return issues
 
 

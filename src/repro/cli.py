@@ -16,6 +16,7 @@ Usage examples::
     python -m repro synth --corpus common_crawl --num-samples 200 --output raw.jsonl
     python -m repro docs-ops
     python -m repro lint --json
+    python -m repro dataflow --all
 
 ``process`` is built on the fluent :class:`repro.api.Pipeline`: the recipe is
 compiled into a lazy pipeline, parameters are validated against the typed op
@@ -228,6 +229,57 @@ def cmd_docs_ops(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dataflow(args: argparse.Namespace) -> int:
+    """Statically verify recipe dataflow (exit 1 on any finding).
+
+    Resolves each step's inferred effect signature and symbolically executes
+    the recipe over a field-set lattice; see ``docs/dataflow.md`` for the
+    rule catalog.  ``--all`` checks every built-in recipe (the CI gate).
+    """
+    from repro.tools import dataflow as dataflow_tool
+
+    if args.list_rules:
+        print(dataflow_tool.render_rule_catalog())
+        return 0
+    if args.all:
+        from repro.recipes import BUILT_IN_RECIPES
+
+        results = []
+        for name in sorted(BUILT_IN_RECIPES):
+            result = dataflow_tool.check_recipe(BUILT_IN_RECIPES[name])
+            result.recipe = result.recipe or name
+            results.append(result)
+        if args.json:
+            print(dataflow_tool.render_json_many(results))
+        else:
+            for result in results:
+                status = "clean" if not result.findings else f"{len(result.findings)} finding(s)"
+                print(f"{result.recipe}: {status}")
+                for finding in result.findings:
+                    print(f"  - {finding}")
+            clean = sum(1 for result in results if not result.findings)
+            print(f"{clean}/{len(results)} built-in recipe(s) dataflow-clean")
+        return max((result.exit_code for result in results), default=0)
+    if args.recipe and args.recipe_file:
+        raise SystemExit("use either --recipe or --recipe-file, not both")
+    try:
+        if args.recipe:
+            recipe: dict | str = get_recipe(args.recipe)
+        elif args.recipe_file:
+            recipe = args.recipe_file
+        else:
+            raise SystemExit("one of --recipe, --recipe-file or --all is required")
+        result = dataflow_tool.check_recipe(recipe)
+    except (ConfigError, RegistryError) as error:
+        print(render_problems([error], ""))
+        return 1
+    if args.json:
+        print(dataflow_tool.render_json(result))
+    else:
+        print(dataflow_tool.render_text(result, verbose_suppressed=args.show_suppressed))
+    return result.exit_code
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Statically check the operator contracts (purity, config honesty, ...).
 
@@ -235,10 +287,17 @@ def cmd_lint(args: argparse.Namespace) -> int:
     unsuppressed violation, so ``make check`` enforces the contracts
     headlessly; ``--baseline`` subtracts a known-violation snapshot (written
     with ``--write-baseline``) so a new rule can land before its backlog is
-    fully burned down.
+    fully burned down.  ``--recipes`` runs the recipe dataflow checker over
+    every built-in recipe instead (the ``repro dataflow --all`` gate).
     """
     from repro.tools import lint as lint_tool
 
+    if args.recipes:
+        flow_args = argparse.Namespace(
+            all=True, recipe=None, recipe_file=None, json=args.json,
+            list_rules=False, show_suppressed=args.show_suppressed,
+        )
+        return cmd_dataflow(flow_args)
     if args.list_rules:
         print(lint_tool.render_rule_catalog())
         return 0
@@ -256,7 +315,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
             )
         keep = lint_tool.baseline_filter(lint_tool.load_baseline(baseline_path))
     try:
-        result = lint_tool.lint_paths(args.paths or None, rule_ids=args.rules, keep=keep)
+        result = lint_tool.lint_paths(
+            args.paths or None,
+            rule_ids=args.rules,
+            keep=keep,
+            severities=args.severity or None,
+        )
     except ValueError as error:  # unknown --rule id, with did-you-mean hint
         raise SystemExit(str(error))
     if writing:
@@ -459,7 +523,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also list findings silenced by lint-ignore comments",
     )
+    lint.add_argument(
+        "--severity",
+        action="append",
+        choices=["error", "warning"],
+        metavar="LEVEL",
+        help="report only findings of this severity (repeatable)",
+    )
+    lint.add_argument(
+        "--recipes",
+        action="store_true",
+        help="check every built-in recipe's dataflow instead of op contracts",
+    )
     lint.set_defaults(func=cmd_lint)
+
+    dataflow = subparsers.add_parser(
+        "dataflow",
+        help="statically verify recipe dataflow (exit 1 on findings)",
+    )
+    dataflow.add_argument("--recipe", help="name of a built-in recipe")
+    dataflow.add_argument("--recipe-file", help="path to a YAML/JSON recipe file")
+    dataflow.add_argument(
+        "--all",
+        action="store_true",
+        help="check every built-in recipe instead of a single one",
+    )
+    dataflow.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    dataflow.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    dataflow.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by dataflow_ignore entries",
+    )
+    dataflow.set_defaults(func=cmd_dataflow)
 
     synth = subparsers.add_parser("synth", help="generate a synthetic corpus")
     synth.add_argument("--corpus", required=True, choices=sorted(CORPUS_BUILDERS))

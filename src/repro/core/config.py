@@ -65,6 +65,17 @@ class RecipeConfig:
     keep_stats_in_export: bool = False
     seed: int = 42
 
+    # static dataflow verification (see repro.tools.dataflow and docs/dataflow.md)
+    #: fail ``Executor.execute`` on any dataflow finding instead of warning
+    strict_dataflow: bool = False
+    #: user fields the input data is declared to carry (``meta.lang`` style
+    #: dotted paths); declaring any opts user-field reads into closed-world
+    #: checking — undefined reads then become errors with suggestions
+    input_fields: list[str] | None = None
+    #: dataflow findings to suppress: ``rule`` or ``rule@step`` entries
+    #: (1-based step index), e.g. ``["dead-write", "order-hazard@3"]``
+    dataflow_ignore: list[str] = field(default_factory=list)
+
     # fault tolerance (see repro.core.faults and docs/robustness.md)
     #: what to do when an operator fails persistently: ``raise`` aborts,
     #: ``skip`` drops the failing rows/shards, ``quarantine`` drops them and
@@ -117,6 +128,9 @@ class RecipeConfig:
             "work_dir": self.work_dir,
             "keep_stats_in_export": self.keep_stats_in_export,
             "seed": self.seed,
+            "strict_dataflow": self.strict_dataflow,
+            "input_fields": list(self.input_fields) if self.input_fields is not None else None,
+            "dataflow_ignore": list(self.dataflow_ignore),
             "on_error": self.on_error,
             "max_retries": self.max_retries,
             "backoff_s": self.backoff_s,
@@ -183,6 +197,33 @@ def validate_config(config: RecipeConfig) -> RecipeConfig:
         or config.task_timeout_s <= 0
     ):
         raise ConfigError("task_timeout_s must be a number > 0 (or null)")
+    if not isinstance(config.strict_dataflow, bool):
+        raise ConfigError("strict_dataflow must be a boolean")
+    if config.input_fields is not None and (
+        not isinstance(config.input_fields, list)
+        or any(not isinstance(name, str) or not name for name in config.input_fields)
+    ):
+        raise ConfigError("input_fields must be a list of dotted field paths (or null)")
+    if not isinstance(config.dataflow_ignore, list) or any(
+        not isinstance(entry, str) for entry in config.dataflow_ignore
+    ):
+        raise ConfigError("dataflow_ignore must be a list of 'rule' or 'rule@step' strings")
+    if config.dataflow_ignore:
+        from repro.core.registry import unknown_name_message
+        from repro.tools.dataflow.checker import DATAFLOW_RULES
+
+        for entry in config.dataflow_ignore:
+            rule, _, step = entry.partition("@")
+            if rule not in DATAFLOW_RULES:
+                raise ConfigError(
+                    "dataflow_ignore: "
+                    + unknown_name_message("dataflow rule", rule, DATAFLOW_RULES)
+                )
+            if step and not step.isdigit():
+                raise ConfigError(
+                    f"dataflow_ignore entry {entry!r}: the '@' suffix must be a "
+                    f"1-based step index"
+                )
     return config
 
 

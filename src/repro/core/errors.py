@@ -26,6 +26,16 @@ class SchemaError(ConfigError):
         self.issues = list(issues or [])
 
 
+class DataflowWarning(UserWarning):
+    """Emitted when the pre-flight dataflow check finds recipe hazards.
+
+    ``Executor.execute`` runs :func:`repro.tools.dataflow.check_recipe` before
+    touching any data; findings warn by default so existing recipes keep
+    running, and ``strict_dataflow: true`` upgrades them to a
+    :class:`ConfigError`.
+    """
+
+
 class DatasetError(ReproError):
     """Raised for invalid dataset construction or access."""
 

@@ -26,6 +26,7 @@ StreamingTracer`) and ``use_cache`` replays cached *shard* outputs keyed on
 from __future__ import annotations
 
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -33,7 +34,7 @@ from repro.core.base_op import Deduplicator, Filter, Mapper, Selector, op_catego
 from repro.core.cache import CacheManager
 from repro.core.checkpoint import CheckpointManager
 from repro.core.config import RecipeConfig, load_config
-from repro.core.errors import ConfigError, OpExecutionError
+from repro.core.errors import ConfigError, DataflowWarning, OpExecutionError
 from repro.core.dataset import NestedDataset, _stable_hash
 from repro.core.exporter import Exporter
 from repro.core.faults import (
@@ -197,6 +198,32 @@ class Executor:
             # observability must never fail a run that already succeeded
             pass
 
+    def _preflight_dataflow(self, decision: ExecutionPlan) -> None:
+        """Statically check the recipe against the *planned* mode.
+
+        Findings are attached to the plan (``decision.dataflow``) and warn as
+        :class:`DataflowWarning` by default; ``strict_dataflow: true`` turns
+        them into a :class:`ConfigError` before any data is touched.
+        """
+        from repro.tools.dataflow import check_recipe
+
+        result = check_recipe(self.cfg, stream=decision.mode == "streaming")
+        decision.dataflow = [finding.as_dict() for finding in result.findings]
+        if not result.findings:
+            return
+        summary = "\n  ".join(str(finding) for finding in result.findings)
+        if self.cfg.strict_dataflow:
+            raise ConfigError(
+                f"dataflow check failed for recipe {self.cfg.project_name!r} "
+                f"(strict_dataflow is on):\n  {summary}"
+            )
+        warnings.warn(
+            f"recipe {self.cfg.project_name!r} has "
+            f"{len(result.findings)} dataflow finding(s):\n  {summary}",
+            DataflowWarning,
+            stacklevel=3,
+        )
+
     def execute(
         self,
         dataset: NestedDataset | None = None,
@@ -231,6 +258,7 @@ class Executor:
             # report the caller's actual request, not the coerced mode
             decision.requested = requested
             decision.reasons.append("sharded output requested; streaming engine required")
+        self._preflight_dataflow(decision)
         self.last_plan = decision
         # the run itself builds (and persists) the report; handing the payload
         # down keeps that a single complete write instead of write-then-amend

@@ -85,6 +85,9 @@ class ExecutionPlan:
     estimated_memory_bytes: int | None = None
     budget_bytes: int | None = None
     reasons: list[str] = field(default_factory=list)
+    #: pre-flight dataflow findings (``DataflowFinding.as_dict()`` rows),
+    #: attached by ``Pipeline.plan`` and ``Executor.execute``
+    dataflow: list[dict] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         """JSON-safe view embedded into run reports."""
@@ -98,6 +101,7 @@ class ExecutionPlan:
             "estimated_memory_bytes": self.estimated_memory_bytes,
             "budget_bytes": self.budget_bytes,
             "reasons": list(self.reasons),
+            "dataflow": [dict(finding) for finding in self.dataflow],
         }
 
     @classmethod
@@ -108,12 +112,17 @@ class ExecutionPlan:
             "mode", "requested", "engine", "np", "batch_size",
             "estimated_input_bytes", "estimated_memory_bytes", "budget_bytes",
         ) if key in payload}
-        return cls(reasons=list(payload.get("reasons", [])), **known)
+        return cls(
+            reasons=list(payload.get("reasons", [])),
+            dataflow=[dict(f) for f in payload.get("dataflow", [])],
+            **known,
+        )
 
     def describe(self) -> str:
         """One-line human rendering (CLI output)."""
         detail = "; ".join(self.reasons) or "no planning rules fired"
-        return f"plan: mode={self.mode} engine={self.engine} ({detail})"
+        flow = f"; {len(self.dataflow)} dataflow finding(s)" if self.dataflow else ""
+        return f"plan: mode={self.mode} engine={self.engine} ({detail}{flow})"
 
 
 def _file_bytes(path: Path) -> int:

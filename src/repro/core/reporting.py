@@ -37,4 +37,16 @@ def render_problems(
     return "\n".join(lines)
 
 
-__all__ = ["format_location", "render_problems"]
+def severity_footer(errors: int, warnings: int, suppressed: int = 0) -> str:
+    """The shared ``N error(s) / M warning(s) / K suppressed`` summary line.
+
+    ``repro lint`` and ``repro dataflow`` both close their reports with this
+    footer so CI log scrapers can parse one shape.
+    """
+    parts = [f"{errors} error(s)", f"{warnings} warning(s)"]
+    if suppressed:
+        parts.append(f"{suppressed} suppressed")
+    return " / ".join(parts)
+
+
+__all__ = ["format_location", "render_problems", "severity_footer"]

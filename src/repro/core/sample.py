@@ -59,6 +59,12 @@ class HashKeys:
     simhash = "__simhash__"
 
 
+#: sentinel default for :func:`get_field` that distinguishes "field absent"
+#: from "field present with value None" — dotted paths whose leaf (or any
+#: intermediate) is missing resolve to MISSING instead of a real value
+MISSING = object()
+
+
 def get_field(sample: dict, field_path: str, default: Any = None) -> Any:
     """Return the value at a (possibly dotted) field path of a sample.
 

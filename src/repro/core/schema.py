@@ -210,6 +210,17 @@ class OpSchema:
                 return spec
         return None
 
+    def effects(self):
+        """The op's statically-inferred :class:`EffectSignature`, or ``None``.
+
+        Resolved lazily from the :mod:`repro.tools.dataflow` catalog so the
+        schema layer carries the dataflow contract without importing the
+        extractor at module load.
+        """
+        from repro.tools.dataflow import effect_signature
+
+        return effect_signature(self.name)
+
     def validate(self, params: dict[str, Any]) -> list[SchemaIssue]:
         """Check keyword arguments against this schema; return every violation.
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.base_op import Filter
 from repro.core.registry import OPERATORS
-from repro.core.sample import ensure_stats, get_field
+from repro.core.sample import MISSING, ensure_stats, get_field
 
 
 @OPERATORS.register_module("specified_field_filter")
@@ -39,8 +39,11 @@ class SpecifiedFieldFilter(Filter):
     def process(self, sample: dict) -> bool:
         if not self.field_key or not self.target_values:
             return True
-        value = get_field(sample, self.field_key)
-        if value is None:
+        # a dotted path with a missing leaf (or intermediate) counts as
+        # "field absent" and is filtered; a present None is a real value and
+        # may legitimately match a None in target_values
+        value = get_field(sample, self.field_key, MISSING)
+        if value is MISSING:
             return False
         if isinstance(value, (list, tuple)):
             return all(item in self.target_values for item in value) and bool(value)

@@ -6,7 +6,7 @@ import sys
 
 from repro.core.base_op import Filter
 from repro.core.registry import OPERATORS
-from repro.core.sample import ensure_stats, get_field
+from repro.core.sample import MISSING, ensure_stats, get_field
 
 
 @OPERATORS.register_module("specified_numeric_field_filter")
@@ -43,7 +43,11 @@ class SpecifiedNumericFieldFilter(Filter):
     def process(self, sample: dict) -> bool:
         if not self.field_key:
             return True
-        value = get_field(sample, self.field_key)
+        # missing leaf/intermediate of a dotted path counts as "field absent"
+        # (filtered), never a KeyError
+        value = get_field(sample, self.field_key, MISSING)
+        if value is MISSING:
+            return False
         if isinstance(value, str):
             try:
                 value = float(value)

@@ -1,0 +1,88 @@
+"""Reporters for ``repro dataflow``: text for humans, JSON for the service layer.
+
+The text reporter shares its ``found N finding(s)`` shape and severity footer
+with ``repro lint`` through :mod:`repro.core.reporting`.  The JSON document is
+versioned and schema-stable (asserted by ``tests/test_dataflow.py``; described
+in ``docs/dataflow.md``) so the ROADMAP's service layer can gate job
+submission on it without parsing human text.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.reporting import render_problems, severity_footer
+from repro.tools.dataflow.checker import (
+    DATAFLOW_RULES,
+    EFFECT_SIGNATURE_VERSION,
+    DataflowResult,
+)
+
+
+def render_text(result: DataflowResult, verbose_suppressed: bool = False) -> str:
+    """Human-readable dataflow report: one line per finding plus a summary."""
+    label = f" for {result.recipe!r}" if result.recipe else ""
+    ok = (
+        f"dataflow clean{label}: {result.ops_checked} step(s) checked against "
+        f"{len(DATAFLOW_RULES)} rule(s)"
+    )
+    body = render_problems(result.findings, ok, noun="finding")
+    counts = result.counts_by_severity()
+    trailer: list[str] = []
+    if result.findings or result.suppressed:
+        trailer.append(
+            f"({severity_footer(counts['error'], counts['warning'], len(result.suppressed))})"
+        )
+    if result.suppressed and verbose_suppressed:
+        trailer.extend(f"  ~ {finding}" for finding in result.suppressed)
+    return "\n".join([body, *trailer])
+
+
+def result_payload(result: DataflowResult) -> dict:
+    """One recipe's JSON-ready result (a row of the ``--all`` document)."""
+    return {
+        "recipe": result.recipe,
+        "exit_code": result.exit_code,
+        "ops_checked": result.ops_checked,
+        "counts": result.counts_by_severity(),
+        "findings": [finding.as_dict() for finding in result.findings],
+        "suppressed": [finding.as_dict() for finding in result.suppressed],
+    }
+
+
+def render_json(result: DataflowResult) -> str:
+    """Machine-readable single-recipe report (stable key order)."""
+    payload = {
+        "version": EFFECT_SIGNATURE_VERSION,
+        "rules": list(DATAFLOW_RULES),
+        **result_payload(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_json_many(results: list[DataflowResult]) -> str:
+    """Machine-readable multi-recipe report (the ``--all`` document)."""
+    payload = {
+        "version": EFFECT_SIGNATURE_VERSION,
+        "rules": list(DATAFLOW_RULES),
+        "exit_code": max((r.exit_code for r in results), default=0),
+        "recipes": [result_payload(result) for result in results],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def render_rule_catalog() -> str:
+    """``--list-rules`` output: id, severity and contract of every rule."""
+    lines = []
+    for rule_id, (severity, summary, _) in DATAFLOW_RULES.items():
+        lines.append(f"{rule_id} [{severity}]: {summary}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "render_json",
+    "render_json_many",
+    "render_rule_catalog",
+    "render_text",
+    "result_payload",
+]

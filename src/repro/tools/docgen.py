@@ -38,6 +38,13 @@ category.  The parameter tables come from each operator's typed schema
 (bounds / choices) and the per-parameter description.  `text_key` (default
 `"text"`) and `batch_size` (execution tuning) are accepted by every operator
 and omitted from the tables.
+
+Each entry also carries its statically-inferred **effect signature**
+(`repro.tools.dataflow`): the fields the op reads / writes / removes
+(`<param>` marks a path taken from a constructor parameter, e.g.
+`<text_key>`), the shared context keys it produces or consumes, and its
+effect on the row set.  The `repro dataflow` checker verifies whole recipes
+against these signatures; see `docs/dataflow.md`.
 """
 
 
@@ -77,8 +84,29 @@ def _constraint_label(spec: ParamSpec) -> str:
     return "—"
 
 
+def _effects_label(signature) -> str:
+    """One-line rendering of an op's effect signature (empty when unknown)."""
+    if signature is None:
+        return ""
+    parts = []
+    if signature.reads:
+        parts.append("reads " + ", ".join(f"`{path}`" for path in signature.reads))
+    if signature.writes:
+        parts.append("writes " + ", ".join(f"`{path}`" for path in signature.writes))
+    if signature.removes:
+        parts.append("removes " + ", ".join(f"`{path}`" for path in signature.removes))
+    context = sorted(set(signature.context_reads) | set(signature.context_writes))
+    if context:
+        parts.append("context " + ", ".join(f"`{key}`" for key in context))
+    parts.append(signature.row_effect)
+    return "*Dataflow:* " + "; ".join(parts) + "."
+
+
 def op_catalog_entries() -> list[dict]:
     """One catalog entry per registered operator, in rendering order."""
+    from repro.tools.dataflow import effect_catalog
+
+    signatures = effect_catalog()
     entries = []
     for name in OPERATORS.list():
         schema = schema_for(OPERATORS.get(name), name=name)
@@ -88,6 +116,7 @@ def op_catalog_entries() -> list[dict]:
                 "category": schema.category,
                 "summary": schema.summary,
                 "parameters": list(schema.params),
+                "effects": signatures.get(name),
             }
         )
     order = {category: index for index, category in enumerate(CATEGORY_ORDER)}
@@ -117,6 +146,9 @@ def render_ops_catalog() -> str:
         lines.append(f"### `{entry['name']}`\n")
         if entry["summary"]:
             lines.append(entry["summary"] + "\n")
+        effects_line = _effects_label(entry.get("effects"))
+        if effects_line:
+            lines.append(effects_line + "\n")
         if entry["parameters"]:
             lines.append("| parameter | type | default | constraints | description |")
             lines.append("|---|---|---|---|---|")

@@ -469,20 +469,30 @@ def lint_paths(
     rule_ids: Iterable[str] | None = None,
     root: Path | None = None,
     keep: Callable[[Violation], bool] | None = None,
+    severities: Iterable[str] | None = None,
 ) -> LintResult:
     """Run the (selected) rules over every Python file under ``paths``.
 
     ``root`` shortens reported paths to be repo-relative; ``keep`` is an
     optional post-filter (the baseline mechanism) applied before suppression
-    accounting.  Files that fail to parse surface as a ``syntax`` violation
-    rather than crashing the run — a broken op module must fail the lint
-    gate, not evade it.
+    accounting; ``severities`` restricts findings to the named severity
+    levels (the ``--severity`` CLI filter).  Files that fail to parse surface
+    as a ``syntax`` violation rather than crashing the run — a broken op
+    module must fail the lint gate, not evade it.
     """
     # rule modules self-register on import; import here so callers that only
     # ever touch the framework do not pay for it
     from repro.tools.lint import rules as _rules  # noqa: F401
 
     resolved = resolve_rules(rule_ids)
+    if severities is not None:
+        severities = set(severities)
+        unknown = severities - set(SEVERITIES)
+        if unknown:
+            raise ValueError(
+                f"unknown severity level(s) {sorted(unknown)}; "
+                f"choose from {list(SEVERITIES)}"
+            )
     targets = [Path(p) for p in paths] if paths else default_lint_paths()
     if root is None:
         root = Path.cwd()
@@ -504,6 +514,8 @@ def lint_paths(
             continue
         for rule in resolved:
             for violation in rule.check(module):
+                if severities is not None and violation.severity not in severities:
+                    continue
                 if keep is not None and not keep(violation):
                     continue
                 if module.is_suppressed(violation):

@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.core.reporting import render_problems
+from repro.core.reporting import render_problems, severity_footer
 from repro.tools.lint.framework import RULES, LintResult, Violation
 
 
@@ -28,15 +28,13 @@ def render_text(result: LintResult, verbose_suppressed: bool = False) -> str:
     )
     body = render_problems(result.violations, ok, noun="violation")
     trailer: list[str] = []
-    if result.violations:
-        trailer.append(
-            f"({counts['error']} error(s), {counts['warning']} warning(s) in "
-            f"{result.files_checked} file(s))"
+    if result.violations or result.suppressed:
+        footer = severity_footer(
+            counts["error"], counts["warning"], len(result.suppressed)
         )
-    if result.suppressed:
-        trailer.append(f"{len(result.suppressed)} finding(s) suppressed by lint-ignore comments")
-        if verbose_suppressed:
-            trailer.extend(f"  ~ {violation}" for violation in result.suppressed)
+        trailer.append(f"({footer} in {result.files_checked} file(s))")
+    if result.suppressed and verbose_suppressed:
+        trailer.extend(f"  ~ {violation}" for violation in result.suppressed)
     return "\n".join([body, *trailer])
 
 
@@ -64,23 +62,50 @@ def render_rule_catalog() -> str:
 
 
 def _baseline_key(violation: Violation) -> list:
-    """The identity of a finding for baseline matching (no line numbers)."""
-    return [violation.rule, violation.path, violation.op, violation.message]
+    """The identity of a finding for baseline matching (no line numbers).
+
+    Paths are normalised to forward slashes so a baseline written on Windows
+    matches the same findings on POSIX and vice versa.
+    """
+    return [
+        violation.rule,
+        violation.path.replace("\\", "/"),
+        violation.op,
+        violation.message,
+    ]
 
 
 def write_baseline(path: str | Path, result: LintResult) -> int:
-    """Snapshot the current findings to ``path``; returns the count written."""
-    entries = sorted(_baseline_key(violation) for violation in result.violations)
-    Path(path).write_text(
-        json.dumps({"baseline": entries}, indent=2) + "\n", encoding="utf-8"
+    """Snapshot the current findings to ``path``; returns the count written.
+
+    When the file already exists, entries of rules *not* covered by this run
+    (``--rule``-filtered invocations) are preserved, so refreshing the
+    baseline for one rule cannot silently drop another rule's backlog.
+    """
+    target = Path(path)
+    entries = {tuple(_baseline_key(violation)) for violation in result.violations}
+    if target.exists():
+        covered = set(result.rule_ids)
+        entries.update(
+            entry for entry in load_baseline(target) if entry and entry[0] not in covered
+        )
+    ordered = sorted(list(entry) for entry in entries)
+    target.write_text(
+        json.dumps({"baseline": ordered}, indent=2) + "\n", encoding="utf-8"
     )
-    return len(entries)
+    return len(ordered)
 
 
 def load_baseline(path: str | Path) -> set[tuple]:
-    """Load a baseline snapshot into a set of match keys."""
+    """Load a baseline snapshot into a set of match keys (paths normalised)."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    return {tuple(entry) for entry in payload.get("baseline", [])}
+    entries = set()
+    for entry in payload.get("baseline", []):
+        entry = list(entry)
+        if len(entry) > 1 and isinstance(entry[1], str):
+            entry[1] = entry[1].replace("\\", "/")
+        entries.add(tuple(entry))
+    return entries
 
 
 def baseline_filter(baseline: set[tuple]):

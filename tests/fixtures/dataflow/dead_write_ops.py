@@ -1,0 +1,28 @@
+"""Synthetic mapper ops for the dead-write golden fixtures.
+
+These modules are parsed by the effect-signature extractor, never imported,
+so they stay out of the operator registry (the same convention as the lint
+fixtures under ``tests/fixtures/lint/``).
+"""
+
+from repro.core.base_op import Mapper
+from repro.core.registry import OPERATORS
+from repro.core.sample import set_field
+
+
+@OPERATORS.register_module("meta_tag_writer_mapper")
+class MetaTagWriterMapper(Mapper):
+    """Stamps a meta tag without ever reading it back."""
+
+    def process(self, sample: dict) -> dict:
+        set_field(sample, "meta.tag", "tagged")
+        return sample
+
+
+@OPERATORS.register_module("stats_sidecar_tagger_mapper")
+class StatsSidecarTaggerMapper(Mapper):
+    """Writes a bookkeeping stat no later step consumes."""
+
+    def process(self, sample: dict) -> dict:
+        set_field(sample, "__stats__.sidecar_tag", 1)
+        return sample

@@ -1,0 +1,72 @@
+"""Synthetic filters for the fusion-unsafe golden fixtures.
+
+Parsed by the effect-signature extractor, never imported.  The alpha and
+beta filters share the ``words`` context (fusible); the depends-on-alpha
+filter consumes alpha's stat without sharing any context, so fusion moves
+its producer behind it.
+"""
+
+from repro.core.base_op import Filter
+from repro.core.context import ContextKeys, get_or_compute
+from repro.core.registry import OPERATORS
+from repro.core.sample import ensure_stats
+
+
+@OPERATORS.register_module("wordcount_alpha_filter")
+class WordcountAlphaFilter(Filter):
+    """Counts words into a custom stat, sharing the words context."""
+
+    context_keys = (ContextKeys.words,)
+
+    def __init__(self, min_words: int = 1, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_words = min_words
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        words = get_or_compute(
+            sample, ContextKeys.words, lambda: self.get_text(sample).split()
+        )
+        stats["alpha_wc"] = len(words)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        return sample["__stats__"].get("alpha_wc", 0) >= self.min_words
+
+
+@OPERATORS.register_module("wordcount_beta_filter")
+class WordcountBetaFilter(Filter):
+    """A second words-sharing filter so the group has a fused pair."""
+
+    context_keys = (ContextKeys.words,)
+
+    def __init__(self, min_words: int = 1, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_words = min_words
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        stats = ensure_stats(sample)
+        words = get_or_compute(
+            sample, ContextKeys.words, lambda: self.get_text(sample).split()
+        )
+        stats["beta_wc"] = len(words)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        return sample["__stats__"].get("beta_wc", 0) >= self.min_words
+
+
+@OPERATORS.register_module("depends_on_alpha_filter")
+class DependsOnAlphaFilter(Filter):
+    """Consumes the alpha word count without sharing any context."""
+
+    def __init__(self, min_words: int = 1, text_key: str = "text", **kwargs):
+        super().__init__(text_key=text_key, **kwargs)
+        self.min_words = min_words
+
+    def compute_stats(self, sample: dict, context: bool = False) -> dict:
+        ensure_stats(sample)
+        return sample
+
+    def process(self, sample: dict) -> bool:
+        return sample["__stats__"].get("alpha_wc", 0) >= self.min_words

@@ -1,0 +1,37 @@
+"""Synthetic ops for the stream-unsafe golden fixtures.
+
+Parsed by the effect-signature extractor, never imported.  The probe op sits
+outside the streamable categories; the sidecar deduplicator stores its
+signature outside the standard hash columns the streaming engine knows how
+to carry across shards.
+"""
+
+from repro.core.base_op import OP, Deduplicator
+from repro.core.registry import OPERATORS
+
+
+@OPERATORS.register_module("corpus_probe_op")
+class CorpusProbeOp(OP):
+    """A whole-corpus probe outside the streamable categories."""
+
+    def process(self, dataset):
+        return dataset
+
+
+@OPERATORS.register_module("sidecar_signature_deduplicator")
+class SidecarSignatureDeduplicator(Deduplicator):
+    """Stores its dedup signature in a non-standard column."""
+
+    def compute_hash(self, sample: dict) -> dict:
+        sample["dedup_sig"] = self.get_text(sample)
+        return sample
+
+    def process(self, dataset):
+        seen = set()
+        keep = []
+        for index, sample in enumerate(dataset):
+            signature = sample.get("dedup_sig")
+            if signature not in seen:
+                seen.add(signature)
+                keep.append(index)
+        return dataset.select(keep)

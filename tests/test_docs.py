@@ -88,7 +88,14 @@ class TestOpsCatalog:
 class TestDocsTree:
     @pytest.mark.parametrize(
         "name",
-        ["architecture.md", "observability.md", "ops_catalog.md", "robustness.md"],
+        [
+            "architecture.md",
+            "dataflow.md",
+            "linting.md",
+            "observability.md",
+            "ops_catalog.md",
+            "robustness.md",
+        ],
     )
     def test_docs_files_exist_and_are_substantial(self, name):
         path = DOCS_DIR / name
@@ -101,6 +108,7 @@ class TestDocsTree:
         assert "docs/observability.md" in readme
         assert "docs/ops_catalog.md" in readme
         assert "docs/robustness.md" in readme
+        assert "docs/dataflow.md" in readme
         # PR 3's caveat — streaming bypassing cache and tracer — is gone
         assert "bypassed in streaming mode" not in readme
 

@@ -172,3 +172,71 @@ class TestCli:
         assert main(["lint", target, "--baseline", str(baseline)]) == 0
         assert "lint clean" in capsys.readouterr().out
         assert main(["lint", str(FIXTURE_DIR / "bad_purity_time.py"), "--baseline", str(baseline)]) == 1
+
+
+class TestBaselineStability:
+    def test_baseline_with_windows_paths_still_matches(self, tmp_path, capsys):
+        target = str(FIXTURE_DIR / "bad_purity_io.py")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", target, "--write-baseline", str(baseline)]) == 0
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["baseline"]
+        for entry in payload["baseline"]:
+            entry[1] = entry[1].replace("/", "\\")
+        baseline.write_text(json.dumps(payload), encoding="utf-8")
+        capsys.readouterr()
+        assert main(["lint", target, "--baseline", str(baseline)]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+    def test_write_baseline_under_rule_filter_preserves_other_rules(self, tmp_path):
+        from repro.tools.lint.reporters import load_baseline, write_baseline
+
+        baseline = tmp_path / "baseline.json"
+        io_result = lint_paths(
+            [FIXTURE_DIR / "bad_purity_io.py"], rule_ids=["purity-io"]
+        )
+        write_baseline(baseline, io_result)
+        time_result = lint_paths(
+            [FIXTURE_DIR / "bad_purity_time.py"], rule_ids=["purity-time"]
+        )
+        write_baseline(baseline, time_result)
+        rules_in_baseline = {entry[0] for entry in load_baseline(baseline)}
+        assert {"purity-io", "purity-time"} <= rules_in_baseline
+
+    def test_rewriting_covered_rule_replaces_its_entries(self, tmp_path):
+        from repro.tools.lint.reporters import load_baseline, write_baseline
+
+        baseline = tmp_path / "baseline.json"
+        io_result = lint_paths(
+            [FIXTURE_DIR / "bad_purity_io.py"], rule_ids=["purity-io"]
+        )
+        write_baseline(baseline, io_result)
+        clean = lint_paths(
+            [FIXTURE_DIR / "clean_purity_io.py"], rule_ids=["purity-io"]
+        )
+        write_baseline(baseline, clean)
+        assert not {e for e in load_baseline(baseline) if e[0] == "purity-io"}
+
+
+class TestSeverityFilter:
+    def test_severity_filter_restricts_findings(self):
+        target = FIXTURE_DIR / "bad_param_spec_coverage.py"
+        warnings_only = lint_paths([target], severities=["warning"])
+        assert warnings_only.violations
+        assert all(v.severity == "warning" for v in warnings_only.violations)
+        errors_only = lint_paths([target], severities=["error"])
+        assert errors_only.violations == []
+
+    def test_unknown_severity_is_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            lint_paths([FIXTURE_DIR / "bad_purity_io.py"], severities=["fatal"])
+
+    def test_cli_severity_flag(self, capsys):
+        target = str(FIXTURE_DIR / "bad_param_spec_coverage.py")
+        assert main(["lint", target]) == 1
+        capsys.readouterr()
+        assert main(["lint", target, "--severity", "error"]) == 0
+
+    def test_text_report_has_severity_footer(self):
+        result = lint_paths([FIXTURE_DIR / "bad_param_spec_coverage.py"])
+        assert "0 error(s) / 2 warning(s)" in render_text(result)

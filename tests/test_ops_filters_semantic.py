@@ -85,6 +85,23 @@ class TestFieldFilters:
     def test_specified_field_missing_value_fails(self):
         assert not keep(SpecifiedFieldFilter(field_key="meta.tag", target_values=["a"]), {"text": "x"})
 
+    def test_specified_field_missing_leaf_filters_not_raises(self):
+        sample = {"text": "x", "meta": {"language": "EN"}}
+        assert not keep(SpecifiedFieldFilter(field_key="meta.tag", target_values=["a"]), sample)
+
+    def test_specified_field_missing_intermediate_filters(self):
+        sample = {"text": "x", "meta": {"language": "EN"}}
+        assert not keep(SpecifiedFieldFilter(field_key="info.tag", target_values=["a"]), sample)
+
+    def test_specified_field_non_dict_intermediate_filters(self):
+        sample = {"text": "x", "meta": "not-a-dict"}
+        assert not keep(SpecifiedFieldFilter(field_key="meta.tag", target_values=["a"]), sample)
+
+    def test_specified_field_present_none_matches_none_target(self):
+        sample = {"text": "x", "meta": {"tag": None}}
+        assert keep(SpecifiedFieldFilter(field_key="meta.tag", target_values=[None]), sample)
+        assert not keep(SpecifiedFieldFilter(field_key="meta.other", target_values=[None]), sample)
+
     def test_specified_field_list_value_requires_all(self):
         sample = {"text": "x", "meta": {"tags": ["a", "b"]}}
         assert keep(SpecifiedFieldFilter(field_key="meta.tags", target_values=["a", "b", "c"]), sample)
@@ -104,6 +121,14 @@ class TestFieldFilters:
 
     def test_numeric_field_non_numeric_fails(self):
         sample = {"text": "x", "meta": {"score": "n/a"}}
+        assert not keep(SpecifiedNumericFieldFilter(field_key="meta.score", min_value=0), sample)
+
+    def test_numeric_field_missing_leaf_filters_not_raises(self):
+        sample = {"text": "x", "meta": {"stars": 5}}
+        assert not keep(SpecifiedNumericFieldFilter(field_key="meta.score", min_value=0), sample)
+
+    def test_numeric_field_non_dict_intermediate_filters(self):
+        sample = {"text": "x", "meta": 12}
         assert not keep(SpecifiedNumericFieldFilter(field_key="meta.score", min_value=0), sample)
 
     def test_suffix_filter(self):
