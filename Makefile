@@ -12,12 +12,15 @@
 #   make lint        statically check operator contracts (repro lint)
 #   make dataflow    statically verify every built-in recipe's dataflow
 #   make chaos       deterministic fault-injection suite (tests/test_chaos.py)
-#   make check       docs-check + validate-recipes + lint + dataflow + unit + chaos (the CI gate)
+#   make serve-smoke end-to-end serving check: ephemeral-port server, fig8 job,
+#                    warm-cache resubmission, export diff vs the CLI path
+#   make check       docs-check + validate-recipes + lint + dataflow + unit + chaos
+#                    + serve-smoke (the CI gate)
 
 PYTEST = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m pytest
 REPRO = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} python -m repro
 
-.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes lint dataflow chaos check
+.PHONY: smoke test unit benchmarks fig10 bench-batch bench-stream docs docs-check validate-recipes lint dataflow chaos serve-smoke check
 
 smoke:
 	$(PYTEST) -x -q
@@ -57,4 +60,7 @@ dataflow:
 chaos:
 	$(PYTEST) -x -q tests/test_chaos.py
 
-check: docs-check validate-recipes lint dataflow unit chaos
+serve-smoke:
+	$(REPRO) serve-smoke
+
+check: docs-check validate-recipes lint dataflow unit chaos serve-smoke

@@ -17,6 +17,9 @@ Usage examples::
     python -m repro docs-ops
     python -m repro lint --json
     python -m repro dataflow --all
+    python -m repro schema --json
+    python -m repro serve --root service-root --port 8400
+    python -m repro report --service-root service-root --job job-000001
 
 ``process`` is built on the fluent :class:`repro.api.Pipeline`: the recipe is
 compiled into a lazy pipeline, parameters are validated against the typed op
@@ -174,10 +177,31 @@ def cmd_validate_recipe(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Render the unified run report of a finished run (text or JSON)."""
+    """Render the unified run report of a finished run (text or JSON).
+
+    Reports come from three equivalent sources: a run's ``--work-dir``, an
+    explicit ``--report`` file, or a service job (``--job`` + the server's
+    ``--service-root``) — queued-job reports render with the same code path
+    as CLI runs.
+    """
+    if args.job and not args.service_root:
+        raise SystemExit("--job requires --service-root (the `repro serve` root directory)")
+    if args.job:
+        from repro.service import resolve_job_report
+
+        try:
+            path = resolve_job_report(args.service_root, args.job)
+        except FileNotFoundError as error:
+            raise SystemExit(str(error))
+        report = RunReport.load(path)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2, ensure_ascii=False, default=repr))
+        else:
+            print(report.render())
+        return 0
     target = args.report or args.work_dir
     if not target:
-        raise SystemExit("one of --report or --work-dir is required")
+        raise SystemExit("one of --report, --work-dir or --job is required")
     path = Path(target)
     if path.is_dir():
         path = path / REPORT_FILE
@@ -334,6 +358,48 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def cmd_schema(args: argparse.Namespace) -> int:
+    """Dump the machine-readable operator/recipe catalog.
+
+    ``--json`` prints the exact payload the service's ``GET /schema``
+    endpoint returns (same producer: :func:`repro.service.catalog_payload`);
+    without it, a compact per-op summary.
+    """
+    from repro.service import catalog_payload
+
+    payload = catalog_payload()
+    if args.json:
+        print(json.dumps(payload, indent=2, ensure_ascii=False, default=repr))
+        return 0
+    for entry in payload["ops"]:
+        params = ", ".join(spec["name"] for spec in entry["params"]) or "-"
+        print(f"{entry['name']} [{entry['category']}] params: {params}")
+    print(f"{len(payload['ops'])} operator(s), {len(payload['recipes'])} recipe(s)")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived pipeline service (blocking; Ctrl-C to stop)."""
+    from repro.service import create_core
+    from repro.service.http import serve
+
+    core = create_core(args.root, queue_limit=args.queue_limit)
+    serve(core, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_serve_smoke(args: argparse.Namespace) -> int:
+    """End-to-end serving smoke check over a real ephemeral-port server."""
+    from repro.service.smoke import run_smoke
+
+    return run_smoke(
+        root=args.root,
+        num_samples=args.num_samples,
+        max_shard_rows=args.max_shard_rows,
+        timeout_s=args.timeout_s,
+    )
+
+
 def cmd_synth(args: argparse.Namespace) -> int:
     """Generate a synthetic corpus and write it to a jsonl file."""
     dataset = make_corpus(args.corpus, num_samples=args.num_samples, seed=args.seed)
@@ -453,6 +519,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--work-dir", help="run work directory containing report.json")
     report.add_argument("--report", help="path to a report.json written by a run")
+    report.add_argument("--job", help="service job id (e.g. job-000001); needs --service-root")
+    report.add_argument(
+        "--service-root",
+        help="root directory a `repro serve` server runs against "
+        "(job reports live under <root>/jobs/<id>/)",
+    )
     report.add_argument("--json", action="store_true", help="emit the raw JSON report")
     report.set_defaults(func=cmd_report)
 
@@ -560,6 +632,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="also list findings silenced by dataflow_ignore entries",
     )
     dataflow.set_defaults(func=cmd_dataflow)
+
+    schema = subparsers.add_parser(
+        "schema", help="dump the machine-readable operator/recipe catalog"
+    )
+    schema.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full JSON catalog (identical to the service's GET /schema)",
+    )
+    schema.set_defaults(func=cmd_schema)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived pipeline service (HTTP/JSON)"
+    )
+    serve.add_argument(
+        "--root",
+        required=True,
+        help="service root directory (job work dirs under <root>/jobs/, "
+        "shared shard cache under <root>/cache/)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8400, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="maximum pending jobs before submissions are rejected with 503",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    serve_smoke = subparsers.add_parser(
+        "serve-smoke",
+        help="end-to-end serving smoke check (ephemeral port, fig8 job, "
+        "warm-cache resubmission, export diff vs the CLI path)",
+    )
+    serve_smoke.add_argument(
+        "--root", help="scratch directory (default: a fresh temp directory)"
+    )
+    serve_smoke.add_argument("--num-samples", type=int, default=120)
+    serve_smoke.add_argument("--max-shard-rows", type=int, default=17)
+    serve_smoke.add_argument("--timeout-s", type=float, default=180.0)
+    serve_smoke.set_defaults(func=cmd_serve_smoke)
 
     synth = subparsers.add_parser("synth", help="generate a synthetic corpus")
     synth.add_argument("--corpus", required=True, choices=sorted(CORPUS_BUILDERS))

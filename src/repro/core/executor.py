@@ -75,9 +75,18 @@ class Executor:
     config:
         Anything :func:`repro.core.config.load_config` accepts (dict, path or
         RecipeConfig instance).
+    shared_pool:
+        When True, parallel runs borrow the process-wide pool from
+        :func:`repro.parallel.get_shared_pool` instead of forking a private
+        one, and :meth:`close` leaves it alive for the next borrower.  This
+        is how the ``repro serve`` job runtime keeps workers warm across
+        jobs: every job's executor resolves its own op instances against the
+        shared pool's residents by config equivalence.
     """
 
-    def __init__(self, config: dict | str | Path | RecipeConfig):
+    def __init__(
+        self, config: dict | str | Path | RecipeConfig, shared_pool: bool = False
+    ):
         # imported lazily to avoid a circular import at package-init time
         from repro.ops import build_ops
 
@@ -108,6 +117,7 @@ class Executor:
         #: planner decision to embed into the next run's report (set by execute)
         self._planner_payload: dict | None = None
         self._pool: WorkerPool | None = None
+        self._shared_pool = bool(shared_pool)
         self._profiler = RunProfiler()
         self._stream_tracer: StreamingTracer | None = None
         #: the fault policy of every run of this executor (from the recipe)
@@ -117,19 +127,37 @@ class Executor:
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> WorkerPool | None:
-        """Return the persistent worker pool when ``np > 1`` (created lazily)."""
+        """Return the persistent worker pool when ``np > 1`` (created lazily).
+
+        With ``shared_pool=True`` the pool comes from the process-wide
+        registry (one set of workers per ``(np, recipe, fusion)`` shared by
+        every borrower); otherwise the executor owns a private pool.  Either
+        way this run's fault policy and ledger are (re)applied on every call.
+        """
         if self.cfg.np <= 1:
             return None
         if self._pool is None or not self._pool.alive:
-            self._pool = WorkerPool(
-                self.cfg.np,
-                ops=self.ops,
-                process_list=self.cfg.process,
-                op_fusion=self.cfg.op_fusion,
-                task_timeout_s=self.policy.task_timeout_s,
-                max_rebuilds=self.policy.max_pool_rebuilds,
-                rebuild_backoff_s=self.policy.backoff_s,
-            )
+            if self._shared_pool:
+                from repro.parallel import get_shared_pool
+
+                self._pool = get_shared_pool(
+                    self.cfg.np,
+                    self.cfg.process,
+                    op_fusion=self.cfg.op_fusion,
+                    task_timeout_s=self.policy.task_timeout_s,
+                    max_rebuilds=self.policy.max_pool_rebuilds,
+                    rebuild_backoff_s=self.policy.backoff_s,
+                )
+            else:
+                self._pool = WorkerPool(
+                    self.cfg.np,
+                    ops=self.ops,
+                    process_list=self.cfg.process,
+                    op_fusion=self.cfg.op_fusion,
+                    task_timeout_s=self.policy.task_timeout_s,
+                    max_rebuilds=self.policy.max_pool_rebuilds,
+                    rebuild_backoff_s=self.policy.backoff_s,
+                )
         # the pool outlives individual runs; point it at the current ledger
         self._pool.fault_tracker = self._faults
         return self._pool
@@ -160,9 +188,15 @@ class Executor:
         return payload
 
     def close(self) -> None:
-        """Shut down the worker pool (no-op for serial executors)."""
+        """Shut down the worker pool (no-op for serial executors).
+
+        A borrowed shared pool is detached, not closed — it stays warm for
+        the next executor; :func:`repro.parallel.shutdown_shared_pools`
+        owns its lifetime.
+        """
         if self._pool is not None:
-            self._pool.close()
+            if not self._shared_pool:
+                self._pool.close()
             self._pool = None
 
     def __enter__(self) -> "Executor":
@@ -188,6 +222,23 @@ class Executor:
             "misses": self.cache.misses,
             "shard_hits": self.cache.shard_hits,
             "shard_misses": self.cache.shard_misses,
+        }
+
+    def _parallel_payload(self) -> dict:
+        """The report's ``parallel`` section.
+
+        ``worker_pids`` lists the live worker processes of the pool this run
+        used (empty for serial / fully cache-hit runs); together with
+        ``shared`` it lets callers — the service tests in particular — prove
+        two runs executed on the same warm workers.
+        """
+        return {
+            "np": self.cfg.np,
+            "batch_size": self.cfg.batch_size,
+            # None when no pool was needed (np=1, or every stage cache-hit)
+            "start_method": self._pool.start_method if self._pool is not None else None,
+            "worker_pids": self._pool.worker_pids() if self._pool is not None else [],
+            "shared": self._shared_pool and self._pool is not None,
         }
 
     def _persist_report(self, report: RunReport) -> None:
@@ -376,12 +427,7 @@ class Executor:
             resources=monitor.report.as_dict() if monitor.report else {},
             cache=self._cache_counters(),
             trace=self.tracer.summary() if self.tracer else [],
-            parallel={
-                "np": self.cfg.np,
-                "batch_size": self.cfg.batch_size,
-                # None when no pool was needed (np=1, or every stage cache-hit)
-                "start_method": self._pool.start_method if self._pool is not None else None,
-            },
+            parallel=self._parallel_payload(),
             export_paths=export_paths,
             planner=self._planner_payload,
             faults=self._faults_payload(),
@@ -583,11 +629,7 @@ class Executor:
             resources=monitor.report.as_dict() if monitor.report else {},
             cache=self._cache_counters(),
             trace=tracer.summary() if tracer else [],
-            parallel={
-                "np": self.cfg.np,
-                "batch_size": self.cfg.batch_size,
-                "start_method": self._pool.start_method if self._pool is not None else None,
-            },
+            parallel=self._parallel_payload(),
             planner=self._planner_payload,
             faults=self._faults_payload(),
         )

@@ -30,6 +30,7 @@ Key properties:
 from repro.parallel.pool import (
     WorkerPool,
     get_shared_pool,
+    is_shared_pool,
     resolve_start_method,
     shutdown_shared_pools,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "apply_sample_ops",
     "default_chunk_size",
     "get_shared_pool",
+    "is_shared_pool",
     "resolve_start_method",
     "shutdown_shared_pools",
 ]

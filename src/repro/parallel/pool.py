@@ -18,12 +18,14 @@ import atexit
 import json
 import logging
 import multiprocessing
+import threading
 import time
 import warnings
 from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
 from repro.core.base_op import Filter, Mapper
+from repro.core.dataset import _stable_hash
 from repro.core.faults import BACKOFF_CAP_S, DegradedExecutionWarning
 from repro.parallel import worker as _worker
 from repro.parallel.worker import chunk_rows, default_chunk_size
@@ -50,6 +52,18 @@ _POOL_FAILURES = (
     EOFError,
     BrokenProcessPool,
 )
+
+
+def _op_equivalence_key(op: Any) -> tuple[str, str, str]:
+    """Identity of an op up to configuration: ``(class, name, config hash)``.
+
+    Two instances with equal keys are interchangeable for dispatch because
+    operators are pure functions of their ``config()`` (the lint-enforced
+    contract); execution-tuning state (underscored attributes such as
+    ``_batch_size``) is deliberately outside the key, as batch boundaries are
+    always sliced caller-side.
+    """
+    return (type(op).__name__, op.name, _stable_hash(op.config()))
 
 
 def resolve_start_method(preferred: str | None = None, available: Sequence[str] | None = None) -> str:
@@ -146,6 +160,14 @@ class WorkerPool:
         self.last_served_pids: list[int] = []
         self._ops = list(ops)
         self._op_index = {id(op): index for index, op in enumerate(self._ops)}
+        # equivalence index: ops are pure functions of their config() (the
+        # lint-enforced contract), so any instance with the same registered
+        # name and config hash is interchangeable with the resident one.
+        # This is what lets a long-lived shared pool serve executors that
+        # built their own (equal) op instances from the same recipe.
+        self._config_index = {
+            _op_equivalence_key(op): index for index, op in enumerate(self._ops)
+        }
         self._closed = False
         self._context = multiprocessing.get_context(self.start_method)
         if self.start_method == "fork":
@@ -223,17 +245,34 @@ class WorkerPool:
         """Worker-side reference for ``op``: its index, or the member-index
         tuple of a :class:`~repro.core.fusion.FusedFilter` whose members are
         all pool-resident (fused plans assembled *after* pool construction,
-        e.g. by ``fuse_operators`` over a shared pool's op list)."""
-        index = self._op_index.get(id(op))
+        e.g. by ``fuse_operators`` over a shared pool's op list).
+
+        Resolution is by object identity first, then by *equivalence*: an op
+        with the same registered name and ``config()`` hash as a resident op
+        dispatches to the resident instance (identical output by the purity
+        contract).  Equivalence is what lets every :class:`Executor` of a
+        long-running service share one warm pool built from the recipe.
+        """
+        index = self._resolve_single(op)
         if index is not None:
             return index
         from repro.core.fusion import FusedFilter
 
         if isinstance(op, FusedFilter):
-            members = [self._op_index.get(id(member)) for member in op.fused_filters]
+            members = [self._resolve_single(member) for member in op.fused_filters]
             if members and all(index is not None for index in members):
                 return tuple(members)
         return None
+
+    def _resolve_single(self, op: Any) -> int | None:
+        """Index of one (non-fused) op: by identity, then by config equivalence."""
+        index = self._op_index.get(id(op))
+        if index is not None:
+            return index
+        try:
+            return self._config_index.get(_op_equivalence_key(op))
+        except Exception:  # unhashable/unserialisable config: identity only
+            return None
 
     def holds(self, op: Any) -> bool:
         """True when ``op`` is resident in this (open) pool.
@@ -500,6 +539,11 @@ class WorkerPool:
 #: many recipes / worker counts does not accumulate idle worker processes
 _SHARED_POOLS: "OrderedDict[tuple, WorkerPool]" = OrderedDict()
 
+#: guards the registry's check-then-create: once a long-running server (or
+#: any threaded caller) drives :func:`get_shared_pool`, an unguarded race
+#: would fork two pools for one key and leak the loser's worker processes
+_SHARED_POOLS_LOCK = threading.RLock()
+
 #: maximum number of live shared pools; the least-recently-used pool is
 #: closed and evicted when the bound is exceeded.  Sized so a scalability
 #: sweep over the paper's node counts (2/4/8/16, plus headroom) keeps every
@@ -518,40 +562,71 @@ def get_shared_pool(
     process_list: list,
     start_method: str | None = None,
     op_fusion: bool = False,
+    task_timeout_s: float | None = None,
+    max_rebuilds: int | None = None,
+    rebuild_backoff_s: float | None = None,
 ) -> WorkerPool:
     """Return a live shared pool for ``(num_workers, process_list)``, creating it once.
 
     Repeated callers with the same recipe and worker count — e.g. every run of
-    a scalability sweep, or the Ray-like and Beam-like runners on the same
-    recipe — reuse the same worker processes instead of forking fresh ones.
-    ``op_fusion`` registers the post-fusion plan, so a caller executing a
-    fused op list gets a pool whose residents are the fused operators.
-    The registry keeps at most :data:`MAX_SHARED_POOLS` live pools, closing
-    the least recently used one when a new pool would exceed the bound.
+    a scalability sweep, the Ray-like and Beam-like runners on the same
+    recipe, or every job of a ``repro serve`` server — reuse the same worker
+    processes instead of forking fresh ones.  ``op_fusion`` registers the
+    post-fusion plan, so a caller executing a fused op list gets a pool whose
+    residents are the fused operators.  The registry keeps at most
+    :data:`MAX_SHARED_POOLS` live pools, closing the least recently used one
+    when a new pool would exceed the bound.
+
+    The supervision knobs (``task_timeout_s``, ``max_rebuilds``,
+    ``rebuild_backoff_s``) are per-*caller*, not part of the pool identity:
+    they are (re)applied to the returned pool on every call, so each job of a
+    long-running service runs the shared pool under its own fault policy.
+
+    Thread-safe: the whole check-then-create (and LRU eviction) runs under a
+    process-wide lock, so concurrent callers with one key get one pool.
     """
     method = resolve_start_method(start_method)
     key = _pool_key(num_workers, process_list, method, op_fusion)
-    pool = _SHARED_POOLS.get(key)
-    if pool is None or not pool.alive:
-        pool = WorkerPool(
-            num_workers,
-            process_list=list(process_list),
-            op_fusion=op_fusion,
-            start_method=method,
-        )
-        _SHARED_POOLS[key] = pool
-    _SHARED_POOLS.move_to_end(key)
-    while len(_SHARED_POOLS) > MAX_SHARED_POOLS:
-        _, evicted = _SHARED_POOLS.popitem(last=False)
+    with _SHARED_POOLS_LOCK:
+        pool = _SHARED_POOLS.get(key)
+        if pool is None or not pool.alive:
+            pool = WorkerPool(
+                num_workers,
+                process_list=list(process_list),
+                op_fusion=op_fusion,
+                start_method=method,
+            )
+            _SHARED_POOLS[key] = pool
+        _SHARED_POOLS.move_to_end(key)
+        evicted_pools = []
+        while len(_SHARED_POOLS) > MAX_SHARED_POOLS:
+            _, evicted = _SHARED_POOLS.popitem(last=False)
+            evicted_pools.append(evicted)
+        if task_timeout_s is not None:
+            pool.task_timeout_s = task_timeout_s
+        if max_rebuilds is not None:
+            pool.max_rebuilds = max_rebuilds
+        if rebuild_backoff_s is not None:
+            pool.rebuild_backoff_s = rebuild_backoff_s
+    # close evicted pools outside the lock: a graceful drain can block
+    for evicted in evicted_pools:
         evicted.close()
     return pool
 
 
+def is_shared_pool(pool: WorkerPool) -> bool:
+    """True when ``pool`` is owned by the process-wide shared registry."""
+    with _SHARED_POOLS_LOCK:
+        return any(entry is pool for entry in _SHARED_POOLS.values())
+
+
 def shutdown_shared_pools() -> None:
     """Terminate every shared pool (also registered as an ``atexit`` hook)."""
-    for pool in list(_SHARED_POOLS.values()):
+    with _SHARED_POOLS_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
         pool.close()
-    _SHARED_POOLS.clear()
 
 
 atexit.register(shutdown_shared_pools)

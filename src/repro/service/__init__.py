@@ -1,0 +1,50 @@
+"""Pipeline-as-a-service: a long-running typed job server over the executor.
+
+The CLI throws the expensive state away after every run — worker processes,
+the shard cache, planner warmup all die with the process.  This package is
+the always-on alternative the paper's system ships as: one server process
+keeps the shared :func:`repro.parallel.get_shared_pool` workers and one
+shard-cache directory warm while jobs come and go.
+
+The layering (see ``docs/service.md``):
+
+* :mod:`repro.service.types` — typed request/response contracts derived
+  from the existing schema/config layer (no invented wire format);
+* :mod:`repro.service.catalog` — op/recipe discovery and recipe validation
+  services (the ``repro schema --json`` payload, served verbatim);
+* :mod:`repro.service.jobs` — a bounded FIFO queue drained by one worker
+  thread, serializing pipeline execution;
+* :mod:`repro.service.runtime` — per-job ``work_dir`` isolation over the
+  shared cache and pool;
+* :mod:`repro.service.core` — the transport-agnostic route table;
+* :mod:`repro.service.http` / :mod:`repro.service.client` — the stdlib
+  HTTP adapter behind ``repro serve``, and the in-process transport tier-1
+  tests use so they never bind a port.
+"""
+
+from repro.service.catalog import CatalogService, ValidationService, catalog_payload
+from repro.service.client import HTTPClient, InProcessClient, ServiceResponse
+from repro.service.core import ServiceCore, create_core
+from repro.service.jobs import DEFAULT_QUEUE_LIMIT, Job, JobManager
+from repro.service.runtime import ServiceRuntime, resolve_job_report
+from repro.service.types import JobSpec, JobState, JobView, ServiceError
+
+__all__ = [
+    "CatalogService",
+    "DEFAULT_QUEUE_LIMIT",
+    "HTTPClient",
+    "InProcessClient",
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "JobState",
+    "JobView",
+    "ServiceCore",
+    "ServiceError",
+    "ServiceResponse",
+    "ServiceRuntime",
+    "ValidationService",
+    "catalog_payload",
+    "create_core",
+    "resolve_job_report",
+]

@@ -1,0 +1,169 @@
+"""Catalog and validation services: the read-only half of the service API.
+
+:func:`catalog_payload` is the single machine-readable dump of the operator
+ecosystem — every registered op's typed :class:`~repro.core.schema.OpSchema`
+plus its statically-inferred effect signature, and the built-in recipe
+catalogue.  ``repro schema --json`` prints it and the service's ``/schema``
+endpoint returns it *verbatim*, so out-of-process clients and the CLI agree
+byte-for-byte on what the system can do.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.schema import OpSchema, ParamSpec, schema_for
+from repro.service.types import ServiceError
+
+#: bumped when the shape of :func:`catalog_payload` changes incompatibly
+CATALOG_VERSION = 1
+
+
+def _param_payload(spec: ParamSpec) -> dict:
+    """JSON-ready view of one typed constructor parameter."""
+    return {
+        "name": spec.name,
+        "type": spec.type_label,
+        "required": spec.required,
+        "default": None if spec.required else repr(spec.default),
+        "nullable": spec.nullable,
+        "min_value": spec.min_value,
+        "max_value": spec.max_value,
+        "choices": list(spec.choices) if spec.choices is not None else None,
+        "doc": spec.doc,
+    }
+
+
+def op_payload(schema: OpSchema) -> dict:
+    """One operator's full catalog entry: schema + effect signature."""
+    effects = schema.effects()
+    return {
+        "name": schema.name,
+        "category": schema.category,
+        "summary": schema.summary,
+        "params": [_param_payload(spec) for spec in schema.params],
+        "common_params": [_param_payload(spec) for spec in schema.common],
+        "effects": effects.as_dict() if effects is not None else None,
+    }
+
+
+def catalog_payload() -> dict:
+    """The full machine-readable catalog (ops + recipes), deterministic.
+
+    Shared verbatim by ``repro schema --json`` and ``GET /schema`` — tests
+    assert equality of the two, so keep this the only producer.
+    """
+    import repro.ops  # noqa: F401  (populates the registry as an import side effect)
+    from repro.core.registry import OPERATORS
+    from repro.recipes import BUILT_IN_RECIPES
+
+    ops = [
+        op_payload(schema_for(OPERATORS.get(name), name))
+        for name in sorted(OPERATORS.list())
+    ]
+    recipes = [
+        {
+            "name": name,
+            "num_ops": len(BUILT_IN_RECIPES[name].get("process", [])),
+            "streaming": bool(BUILT_IN_RECIPES[name].get("stream", False)),
+        }
+        for name in sorted(BUILT_IN_RECIPES)
+    ]
+    return {"version": CATALOG_VERSION, "ops": ops, "recipes": recipes}
+
+
+class CatalogService:
+    """Dependency-injected discovery endpoints over the op/recipe registries."""
+
+    def schema(self) -> dict:
+        """``GET /schema`` — the :func:`catalog_payload`, verbatim."""
+        return catalog_payload()
+
+    def list_ops(self) -> dict:
+        """``GET /ops`` — compact name/category/summary listing."""
+        payload = catalog_payload()
+        return {
+            "ops": [
+                {
+                    "name": entry["name"],
+                    "category": entry["category"],
+                    "summary": entry["summary"],
+                }
+                for entry in payload["ops"]
+            ]
+        }
+
+    def get_op(self, name: str) -> dict:
+        """``GET /ops/<name>`` — one op's full catalog entry (404 + hint)."""
+        import repro.ops  # noqa: F401
+        from repro.core.registry import OPERATORS, unknown_name_message
+
+        if name not in OPERATORS:
+            raise ServiceError.not_found(
+                unknown_name_message("operator", name, OPERATORS.list())
+            )
+        return op_payload(schema_for(OPERATORS.get(name), name))
+
+    def list_recipes(self) -> dict:
+        """``GET /recipes`` — the built-in recipe listing."""
+        return {"recipes": catalog_payload()["recipes"]}
+
+    def get_recipe(self, name: str) -> dict:
+        """``GET /recipes/<name>`` — one recipe's full payload (404 + hint)."""
+        from repro.core.errors import RegistryError
+        from repro.recipes import get_recipe
+
+        try:
+            return {"name": name, "recipe": get_recipe(name)}
+        except RegistryError as error:
+            raise ServiceError.not_found(str(error)) from error
+
+
+class ValidationService:
+    """Recipe/dataflow validation endpoint: ``repro validate-recipe`` as a service.
+
+    Reuses :func:`repro.api.validate_recipe` (typed op schemas + run-option
+    rules, with the static dataflow checker folded in once the schema layers
+    pass), so a recipe the service accepts is exactly a recipe the CLI
+    accepts.
+    """
+
+    def validate(self, payload: Any) -> dict:
+        if not isinstance(payload, dict):
+            raise ServiceError.bad_request("validation body must be a JSON object")
+        recipe = payload.get("recipe")
+        recipe_name = payload.get("recipe_name")
+        if (recipe is None) == (recipe_name is None):
+            raise ServiceError.bad_request(
+                "exactly one of 'recipe' (inline payload) or 'recipe_name' "
+                "(built-in) is required"
+            )
+        if recipe_name is not None:
+            from repro.core.errors import RegistryError
+            from repro.recipes import get_recipe
+
+            try:
+                recipe = get_recipe(recipe_name)
+            except RegistryError as error:
+                raise ServiceError.not_found(str(error)) from error
+        elif not isinstance(recipe, dict):
+            raise ServiceError.bad_request("'recipe' must be a JSON object")
+        from repro.api import validate_recipe
+
+        issues = validate_recipe(recipe)
+        return {
+            "valid": not issues,
+            "issues": [
+                {"op": issue.op, "param": issue.param, "message": issue.message}
+                for issue in issues
+            ],
+        }
+
+
+__all__ = [
+    "CATALOG_VERSION",
+    "CatalogService",
+    "ValidationService",
+    "catalog_payload",
+    "op_payload",
+]

@@ -1,0 +1,108 @@
+"""The stdlib HTTP/JSON adapter: ``repro serve`` without any new dependency.
+
+A thin :mod:`http.server` layer over :class:`~repro.service.core.
+ServiceCore.handle` — request bodies are parsed as JSON, responses are the
+core's dicts serialized back, and every status code (including
+:class:`~repro.service.types.ServiceError` renderings) passes through
+unchanged.  ``ThreadingHTTPServer`` keeps slow clients from blocking each
+other; execution concurrency is still governed by the core's single job
+worker, so threaded transports never race on the pool or the cache.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.core import ServiceCore
+
+logger = logging.getLogger(__name__)
+
+#: request bodies larger than this are rejected (a recipe is a few KB)
+MAX_BODY_BYTES = 4 << 20
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Translates HTTP requests to ``core.handle`` calls, 1:1."""
+
+    server: "ServiceHTTPServer"
+    #: advertise a stable server token instead of the Python version
+    server_version = "repro-service"
+    sys_version = ""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET", payload=None)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            payload = self._read_json_body()
+        except ValueError as error:
+            self._write(400, {"error": {"status": 400, "message": str(error)}})
+            return
+        self._dispatch("POST", payload=payload)
+
+    def _dispatch(self, method: str, payload: object) -> None:
+        status, body = self.server.core.handle(method, self.path, payload)
+        self._write(status, body)
+
+    def _read_json_body(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from error
+
+    def _write(self, status: int, body: dict) -> None:
+        data = json.dumps(body, ensure_ascii=False, default=repr).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        # route access logs through logging instead of stderr spam
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` carrying the service core for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], core: ServiceCore):
+        super().__init__(address, ServiceRequestHandler)
+        self.core = core
+
+
+def make_server(core: ServiceCore, host: str = "127.0.0.1", port: int = 0) -> ServiceHTTPServer:
+    """Bind (``port=0`` picks an ephemeral port) without starting to serve.
+
+    The caller drives ``serve_forever()`` — ``repro serve`` blocks on it in
+    the main thread, the smoke harness runs it in a daemon thread.
+    """
+    return ServiceHTTPServer((host, port), core)
+
+
+def serve(core: ServiceCore, host: str = "127.0.0.1", port: int = 8400) -> None:
+    """Blocking server loop (the body of ``repro serve``)."""
+    server = make_server(core, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro service listening on http://{bound_host}:{bound_port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        core.shutdown()
+
+
+__all__ = ["MAX_BODY_BYTES", "ServiceHTTPServer", "ServiceRequestHandler", "make_server", "serve"]

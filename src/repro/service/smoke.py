@@ -1,0 +1,124 @@
+"""End-to-end serving smoke check: the body of ``repro serve-smoke``.
+
+Exercises the whole serving stack the way ``make check`` can afford to —
+over a real socket, unlike the tier-1 tests:
+
+1. synthesize a small corpus and write it to disk;
+2. start a ``repro serve`` server on an **ephemeral port** (a daemon
+   thread running the stdlib HTTP adapter);
+3. submit a fig8 refinement job over HTTP and poll it to completion;
+4. submit the *same* job again and require a cache-warm run
+   (``cache.shard_hits > 0`` in its report);
+5. run the equivalent pipeline through the direct CLI code path and
+   require the service export to be **byte-identical** to it.
+
+Returns a process exit code (0 = every gate passed) and prints one line
+per gate, so failures localize without a debugger.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.core.exporter import Exporter
+from repro.recipes import get_recipe
+from repro.service.client import HTTPClient
+from repro.service.core import create_core
+from repro.service.http import make_server
+from repro.synth import make_corpus
+
+#: the fig8 workload recipe the smoke run serves (small but full-stack:
+#: cleaning mappers, filters and a deduplicator)
+SMOKE_RECIPE = "pretrain-books-refine-en"
+
+
+def _submission(input_path: Path, max_shard_rows: int) -> dict:
+    """The job body submitted (twice) to the server."""
+    return {
+        "recipe_name": SMOKE_RECIPE,
+        "mode": "streaming",
+        "overrides": {
+            "dataset_path": str(input_path),
+            "max_shard_rows": max_shard_rows,
+        },
+    }
+
+
+def run_smoke(
+    root: str | None = None,
+    num_samples: int = 120,
+    max_shard_rows: int = 17,
+    timeout_s: float = 180.0,
+) -> int:
+    """Run the serving smoke sequence; return the process exit code."""
+    root_dir = Path(root) if root else Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    root_dir.mkdir(parents=True, exist_ok=True)
+    dataset = make_corpus("books", num_samples=num_samples, seed=8)
+    input_path = Exporter(str(root_dir / "corpus.jsonl"), keep_stats=False).export(dataset)
+    print(f"[serve-smoke] corpus: {len(dataset)} samples at {input_path}")
+
+    core = create_core(root_dir / "service")
+    server = make_server(core, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-smoke", daemon=True
+    )
+    thread.start()
+    print(f"[serve-smoke] server listening on http://{host}:{port}")
+    try:
+        client = HTTPClient(f"http://{host}:{port}")
+        health = client.get("/health").raise_for_status().body
+        print(f"[serve-smoke] health: {health['status']}, jobs={health['jobs']}")
+
+        views = []
+        for round_number in (1, 2):
+            job = client.submit_job(_submission(Path(input_path), max_shard_rows))
+            view = client.wait_for_job(job["id"], timeout=timeout_s)
+            print(
+                f"[serve-smoke] job {view['id']} ({round_number}/2) "
+                f"finished: {view['state']}"
+            )
+            if view["state"] != "succeeded":
+                print(f"[serve-smoke] FAIL: job ended {view['state']}: {view.get('error')}")
+                return 1
+            views.append(view)
+
+        warm_report = client.job_report(views[1]["id"])
+        shard_hits = warm_report.get("cache", {}).get("shard_hits", 0)
+        if shard_hits <= 0:
+            print(f"[serve-smoke] FAIL: second job was not cache-warm (shard_hits={shard_hits})")
+            return 1
+        print(f"[serve-smoke] warm resubmission replayed {shard_hits} cached shard(s)")
+
+        # the CLI-equivalent run: same recipe, same knobs, direct code path
+        from repro.api import Pipeline
+
+        recipe = get_recipe(SMOKE_RECIPE)
+        recipe.update(
+            dataset_path=str(input_path),
+            export_path=str(root_dir / "cli-export.jsonl"),
+            work_dir=str(root_dir / "cli-work"),
+            max_shard_rows=max_shard_rows,
+        )
+        Pipeline.from_recipe(recipe).run(mode="streaming")
+        cli_bytes = (root_dir / "cli-export.jsonl").read_bytes()
+        for view in views:
+            service_export = Path(view["export_paths"][0])
+            if service_export.read_bytes() != cli_bytes:
+                print(
+                    f"[serve-smoke] FAIL: {service_export} differs from the "
+                    "direct CLI export"
+                )
+                return 1
+        print("[serve-smoke] both service exports are byte-identical to the CLI export")
+        print("[serve-smoke] OK")
+        return 0
+    finally:
+        server.shutdown()
+        server.server_close()
+        core.shutdown()
+
+
+__all__ = ["SMOKE_RECIPE", "run_smoke"]

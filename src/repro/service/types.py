@@ -1,0 +1,177 @@
+"""Typed request/response contracts of the pipeline service.
+
+The service does not invent a wire schema: job submissions are plain recipe
+payloads validated by the same :mod:`repro.core.schema` /
+:mod:`repro.core.config` layers the CLI uses, and every response body is the
+``as_dict()`` view of one of the dataclasses below.  :class:`ServiceError`
+carries an HTTP-shaped status code so the transport adapters (in-process and
+``http.server``) map failures identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.planner import EXECUTION_MODES
+
+
+class ServiceError(Exception):
+    """A request-level failure with an HTTP-shaped status code.
+
+    Raised by the service core (and its injected services); both transports
+    render it as ``{"error": {"status": ..., "message": ...}}`` with the
+    matching HTTP status, so in-process tests observe exactly what a network
+    client would.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+    def as_dict(self) -> dict:
+        return {"error": {"status": self.status, "message": self.message}}
+
+    # -- conventional constructors -------------------------------------
+    @classmethod
+    def bad_request(cls, message: str) -> "ServiceError":
+        return cls(400, message)
+
+    @classmethod
+    def not_found(cls, message: str) -> "ServiceError":
+        return cls(404, message)
+
+    @classmethod
+    def method_not_allowed(cls, message: str) -> "ServiceError":
+        return cls(405, message)
+
+    @classmethod
+    def conflict(cls, message: str) -> "ServiceError":
+        return cls(409, message)
+
+    @classmethod
+    def overloaded(cls, message: str) -> "ServiceError":
+        return cls(503, message)
+
+
+class JobState:
+    """Lifecycle states of a submitted job (a linear happy path + 3 exits).
+
+    ``QUEUED -> RUNNING -> SUCCEEDED`` is the happy path; ``FAILED`` captures
+    an execution error (the job view carries the message, the job directory
+    an ``error.txt``), and ``CANCELLED`` is reachable only from ``QUEUED`` —
+    a running pipeline is never killed mid-shard, matching the executor's
+    crash-consistency guarantees.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: states a job can never leave
+    TERMINAL = (SUCCEEDED, FAILED, CANCELLED)
+
+    #: every state, in lifecycle order (for docs and validation)
+    ALL = (QUEUED, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A validated job submission: the recipe payload plus run knobs.
+
+    Built from a ``POST /jobs`` body by :meth:`from_payload`; the recipe is
+    either inline (``recipe``: a full recipe dict) or a built-in name
+    (``recipe_name``) with optional ``overrides`` merged on top — exactly
+    the two recipe sources ``repro process`` accepts.
+    """
+
+    recipe: dict
+    mode: str = "auto"
+    shard_output: bool = False
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "JobSpec":
+        """Validate a submission body and build the spec (400 on bad shape)."""
+        if not isinstance(payload, dict):
+            raise ServiceError.bad_request("submission body must be a JSON object")
+        recipe = payload.get("recipe")
+        recipe_name = payload.get("recipe_name")
+        if (recipe is None) == (recipe_name is None):
+            raise ServiceError.bad_request(
+                "exactly one of 'recipe' (inline payload) or 'recipe_name' "
+                "(built-in) is required"
+            )
+        if recipe_name is not None:
+            from repro.core.errors import RegistryError
+            from repro.recipes import get_recipe
+
+            if not isinstance(recipe_name, str):
+                raise ServiceError.bad_request("'recipe_name' must be a string")
+            try:
+                recipe = get_recipe(recipe_name)
+            except RegistryError as error:
+                raise ServiceError.not_found(str(error)) from error
+            overrides = payload.get("overrides") or {}
+            if not isinstance(overrides, dict):
+                raise ServiceError.bad_request("'overrides' must be a JSON object")
+            recipe.update(overrides)
+        elif not isinstance(recipe, dict):
+            raise ServiceError.bad_request("'recipe' must be a JSON object")
+        elif "overrides" in payload:
+            raise ServiceError.bad_request(
+                "'overrides' only applies to 'recipe_name' submissions; "
+                "merge them into the inline 'recipe' instead"
+            )
+        mode = payload.get("mode", "auto")
+        if mode not in EXECUTION_MODES:
+            raise ServiceError.bad_request(
+                f"unknown mode {mode!r} (choose from {', '.join(EXECUTION_MODES)})"
+            )
+        shard_output = payload.get("shard_output", False)
+        if not isinstance(shard_output, bool):
+            raise ServiceError.bad_request("'shard_output' must be a boolean")
+        if not recipe.get("dataset_path"):
+            raise ServiceError.bad_request(
+                "the recipe must set 'dataset_path' (the server does not "
+                "accept request-attached data)"
+            )
+        return cls(recipe=dict(recipe), mode=mode, shard_output=shard_output)
+
+
+@dataclass
+class JobView:
+    """The externally visible snapshot of one job (every ``/jobs`` response)."""
+
+    id: str
+    state: str
+    recipe_name: str
+    mode: str
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    work_dir: str = ""
+    export_paths: list[str] = field(default_factory=list)
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        payload = {
+            "id": self.id,
+            "state": self.state,
+            "recipe_name": self.recipe_name,
+            "mode": self.mode,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "work_dir": self.work_dir,
+            "export_paths": list(self.export_paths),
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+__all__ = ["JobSpec", "JobState", "JobView", "ServiceError"]

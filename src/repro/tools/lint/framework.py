@@ -458,10 +458,20 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def default_lint_paths() -> list[Path]:
-    """The built-in operator pool — what ``repro lint`` checks by default."""
-    import repro.ops
+    """What ``repro lint`` checks by default: the op pool + the service layer.
 
-    return [Path(repro.ops.__file__).parent]
+    The service package ships no operators today, but it *hosts* recipe
+    execution — scanning it keeps the gate in place for any op class that
+    ever lands there (the picklability/purity contracts apply wherever an op
+    is defined), and surfaces syntax errors in the serving code path.
+    """
+    import repro.ops
+    import repro.service
+
+    return [
+        Path(repro.ops.__file__).parent,
+        Path(repro.service.__file__).parent,
+    ]
 
 
 def lint_paths(

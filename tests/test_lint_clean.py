@@ -10,10 +10,9 @@ from repro.tools.lint import RULES, default_lint_paths, lint_paths, render_text
 
 
 class TestOperatorPoolIsLintClean:
-    def test_default_paths_cover_the_ops_package(self):
+    def test_default_paths_cover_the_ops_and_service_packages(self):
         paths = default_lint_paths()
-        assert len(paths) == 1
-        assert paths[0].name == "ops"
+        assert [path.name for path in paths] == ["ops", "service"]
 
     def test_zero_unsuppressed_violations(self):
         result = lint_paths(default_lint_paths())

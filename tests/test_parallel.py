@@ -149,6 +149,76 @@ class TestSharedPools:
         revived = get_shared_pool(1, recipes[0])
         assert revived is not pools[0] and revived.alive
 
+    def test_concurrent_requests_get_one_pool(self):
+        # the check-then-create is guarded by a lock: two threads racing on
+        # the same key (a threaded server's concurrent submissions) must get
+        # the same pool instance, never fork a second worker set
+        import threading
+
+        shutdown_shared_pools()
+        results: list = []
+        barrier = threading.Barrier(2)
+
+        def request() -> None:
+            barrier.wait()
+            results.append(get_shared_pool(2, PROCESS))
+
+        threads = [threading.Thread(target=request) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 2
+        assert results[0] is results[1]
+        assert results[0].alive
+
+    def test_supervision_knobs_apply_per_caller(self):
+        shutdown_shared_pools()
+        first = get_shared_pool(2, PROCESS, task_timeout_s=5.0, max_rebuilds=1)
+        assert first.task_timeout_s == 5.0 and first.max_rebuilds == 1
+        # a later borrower reconfigures the same pool under its own policy
+        second = get_shared_pool(2, PROCESS, task_timeout_s=9.0, rebuild_backoff_s=0.5)
+        assert second is first
+        assert first.task_timeout_s == 9.0 and first.rebuild_backoff_s == 0.5
+
+    def test_is_shared_pool_tracks_registry_membership(self):
+        from repro.parallel import is_shared_pool
+
+        shutdown_shared_pools()
+        shared = get_shared_pool(1, PROCESS)
+        private = WorkerPool(1, ops=load_ops(PROCESS))
+        try:
+            assert is_shared_pool(shared)
+            assert not is_shared_pool(private)
+        finally:
+            private.close()
+
+
+class TestConfigEquivalenceDispatch:
+    def test_foreign_instances_resolve_against_residents(self):
+        # ops are pure functions of config(): an executor's own instances of
+        # the same recipe resolve against a shared pool's residents
+        with WorkerPool(2, process_list=PROCESS) as pool:
+            for op in load_ops(PROCESS):
+                assert pool.holds(op)
+
+    def test_differently_configured_op_does_not_resolve(self):
+        with WorkerPool(2, process_list=PROCESS) as pool:
+            other = load_ops([{"text_length_filter": {"min_len": 99}}])[0]
+            assert not pool.holds(other)
+
+    def test_foreign_instance_dispatch_matches_serial(self, corpus):
+        rows = corpus.to_list()
+        recipe = [{"whitespace_normalization_mapper": {}}]
+        op = load_ops(recipe)[0]
+        serial = [op.process(dict(row)) for row in rows]
+        with WorkerPool(2, process_list=recipe) as pool:
+            foreign = load_ops(recipe)[0]  # fresh instance, same config
+            assert foreign is not op
+            pooled = pool.map_rows(foreign.process, rows)
+            assert pool.last_served_pids  # executed out of process
+        assert pooled == serial
+
 
 class TestExecutorParallel:
     def test_np_serial_equivalence(self, corpus):
